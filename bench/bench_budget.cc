@@ -1,0 +1,138 @@
+// E10 — the §1 motivation arithmetic: "to saturate a 10Gbps network link,
+// kernel device drivers and network stack have a budget of 835 ns per 1K
+// packet (or 1670 cycles on a 2GHz machine)".
+//
+// We run the Maglev data path over the DPDK simulator and report the
+// per-packet cost of (a) the lin:: ownership discipline (no pauses, no
+// collector) and (b) the same path with a simulated garbage collector —
+// stop-the-world pauses injected at an allocation-proportional rate — to
+// show why GC blows the I/O budget while linear ownership does not.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/maglev.h"
+#include "src/net/mempool.h"
+#include "src/net/operators/maglev_op.h"
+#include "src/net/pipeline.h"
+#include "src/net/pktgen.h"
+#include "src/util/cycles.h"
+#include "src/util/stats.h"
+
+namespace {
+
+constexpr std::size_t kBatch = 32;
+constexpr int kRounds = 20000;
+
+// A stop-the-world pause model: every `period` packets "allocated", spin
+// for `pause_cycles` (young-generation collection of a high-rate allocator).
+struct GcModel {
+  std::uint64_t period = 0;  // 0 = no GC
+  std::uint64_t pause_cycles = 0;
+  std::uint64_t allocated = 0;
+  std::uint64_t pauses = 0;
+
+  void OnPackets(std::uint64_t n) {
+    if (period == 0) {
+      return;
+    }
+    allocated += n;
+    while (allocated >= period) {
+      allocated -= period;
+      ++pauses;
+      const std::uint64_t until = util::CycleStart() + pause_cycles;
+      while (util::CycleEnd() < until) {
+        // spin: the mutator is stopped
+      }
+    }
+  }
+};
+
+net::Pipeline MakePipeline() {
+  std::vector<std::string> names;
+  std::vector<std::uint32_t> ips;
+  for (int i = 0; i < 8; ++i) {
+    names.push_back("b" + std::to_string(i));
+    ips.push_back(0xc0a80100u + static_cast<std::uint32_t>(i));
+  }
+  net::Pipeline pipe;
+  pipe.AddStage(
+      std::make_unique<net::MaglevLb>(net::Maglev(names, 65537), ips));
+  return pipe;
+}
+
+struct RunResult {
+  double mean_cycles_per_pkt = 0;
+  double p99_batch_cycles = 0;
+  double p999_batch_cycles = 0;
+  std::uint64_t over_budget = 0;  // batches exceeding the 10Gbps budget
+  std::uint64_t pauses = 0;
+};
+
+RunResult RunWorkload(GcModel gc) {
+  net::Mempool pool(4096, 2048);
+  net::PktSourceConfig cfg;
+  cfg.flow_count = 2048;
+  cfg.seed = 11;
+  net::PktSource source(&pool, cfg);
+  net::Pipeline pipe = MakePipeline();
+
+  util::Samples batch_cycles(kRounds);
+  for (int round = 0; round < kRounds; ++round) {
+    net::PacketBatch batch(kBatch);
+    source.RxBurst(batch, kBatch);
+    const std::uint64_t begin = util::CycleStart();
+    net::PacketBatch out = pipe.Run(std::move(batch));
+    gc.OnPackets(kBatch);
+    const std::uint64_t end = util::CycleEnd();
+    batch_cycles.Add(static_cast<double>(end - begin));
+    out.Clear();
+  }
+  RunResult r;
+  r.mean_cycles_per_pkt = batch_cycles.TrimmedMean() / kBatch;
+  r.p99_batch_cycles = batch_cycles.Percentile(99.0);
+  r.p999_batch_cycles = batch_cycles.Percentile(99.9);
+  for (double c : batch_cycles.values()) {
+    r.over_budget += c > 1670.0 * kBatch;
+  }
+  r.pauses = gc.pauses;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E10: the 10Gbps I/O budget vs memory management ===\n");
+  std::printf("budget: 835 ns per 1K packet = 1670 cycles @2GHz; batch=%zu "
+              "=> %llu cycles per batch\n\n",
+              kBatch, static_cast<unsigned long long>(1670ULL * kBatch));
+  std::printf("%-30s %10s %14s %15s %12s %8s\n", "configuration", "cyc/pkt",
+              "p99 batch(cyc)", "p99.9 batch", "over-budget", "pauses");
+
+  struct Config {
+    const char* name;
+    GcModel gc;
+  };
+  const Config configs[] = {
+      {"linear ownership (no GC)", GcModel{}},
+      {"GC: pause 50k cyc / 8k pkt", GcModel{8 * 1024, 50'000}},
+      {"GC: pause 200k cyc / 8k pkt", GcModel{8 * 1024, 200'000}},
+      {"GC: pause 1M cyc / 32k pkt", GcModel{32 * 1024, 1'000'000}},
+  };
+  for (const Config& config : configs) {
+    const RunResult r = RunWorkload(config.gc);
+    std::printf("%-30s %10.1f %14.0f %15.0f %12llu %8llu\n", config.name,
+                r.mean_cycles_per_pkt, r.p99_batch_cycles,
+                r.p999_batch_cycles,
+                static_cast<unsigned long long>(r.over_budget),
+                static_cast<unsigned long long>(r.pauses));
+  }
+  std::printf(
+      "\nshape: without GC essentially no batch exceeds the 10Gbps budget "
+      "(any stragglers are host scheduler noise); with pauses the "
+      "over-budget count tracks the pause count and the p99.9 tail blows "
+      "past the budget even though the *mean* per-packet cost barely "
+      "moves — the paper's argument for safety without a collector\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E8 / Figure 3 — checkpointing the firewall rule trie.
+//
+// Sweep: R distinct rules, each shared by A trie leaves. Three traversals:
+//   linear-mark : the paper's Rc-flag design — one copy per rule, O(1) dedup
+//   address-set : conventional visited-set — same output, hash per node
+//   naive       : no dedup — R*A copies, sharing lost on restore
+//
+// Reported: cycles per checkpoint, payload copies, snapshot bytes, and the
+// restore-correctness column (distinct rules after restore).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/trie.h"
+#include "src/util/cycles.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace {
+
+constexpr int kWarmup = 5;
+constexpr int kRounds = 50;
+
+ckpt::RuleTrie BuildTrie(std::size_t rules, std::size_t aliases,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  ckpt::RuleTrie trie;
+  for (std::size_t r = 0; r < rules; ++r) {
+    ckpt::FwRule rule;
+    rule.id = r;
+    rule.allow = rng.Chance(0.5);
+    rule.dst_port_lo = static_cast<std::uint16_t>(rng.Below(1000));
+    rule.dst_port_hi = static_cast<std::uint16_t>(
+        rule.dst_port_lo + rng.Below(1000));
+    ckpt::RulePtr shared = ckpt::RulePtr::Make(rule);
+    for (std::size_t a = 0; a < aliases; ++a) {
+      // Distinct random /24 prefixes so each alias gets its own leaf.
+      trie.Insert(rng.NextU32() & 0xffffff00u, 24, shared);
+    }
+  }
+  return trie;
+}
+
+struct Row {
+  double cycles = 0;
+  std::uint64_t copies = 0;
+  std::size_t bytes = 0;
+  std::size_t distinct_after_restore = 0;
+};
+
+Row MeasureMode(const ckpt::RuleTrie& trie, ckpt::DedupMode mode) {
+  Row row;
+  util::Samples samples(kRounds);
+  ckpt::Snapshot last;
+  for (int round = 0; round < kWarmup + kRounds; ++round) {
+    ckpt::CheckpointStats stats;
+    const std::uint64_t begin = util::CycleStart();
+    ckpt::Snapshot snap = ckpt::Checkpoint(trie, mode, &stats);
+    const std::uint64_t end = util::CycleEnd();
+    if (round >= kWarmup) {
+      samples.Add(static_cast<double>(end - begin));
+    }
+    row.copies = stats.payload_copies;
+    row.bytes = snap.size_bytes();
+    last = std::move(snap);
+  }
+  row.cycles = samples.TrimmedMean();
+  row.distinct_after_restore =
+      ckpt::Restore<ckpt::RuleTrie>(last).DistinctRuleCount();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E8 / Figure 3: checkpointing a firewall rule trie ===\n");
+  std::printf("%7s %8s | %12s %8s %10s %9s | %12s %9s | %12s %9s %10s\n",
+              "rules", "aliases", "linear(cyc)", "copies", "bytes",
+              "restored", "addrset(cyc)", "vs-linear", "naive(cyc)",
+              "copies", "restored");
+
+  for (std::size_t rules : {16, 64, 256}) {
+    for (std::size_t aliases : {1, 4, 16}) {
+      ckpt::RuleTrie trie = BuildTrie(rules, aliases, rules * 31 + aliases);
+      const Row linear = MeasureMode(trie, ckpt::DedupMode::kLinearMark);
+      const Row addrset = MeasureMode(trie, ckpt::DedupMode::kAddressSet);
+      const Row naive = MeasureMode(trie, ckpt::DedupMode::kNone);
+
+      std::printf(
+          "%7zu %8zu | %12.0f %8llu %10zu %9zu | %12.0f %8.2fx | %12.0f "
+          "%8llu %9zu\n",
+          rules, aliases, linear.cycles,
+          static_cast<unsigned long long>(linear.copies), linear.bytes,
+          linear.distinct_after_restore, addrset.cycles,
+          addrset.cycles / linear.cycles, naive.cycles,
+          static_cast<unsigned long long>(naive.copies),
+          naive.distinct_after_restore);
+    }
+  }
+  std::printf(
+      "\nshape: linear copies == distinct rules regardless of aliasing; "
+      "naive copies == rules*aliases and 'restored' shows the lost sharing "
+      "(Figure 3b); address-set matches linear output but pays hash "
+      "lookups per node\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E5 + E7 — IFC verification (§4).
+//
+// Part 1 (E5): verify the secure data store, then show the seeded
+// access-control bug is discovered ("SMACK discovered the injected bug").
+//
+// Part 2 (E7): "Even without alias analysis, verification can be expensive
+// for large programs. Further improvements can be achieved through
+// compositional reasoning." Whole-program inlining visits O(fanout^depth)
+// function bodies; per-function summaries visit each body once and
+// substitute at call sites. The sweep shows the blow-up and the
+// summary-mode speedup growing with program size.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/ifc/checker.h"
+#include "src/ifc/programs.h"
+
+namespace {
+
+double VerifyMs(const std::string& src, ifc::Mode mode, bool* ok,
+                int repeats = 5) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    const auto begin = std::chrono::steady_clock::now();
+    ifc::AnalysisResult result = ifc::AnalyzeSource(src, mode);
+    const auto end = std::chrono::steady_clock::now();
+    *ok = result.ifc_ok;
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - begin).count();
+    best = ms < best ? ms : best;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E5: secure data store (§4 case study) ===\n");
+  bool ok = false;
+  double ms = VerifyMs(std::string(ifc::kSecureStoreSource),
+                       ifc::Mode::kWholeProgram, &ok);
+  std::printf("correct store : verified=%s  (%.2f ms)\n", ok ? "yes" : "NO",
+              ms);
+  ms = VerifyMs(std::string(ifc::kSecureStoreSeededBug),
+                ifc::Mode::kWholeProgram, &ok);
+  std::printf("seeded bug    : violation detected=%s  (%.2f ms)\n",
+              !ok ? "yes" : "NO", ms);
+  std::printf("paper reference: store verified; injected access-check bug "
+              "discovered by the verifier\n\n");
+
+  std::printf("=== E7: verification cost vs program size "
+              "(fanout=2 call tree) ===\n");
+  std::printf("%8s %10s %12s %16s %14s %10s\n", "depth", "functions",
+              "inlined-fns", "whole-prog(ms)", "summaries(ms)", "speedup");
+  for (int depth : {4, 6, 8, 10, 12, 14}) {
+    const std::string src = ifc::GenerateLayeredProgram(depth, 2);
+    bool whole_ok = false;
+    bool sums_ok = false;
+    const double whole = VerifyMs(src, ifc::Mode::kWholeProgram, &whole_ok);
+    const double sums = VerifyMs(src, ifc::Mode::kSummaries, &sums_ok);
+    if (!whole_ok || !sums_ok) {
+      std::fprintf(stderr, "generated program failed verification!\n");
+      return 1;
+    }
+    const double inlined = static_cast<double>(1LL << depth);
+    std::printf("%8d %10d %12.0f %16.3f %14.3f %9.1fx\n", depth, depth + 1,
+                inlined, whole, sums, whole / sums);
+  }
+  std::printf("\npaper reference: compositional summaries keep verification "
+              "tractable; exact here because label semantics are join-"
+              "morphisms (see src/ifc/an/abstract.h)\n");
+  return 0;
+}

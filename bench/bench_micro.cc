@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark) for the primitives whose costs the
+// paper's numbers decompose into: ownership-runtime operations, the rref
+// call path piece by piece, channel transfer, Maglev lookup, and the
+// checkpoint mark. Useful for attributing changes in the table benches.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/lin/arc.h"
+#include "src/lin/own.h"
+#include "src/lin/rc.h"
+#include "src/net/maglev.h"
+#include "src/sfi/channel.h"
+#include "src/sfi/manager.h"
+#include "src/sfi/rref.h"
+#include "src/util/rng.h"
+
+namespace {
+
+void BM_OwnMakeDrop(benchmark::State& state) {
+  for (auto _ : state) {
+    auto own = lin::Make<int>(42);
+    benchmark::DoNotOptimize(own);
+  }
+}
+BENCHMARK(BM_OwnMakeDrop);
+
+void BM_OwnBorrow(benchmark::State& state) {
+  auto own = lin::Make<int>(42);
+  for (auto _ : state) {
+    auto ref = own.Borrow();
+    benchmark::DoNotOptimize(*ref);
+  }
+}
+BENCHMARK(BM_OwnBorrow);
+
+void BM_OwnMoveHandle(benchmark::State& state) {
+  auto a = lin::Make<int>(1);
+  for (auto _ : state) {
+    lin::Own<int> b = std::move(a);
+    a = std::move(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_OwnMoveHandle);
+
+void BM_RcCloneDrop(benchmark::State& state) {
+  auto rc = lin::Rc<int>::Make(42);
+  for (auto _ : state) {
+    lin::Rc<int> copy = rc;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_RcCloneDrop);
+
+void BM_ArcCloneDrop(benchmark::State& state) {
+  auto arc = lin::Arc<int>::Make(42);
+  for (auto _ : state) {
+    lin::Arc<int> copy = arc;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_ArcCloneDrop);
+
+void BM_ArcWeakUpgrade(benchmark::State& state) {
+  auto arc = lin::Arc<int>::Make(42);
+  lin::ArcWeak<int> weak(arc);
+  for (auto _ : state) {
+    auto strong = weak.Upgrade();
+    benchmark::DoNotOptimize(strong);
+  }
+}
+BENCHMARK(BM_ArcWeakUpgrade);
+
+// The full remote-invocation path: upgrade + state check + TLS switch +
+// indirect call + Result. This is the "90 cycles" of §3 in isolation.
+void BM_RRefCall(benchmark::State& state) {
+  sfi::DomainManager mgr;
+  sfi::Domain& domain = mgr.Create("svc");
+  struct Counter {
+    int value = 0;
+  };
+  sfi::RRef<Counter> rref = domain.Export(Counter{});
+  for (auto _ : state) {
+    auto result = rref.Call([](Counter& c) { return ++c.value; });
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RRefCall);
+
+// Same work through a plain function call, for the delta.
+void BM_DirectCall(benchmark::State& state) {
+  struct Counter {
+    int value = 0;
+  };
+  Counter counter;
+  auto work = [](Counter& c) { return ++c.value; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(work(counter));
+  }
+}
+BENCHMARK(BM_DirectCall);
+
+void BM_DomainExecute(benchmark::State& state) {
+  sfi::DomainManager mgr;
+  sfi::Domain& domain = mgr.Create("svc");
+  for (auto _ : state) {
+    auto result = domain.Execute([] { return 1; });
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DomainExecute);
+
+void BM_ChannelSendRecv(benchmark::State& state) {
+  sfi::Channel<int> channel;
+  for (auto _ : state) {
+    channel.Send(lin::Make<int>(7));
+    auto received = channel.Recv();
+    benchmark::DoNotOptimize(received);
+  }
+}
+BENCHMARK(BM_ChannelSendRecv);
+
+void BM_MaglevLookup(benchmark::State& state) {
+  std::vector<std::string> backends;
+  for (int i = 0; i < 16; ++i) {
+    backends.push_back("b" + std::to_string(i));
+  }
+  net::Maglev maglev(backends, 65537);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maglev.Lookup(rng.Next()));
+  }
+}
+BENCHMARK(BM_MaglevLookup);
+
+void BM_RcCheckpointMark(benchmark::State& state) {
+  auto rc = lin::Rc<int>::Make(1);
+  std::uint64_t epoch = 1;
+  for (auto _ : state) {
+    std::uint64_t existing = 0;
+    benchmark::DoNotOptimize(rc.CheckpointMark(++epoch, 1, &existing));
+  }
+}
+BENCHMARK(BM_RcCheckpointMark);
+
+void BM_CheckpointVecInts(benchmark::State& state) {
+  std::vector<int> data(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto snap = ckpt::Checkpoint(data);
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()) *
+                          static_cast<std::int64_t>(sizeof(int)));
+}
+BENCHMARK(BM_CheckpointVecInts)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

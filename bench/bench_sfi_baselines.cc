@@ -1,0 +1,168 @@
+// E4 — the three SFI architectures of §1/§3 head to head, on the same
+// 3-stage TTL-decrement pipeline:
+//
+//   direct   : plain function calls (no isolation; the floor)
+//   rref     : zero-copy linear-ownership SFI (this paper)
+//   copy     : private heaps + deep copy at each boundary (classic SFI)
+//   tagged   : shared heap + owner tag validated on each access (Mao et al.,
+//              ">100% overhead" per the paper)
+//
+// Shape expectations: rref ≈ direct + a small constant per call;
+// copy pays per-byte, growing with batch size; tagged pays per-access,
+// roughly doubling the per-packet data-path cost.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/copy_sfi.h"
+#include "src/baseline/tagged_heap.h"
+#include "src/net/mempool.h"
+#include "src/net/operators/ttl.h"
+#include "src/net/pipeline.h"
+#include "src/net/pktgen.h"
+#include "src/sfi/manager.h"
+#include "src/util/cycles.h"
+#include "src/util/stats.h"
+
+namespace {
+
+constexpr std::size_t kStages = 3;
+constexpr int kWarmup = 100;
+constexpr int kRounds = 1000;
+
+net::PktSourceConfig SourceConfig() {
+  net::PktSourceConfig cfg;
+  cfg.flow_count = 1024;
+  cfg.frame_len = 64;
+  cfg.seed = 42;
+  cfg.ttl = 64;
+  return cfg;
+}
+
+template <typename PrepareFn, typename RunFn>
+double Measure(std::size_t batch_size, PrepareFn&& prepare, RunFn&& run) {
+  util::Samples samples(kRounds);
+  for (int round = 0; round < kWarmup + kRounds; ++round) {
+    auto work = prepare(batch_size);
+    const std::uint64_t begin = util::CycleStart();
+    run(std::move(work));
+    const std::uint64_t end = util::CycleEnd();
+    if (round >= kWarmup) {
+      samples.Add(static_cast<double>(end - begin));
+    }
+  }
+  return samples.TrimmedMean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E4: isolation architectures, %zu-stage TTL pipeline "
+              "(cycles per batch) ===\n\n",
+              kStages);
+  std::printf("%12s %12s %12s %12s %12s %14s %14s\n", "pkts/batch", "direct",
+              "rref", "copy", "tagged", "copy/direct", "tagged/direct");
+
+  for (std::size_t batch_size : {1, 4, 16, 64, 256}) {
+    // --- direct ---
+    net::Mempool direct_pool(4096, 2048);
+    net::PktSource direct_src(&direct_pool, SourceConfig());
+    net::Pipeline direct_pipe;
+    for (std::size_t i = 0; i < kStages; ++i) {
+      direct_pipe.AddStage(std::make_unique<net::TtlDecrement>());
+    }
+    const double direct = Measure(
+        batch_size,
+        [&](std::size_t n) {
+          net::PacketBatch b(n);
+          direct_src.RxBurst(b, n);
+          return b;
+        },
+        [&](net::PacketBatch b) { return direct_pipe.Run(std::move(b)); });
+
+    // --- rref ---
+    net::Mempool rref_pool(4096, 2048);
+    net::PktSource rref_src(&rref_pool, SourceConfig());
+    sfi::DomainManager rref_mgr;
+    net::IsolatedPipeline rref_pipe(&rref_mgr);
+    for (std::size_t i = 0; i < kStages; ++i) {
+      rref_pipe.AddStage("ttl-" + std::to_string(i),
+                         [] { return std::make_unique<net::TtlDecrement>(); });
+    }
+    const double rref = Measure(
+        batch_size,
+        [&](std::size_t n) {
+          net::PacketBatch b(n);
+          rref_src.RxBurst(b, n);
+          return b;
+        },
+        [&](net::PacketBatch b) {
+          auto result = rref_pipe.Run(std::move(b));
+          return std::move(result).value();
+        });
+
+    // --- copy ---
+    net::Mempool copy_pool(4096, 2048);
+    net::PktSource copy_src(&copy_pool, SourceConfig());
+    sfi::DomainManager copy_mgr;
+    baseline::CopyIsolatedPipeline copy_pipe(&copy_mgr, 4096, 2048);
+    for (std::size_t i = 0; i < kStages; ++i) {
+      copy_pipe.AddStage("ttl-" + std::to_string(i),
+                         [] { return std::make_unique<net::TtlDecrement>(); });
+    }
+    const double copy = Measure(
+        batch_size,
+        [&](std::size_t n) {
+          net::PacketBatch b(n);
+          copy_src.RxBurst(b, n);
+          return b;
+        },
+        [&](net::PacketBatch b) {
+          auto result = copy_pipe.Run(std::move(b));
+          return std::move(result).value();
+        });
+
+    // --- tagged ---
+    baseline::TaggedMempool tagged_pool(4096, 2048);
+    std::vector<baseline::TaggedTtlDecrement> tagged_stages(kStages);
+    const double tagged = Measure(
+        batch_size,
+        [&](std::size_t n) {
+          sfi::ScopedDomain enter(1);
+          baseline::TaggedBatch b;
+          b.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            auto pkt = baseline::TaggedPacket::Alloc(&tagged_pool, 64, 1);
+            auto* ip = pkt.ipv4();
+            ip->version_ihl = 0x45;
+            ip->ttl = 64;
+            ip->protocol = net::Ipv4Hdr::kProtoUdp;
+            net::FixIpv4Checksum(ip);
+            b.push_back(pkt);
+          }
+          return b;
+        },
+        [&](baseline::TaggedBatch b) {
+          for (std::size_t stage = 0; stage < kStages; ++stage) {
+            const sfi::DomainId owner = static_cast<sfi::DomainId>(stage + 1);
+            baseline::TransferBatch(b, owner);
+            sfi::ScopedDomain enter(owner);
+            tagged_stages[stage].Process(b);
+          }
+          sfi::ScopedDomain cleanup(static_cast<sfi::DomainId>(kStages));
+          for (auto& pkt : b) {
+            pkt.Free();
+          }
+        });
+
+    std::printf("%12zu %12.0f %12.0f %12.0f %12.0f %13.2fx %13.2fx\n",
+                batch_size, direct, rref, copy, tagged, copy / direct,
+                tagged / direct);
+  }
+
+  std::printf("\npaper reference: copying is \"unacceptable in a line-rate "
+              "system\"; tag validation costs \">100%%\"; rref isolation "
+              "adds only a small per-call constant\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Ablation for the §5 extensions: what do snapshot-based transactions and
+// replication cost as state grows, and how does the undo-log overhead
+// compare to the raw mutation? (The design trade: Transaction snapshots the
+// whole object on Begin — O(state), not O(write-set) — bought with zero
+// instrumentation of the mutation path.)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/replicate.h"
+#include "src/ckpt/trie.h"
+#include "src/ckpt/txn.h"
+#include "src/util/cycles.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace {
+
+constexpr int kWarmup = 5;
+constexpr int kRounds = 200;
+
+ckpt::RuleTrie BuildTrie(std::size_t rules, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ckpt::RuleTrie trie;
+  for (std::size_t r = 0; r < rules; ++r) {
+    ckpt::FwRule rule;
+    rule.id = r;
+    trie.Insert(rng.NextU32() & 0xffffff00u, 24,
+                ckpt::RulePtr::Make(rule));
+  }
+  return trie;
+}
+
+template <typename Fn>
+double Measure(Fn&& fn) {
+  util::Samples samples(kRounds);
+  for (int round = 0; round < kWarmup + kRounds; ++round) {
+    const std::uint64_t begin = util::CycleStart();
+    fn();
+    const std::uint64_t end = util::CycleEnd();
+    if (round >= kWarmup) {
+      samples.Add(static_cast<double>(end - begin));
+    }
+  }
+  return samples.TrimmedMean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== transactions & replication over snapshots (cycles) ===\n");
+  std::printf("%8s %14s %14s %14s %16s\n", "rules", "raw insert",
+              "txn commit", "txn abort", "apply+2 replicas");
+
+  for (std::size_t rules : {16, 64, 256, 1024}) {
+    ckpt::RuleTrie trie = BuildTrie(rules, rules);
+    util::Rng rng(99);
+
+    const double raw = Measure([&] {
+      ckpt::FwRule extra;
+      extra.id = 1u << 20;
+      trie.Insert(rng.NextU32() & 0xffffff00u, 24,
+                  ckpt::RulePtr::Make(extra));
+    });
+
+    ckpt::RuleTrie txn_trie = BuildTrie(rules, rules);
+    const double commit = Measure([&] {
+      ckpt::Transaction<ckpt::RuleTrie> txn(&txn_trie);
+      ckpt::FwRule extra;
+      extra.id = 1u << 21;
+      txn_trie.Insert(rng.NextU32() & 0xffffff00u, 24,
+                      ckpt::RulePtr::Make(extra));
+      txn.Commit();
+    });
+
+    ckpt::RuleTrie abort_trie = BuildTrie(rules, rules);
+    const double abort = Measure([&] {
+      ckpt::Transaction<ckpt::RuleTrie> txn(&abort_trie);
+      ckpt::FwRule extra;
+      extra.id = 1u << 22;
+      abort_trie.Insert(rng.NextU32() & 0xffffff00u, 24,
+                        ckpt::RulePtr::Make(extra));
+      txn.Abort();
+    });
+
+    ckpt::ReplicatedState<ckpt::RuleTrie> rs(BuildTrie(rules, rules), 2);
+    const double replicate = Measure([&] {
+      rs.Apply([&rng](ckpt::RuleTrie& t) {
+        ckpt::FwRule extra;
+        extra.id = 1u << 23;
+        t.Insert(rng.NextU32() & 0xffffff00u, 24,
+                 ckpt::RulePtr::Make(extra));
+      });
+    });
+
+    std::printf("%8zu %14.0f %14.0f %14.0f %16.0f\n", rules, raw, commit,
+                abort, replicate);
+  }
+  std::printf("\nshape: commit/abort cost O(state size) — the undo snapshot "
+              "dominates; replication adds one restore per replica. For "
+              "write-heavy small-delta workloads an operation log would win; "
+              "the snapshot design buys an unmodified mutation path.\n");
+  return 0;
+}

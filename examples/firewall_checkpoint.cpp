@@ -1,0 +1,75 @@
+// Figure 3 live: checkpoint a firewall whose rule trie shares rules across
+// leaves, corrupt the live database, and restore — then contrast with the
+// naive traversal that produces "rule 1'" duplicates and loses sharing.
+#include <cstdio>
+
+#include "src/ckpt/trie.h"
+
+namespace {
+
+void Describe(const char* title, ckpt::RuleTrie& trie) {
+  std::printf("%-28s nodes=%-4zu rule-slots=%-3zu distinct-rules=%zu\n",
+              title, trie.NodeCount(), trie.RuleSlotCount(),
+              trie.DistinctRuleCount());
+}
+
+}  // namespace
+
+int main() {
+  // Build the Figure-3 database: rule 1 shared by two prefixes.
+  ckpt::RuleTrie trie;
+  ckpt::FwRule r1;
+  r1.id = 1;
+  r1.allow = false;  // block
+  ckpt::RulePtr rule1 = ckpt::RulePtr::Make(r1);
+  ckpt::FwRule r2;
+  r2.id = 2;
+  r2.allow = true;
+  ckpt::RulePtr rule2 = ckpt::RulePtr::Make(r2);
+
+  trie.Insert(0x0a010000, 16, rule1);  // 10.1/16   -> rule 1
+  trie.Insert(0x0a020000, 16, rule1);  // 10.2/16   -> rule 1 (shared!)
+  trie.Insert(0xc0a80000, 16, rule2);  // 192.168/16 -> rule 2
+  Describe("live database", trie);
+
+  // Checkpoint with the linear-mark traversal (§5).
+  ckpt::CheckpointStats stats;
+  ckpt::Snapshot snap =
+      ckpt::Checkpoint(trie, ckpt::DedupMode::kLinearMark, &stats);
+  std::printf("checkpoint: %zu bytes, %llu rule copies, %llu back-refs\n",
+              snap.size_bytes(),
+              static_cast<unsigned long long>(stats.payload_copies),
+              static_cast<unsigned long long>(stats.back_refs));
+
+  // Disaster: an update wipes the database.
+  trie = ckpt::RuleTrie();
+  Describe("after corruption", trie);
+
+  // Restore: structure, payloads, and the sharing pattern all come back.
+  trie = ckpt::Restore<ckpt::RuleTrie>(snap);
+  Describe("after restore", trie);
+  const ckpt::FwRule* hit_a = trie.Lookup(0x0a010101);
+  const ckpt::FwRule* hit_b = trie.Lookup(0x0a020101);
+  std::printf("lookup 10.1.1.1 -> rule %llu (%s), 10.2.1.1 -> rule %llu; "
+              "still one shared object: %s\n",
+              static_cast<unsigned long long>(hit_a->id),
+              hit_a->allow ? "allow" : "block",
+              static_cast<unsigned long long>(hit_b->id),
+              hit_a == hit_b ? "yes" : "NO (bug)");
+
+  // The naive traversal for contrast (Figure 3b).
+  ckpt::CheckpointStats naive_stats;
+  ckpt::Snapshot naive =
+      ckpt::Checkpoint(trie, ckpt::DedupMode::kNone, &naive_stats);
+  ckpt::RuleTrie split = ckpt::Restore<ckpt::RuleTrie>(naive);
+  std::printf("\nnaive traversal: %llu copies (rule 1 serialized twice -> "
+              "\"rule 1'\")\n",
+              static_cast<unsigned long long>(naive_stats.payload_copies));
+  Describe("naive restore (Fig. 3b)", split);
+  std::printf("the shared rule became %zu independent objects — a later "
+              "update to one alias silently misses the other\n",
+              split.DistinctRuleCount() - 1);
+  return trie.DistinctRuleCount() == 2 && split.DistinctRuleCount() == 3
+             ? 0
+             : 1;
+}

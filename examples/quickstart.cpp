@@ -1,0 +1,84 @@
+// Quickstart: the three building blocks in ~80 lines.
+//
+//   1. lin::  — linear ownership at runtime (move = transfer, borrows,
+//               explicit aliasing via Rc).
+//   2. sfi::  — protection domains and remote references (§3).
+//   3. zero-copy cross-domain transfer through a channel.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "src/lin/own.h"
+#include "src/lin/rc.h"
+#include "src/sfi/channel.h"
+#include "src/sfi/manager.h"
+#include "src/sfi/rref.h"
+#include "src/util/panic.h"
+
+namespace {
+
+struct KvStore {
+  std::string last_key;
+  int puts = 0;
+
+  int Put(const std::string& key) {
+    last_key = key;
+    return ++puts;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== 1. linear ownership ==\n");
+  auto message = lin::Make<std::string>("hello");
+  auto consumed = std::move(message);  // ownership transferred
+  std::printf("owner sees: %s\n", consumed.Borrow()->c_str());
+  try {
+    std::printf("%s\n", message.Borrow()->c_str());  // old binding is dead
+  } catch (const util::PanicError& e) {
+    std::printf("as expected, old binding panics: %s\n", e.what());
+  }
+
+  auto shared = lin::Rc<std::string>::Make("aliased, read-only");
+  lin::Rc<std::string> alias = shared;  // aliasing is explicit in the type
+  std::printf("rc aliases agree: %s / %s (refs=%u)\n", shared->c_str(),
+              alias->c_str(), shared.StrongCount());
+
+  std::printf("\n== 2. protection domains & rrefs ==\n");
+  sfi::DomainManager manager;
+  sfi::Domain& domain = manager.Create("kv-service");
+  sfi::RRef<KvStore> store = domain.Export(KvStore{});
+
+  auto puts = store.Call([](KvStore& kv) { return kv.Put("alpha"); });
+  std::printf("remote Put -> %d (ok=%d)\n", puts.ValueOr(-1), puts.ok());
+
+  // A panic inside the domain is contained: the caller gets an error, the
+  // domain fails, recovery brings it back with fresh state.
+  domain.SetRecovery([&store](sfi::Domain& self) {
+    store = self.Export(KvStore{});
+  });
+  auto fault = store.Call([](KvStore&) -> int {
+    util::Panic(util::PanicKind::kBoundsCheck, "bug in kv-service");
+  });
+  std::printf("faulting call -> error '%s', domain state '%s'\n",
+              std::string(sfi::CallErrorName(fault.error())).c_str(),
+              std::string(sfi::DomainStateName(domain.state())).c_str());
+  manager.RecoverAllFailed();
+  auto after = store.Call([](KvStore& kv) { return kv.Put("beta"); });
+  std::printf("after recovery, Put -> %d (fresh state)\n",
+              after.ValueOr(-1));
+
+  std::printf("\n== 3. zero-copy transfer ==\n");
+  sfi::Channel<std::string> channel;
+  auto payload = lin::Make<std::string>(std::string(1 << 20, 'x'));
+  channel.Send(std::move(payload));  // pointer move, not a megabyte copy
+  auto received = channel.Recv();
+  std::printf("received %zu bytes without copying; sender handle is %s\n",
+              received->Borrow()->size(),
+              payload.has_value() ? "STILL LIVE (bug!)" : "consumed");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The §4 case study end to end: the secure multi-client data store written
+// in RIL, pushed through the full verification pipeline (parse -> types ->
+// ownership -> IFC), then executed. The seeded-bug variant shows the
+// verifier discovering the inverted access check — the paper's SMACK
+// sanity experiment — and the paper's own buffer/aliasing listing shows the
+// ownership checker rejecting the exploit.
+#include <cstdio>
+#include <string>
+
+#include "src/ifc/checker.h"
+#include "src/ifc/programs.h"
+#include "src/ifc/ril/interp.h"
+
+namespace {
+
+void Report(const char* title, const ifc::AnalysisResult& result) {
+  std::printf("--- %s ---\n", title);
+  std::printf("parse=%s types=%s ownership=%s ifc=%s\n",
+              result.parse_ok ? "ok" : "FAIL",
+              result.type_ok ? "ok" : "FAIL",
+              result.ownership_ok ? "ok" : "FAIL",
+              result.ifc_ok ? "ok" : "FAIL");
+  if (result.diags.HasErrors()) {
+    std::printf("%s", result.diags.ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // 1. The correct store verifies and runs.
+  ifc::AnalysisResult good =
+      ifc::AnalyzeSource(ifc::kSecureStoreSource, ifc::Mode::kWholeProgram);
+  Report("secure store (correct)", good);
+  if (!good.AllOk()) {
+    return 1;
+  }
+
+  ril::Diagnostics run_diags;
+  ril::Interpreter interp(&good.program, &run_diags);
+  if (!interp.Run()) {
+    std::printf("runtime error: %s\n", run_diags.ToString().c_str());
+    return 1;
+  }
+  std::printf("execution outputs:\n");
+  for (const ril::EmitRecord& out : interp.outputs()) {
+    std::printf("  [%s] %s  taint=%s%s\n", out.sink.c_str(),
+                out.rendered.c_str(), interp.tags().Render(out.taint).c_str(),
+                out.violation ? "  <-- RUNTIME VIOLATION" : "");
+  }
+  std::printf("\n");
+
+  // 2. The seeded access-control bug is caught statically.
+  ifc::AnalysisResult bad = ifc::AnalyzeSource(ifc::kSecureStoreSeededBug,
+                                               ifc::Mode::kWholeProgram);
+  Report("secure store (seeded bug)", bad);
+  if (bad.ifc_ok) {
+    std::printf("ERROR: the verifier missed the seeded bug!\n");
+    return 1;
+  }
+
+  // 3. The paper's buffer listing: the aliasing exploit dies in the
+  //    ownership phase, exactly as rustc would reject it.
+  constexpr std::string_view kPaperListing = R"(
+sink terminal: {};
+struct Buffer { data: vec }
+fn append_buf(buf: &mut Buffer, v: vec) { append(&mut buf.data, v); }
+fn main() {
+  let mut buf = Buffer { data: vec![] };
+  #[label()]       let nonsec = vec![1, 2, 3];
+  #[label(secret)] let sec = vec![4, 5, 6];
+  append_buf(&mut buf, nonsec);
+  append_buf(&mut buf, sec);
+  emit(terminal, buf.data);   // would leak; IFC catches if ownership passed
+  emit(terminal, nonsec);     // the alias exploit: rejected by ownership
+}
+)";
+  ifc::AnalysisResult listing = ifc::AnalyzeSource(kPaperListing);
+  Report("paper §4 buffer listing", listing);
+  return !good.AllOk() || bad.ifc_ok || listing.ownership_ok ? 1 : 0;
+}

@@ -1,0 +1,109 @@
+// Copy-based SFI baseline (§3: "The traditional SFI architecture ... confines
+// memory accesses issued by the isolated component to its private heap.
+// Sending data across protection boundaries requires copying it, which is
+// unacceptable in a line-rate system.")
+//
+// Each stage gets its own private mempool ("private heap"); crossing the
+// boundary deep-copies every packet into the next stage's pool. Isolation is
+// real — the sender's buffers never leave its heap — but the cost scales
+// with bytes moved, which is what bench_sfi_baselines quantifies against
+// rref isolation.
+#ifndef LINSYS_SRC_BASELINE_COPY_SFI_H_
+#define LINSYS_SRC_BASELINE_COPY_SFI_H_
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/batch.h"
+#include "src/net/mempool.h"
+#include "src/net/pipeline.h"
+#include "src/sfi/manager.h"
+#include "src/sfi/rref.h"
+#include "src/util/result.h"
+
+namespace baseline {
+
+// Deep-copies `batch` into buffers drawn from `pool`. Packets that cannot be
+// allocated (pool exhausted) are dropped, mirroring real copy-SFI backpressure.
+inline net::PacketBatch DeepCopyBatch(const net::PacketBatch& batch,
+                                      net::Mempool* pool) {
+  net::PacketBatch copy(batch.size());
+  for (const net::PacketBuf& pkt : batch) {
+    net::PacketBuf dup = net::PacketBuf::Alloc(pool, pkt.length());
+    if (!dup.has_value()) {
+      continue;
+    }
+    std::memcpy(dup.data(), pkt.data(), pkt.length());
+    copy.Push(std::move(dup));
+  }
+  return copy;
+}
+
+// A pipeline with per-stage private heaps and copy-on-cross semantics. Uses
+// the same Operator implementations and the same domain/rref control plane
+// as IsolatedPipeline, so the *only* delta measured against it is the copy.
+class CopyIsolatedPipeline {
+ public:
+  using StageFactory = net::IsolatedPipeline::StageFactory;
+
+  // Each stage's private pool holds `pool_capacity` buffers of
+  // `buf_size` bytes.
+  CopyIsolatedPipeline(sfi::DomainManager* mgr, std::size_t pool_capacity,
+                       std::size_t buf_size)
+      : mgr_(mgr), pool_capacity_(pool_capacity), buf_size_(buf_size) {}
+
+  void AddStage(std::string stage_name, StageFactory factory) {
+    auto stage = std::make_unique<Stage>();
+    Stage* raw = stage.get();
+    raw->factory = std::move(factory);
+    raw->pool = std::make_unique<net::Mempool>(pool_capacity_, buf_size_);
+    raw->domain = &mgr_->Create(std::move(stage_name));
+    raw->rref = raw->domain->Export(raw->factory());
+    raw->domain->SetRecovery([raw](sfi::Domain& self) {
+      raw->rref = self.Export(raw->factory());
+    });
+    stages_.push_back(std::move(stage));
+  }
+
+  util::Result<net::PacketBatch, sfi::CallError> Run(net::PacketBatch batch) {
+    for (auto& stage : stages_) {
+      // Boundary crossing: copy into the callee's private heap. The
+      // original batch is dropped here (the sender's heap reclaims it).
+      net::PacketBatch private_copy = DeepCopyBatch(batch, stage->pool.get());
+      batch.Clear();
+      auto result = stage->rref.Call(
+          [b = std::move(private_copy)](
+              std::unique_ptr<net::Operator>& op) mutable {
+            return op->Process(std::move(b));
+          },
+          "process");
+      if (!result.ok()) {
+        return util::Err(result.error());
+      }
+      batch = std::move(result).value();
+    }
+    return batch;
+  }
+
+  std::size_t length() const { return stages_.size(); }
+
+ private:
+  struct Stage {
+    sfi::Domain* domain = nullptr;
+    sfi::RRef<std::unique_ptr<net::Operator>> rref;
+    StageFactory factory;
+    std::unique_ptr<net::Mempool> pool;
+  };
+
+  sfi::DomainManager* mgr_;
+  std::size_t pool_capacity_;
+  std::size_t buf_size_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+}  // namespace baseline
+
+#endif  // LINSYS_SRC_BASELINE_COPY_SFI_H_

@@ -1,0 +1,46 @@
+// Public checkpoint API (§5): Checkpoint() and Restore() for any
+// Checkpointable type — the two methods of the paper's trait, as free
+// functions over the inductively derived Traits.
+#ifndef LINSYS_SRC_CKPT_CHECKPOINT_H_
+#define LINSYS_SRC_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+
+#include "src/ckpt/rc_ckpt.h"
+#include "src/ckpt/snapshot.h"
+#include "src/ckpt/traits.h"
+
+namespace ckpt {
+
+// Captures `root` into a snapshot. Stats about the traversal (payload
+// copies vs back-references) are returned through *writer_stats when given.
+struct CheckpointStats {
+  std::uint64_t payload_copies = 0;
+  std::uint64_t back_refs = 0;
+};
+
+template <Checkpointable T>
+Snapshot Checkpoint(const T& root, DedupMode mode = DedupMode::kLinearMark,
+                    CheckpointStats* stats = nullptr) {
+  Writer writer(mode, NextEpoch());
+  Traits<T>::Save(root, writer);
+  if (stats != nullptr) {
+    stats->payload_copies = writer.payload_copies();
+    stats->back_refs = writer.back_refs();
+  }
+  return writer.Finish();
+}
+
+// Reconstructs a value from a snapshot, including shared-node identity for
+// kLinearMark/kAddressSet snapshots.
+template <Checkpointable T>
+T Restore(const Snapshot& snapshot) {
+  Reader reader(snapshot);
+  T out = Traits<T>::Load(reader);
+  LINSYS_ASSERT(reader.AtEnd(), "snapshot has trailing bytes (type mismatch?)");
+  return out;
+}
+
+}  // namespace ckpt
+
+#endif  // LINSYS_SRC_CKPT_CHECKPOINT_H_

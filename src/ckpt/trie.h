@@ -1,0 +1,74 @@
+// The Figure-3 data structure: a firewall rule database "indexed via a trie
+// for fast rule lookup based on packet headers", where "multiple leaves of
+// the trie can point to the same rule".
+//
+// Nodes are uniquely owned (unique_ptr — traversed without checks); rules
+// are explicitly shared (lin::Rc — the one aliased type, handled by the
+// epoch mark during checkpointing). A rule shared by N prefixes must appear
+// exactly once in a checkpoint and be shared again after restore.
+#ifndef LINSYS_SRC_CKPT_TRIE_H_
+#define LINSYS_SRC_CKPT_TRIE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/lin/rc.h"
+
+namespace ckpt {
+
+struct FwRule {
+  std::uint64_t id = 0;
+  bool allow = true;
+  std::uint16_t dst_port_lo = 0;
+  std::uint16_t dst_port_hi = 0xffff;
+  std::uint32_t hit_count = 0;  // mutable state worth checkpointing
+
+  LINSYS_CHECKPOINT_FIELDS(id, allow, dst_port_lo, dst_port_hi, hit_count)
+
+  bool operator==(const FwRule&) const = default;
+};
+
+using RulePtr = lin::Rc<FwRule>;
+
+// Binary trie over IPv4 source prefixes, longest-prefix-match semantics.
+class RuleTrie {
+ public:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    RulePtr rule;  // set when a prefix ends here
+
+    LINSYS_CHECKPOINT_FIELDS(child[0], child[1], rule)
+  };
+
+  RuleTrie() : root_(std::make_unique<Node>()) {}
+
+  // Binds `rule` to prefix/len. The same RulePtr may be inserted under many
+  // prefixes — that is the aliasing Figure 3 is about.
+  void Insert(std::uint32_t prefix, std::uint8_t prefix_len, RulePtr rule);
+
+  // Longest-prefix match; nullptr when nothing matches. Bumps the winning
+  // rule's hit counter when `count_hit`.
+  const FwRule* Lookup(std::uint32_t addr, bool count_hit = false);
+
+  // Structure metrics for tests and the Figure-3 bench.
+  std::size_t NodeCount() const;
+  // Number of leaf slots holding a rule (aliases counted per slot).
+  std::size_t RuleSlotCount() const;
+  // Number of *distinct* rules (by shared identity).
+  std::size_t DistinctRuleCount() const;
+
+  // Structural + payload equality, including the sharing pattern: two tries
+  // are equivalent only if slots that alias in one alias in the other.
+  static bool Equivalent(const RuleTrie& a, const RuleTrie& b);
+
+  LINSYS_CHECKPOINT_FIELDS(root_)
+
+ private:
+  friend struct Traits<RuleTrie>;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ckpt
+
+#endif  // LINSYS_SRC_CKPT_TRIE_H_

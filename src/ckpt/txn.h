@@ -1,0 +1,71 @@
+// Undo-log transactions on Checkpointable state — the first of §5's "many
+// techniques" beyond checkpointing itself ("transactions, replication,
+// multiversion concurrency ... involve snapshotting parts of program
+// state"). Because Checkpoint/Restore handle arbitrary derive-annotated
+// types with aliasing, a transaction is just: snapshot on begin, drop the
+// snapshot on commit, restore on abort.
+//
+// Scoped API: the RAII guard aborts on destruction unless committed, so a
+// panic unwinding through a transaction automatically rolls the state back
+// — transactional memory semantics from linear traversal alone.
+#ifndef LINSYS_SRC_CKPT_TXN_H_
+#define LINSYS_SRC_CKPT_TXN_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/util/panic.h"
+
+namespace ckpt {
+
+template <Checkpointable T>
+class Transaction {
+ public:
+  // Begins a transaction on `state` (not owned; must outlive the guard).
+  explicit Transaction(T* state)
+      : state_(state), undo_(Checkpoint(*state)) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  // Keeps all mutations made since Begin.
+  void Commit() {
+    LINSYS_ASSERT(state_ != nullptr, "transaction already finished");
+    state_ = nullptr;
+  }
+
+  // Rolls `state` back to its value at Begin.
+  void Abort() {
+    LINSYS_ASSERT(state_ != nullptr, "transaction already finished");
+    *state_ = Restore<T>(undo_);
+    state_ = nullptr;
+  }
+
+  bool active() const { return state_ != nullptr; }
+
+  // Uncommitted at scope exit (including unwinds) -> abort.
+  ~Transaction() {
+    if (state_ != nullptr) {
+      *state_ = Restore<T>(undo_);
+    }
+  }
+
+ private:
+  T* state_;
+  Snapshot undo_;
+};
+
+// Runs `mutator` transactionally: a panic inside rolls the state back and
+// rethrows; normal return commits. Returns true on commit.
+template <Checkpointable T, typename Fn>
+bool Atomically(T* state, Fn&& mutator) {
+  Transaction<T> txn(state);
+  std::forward<Fn>(mutator)(*state);
+  txn.Commit();
+  return true;
+}
+
+}  // namespace ckpt
+
+#endif  // LINSYS_SRC_CKPT_TXN_H_

@@ -1,0 +1,556 @@
+#include "src/ifc/an/abstract.h"
+
+#include <utility>
+
+#include "src/ifc/ril/types.h"
+
+namespace ifc {
+
+using ril::BaseType;
+using ril::Expr;
+using ril::FnDecl;
+using ril::RefKind;
+using ril::Stmt;
+
+bool IfcAnalyzer::Verify() {
+  const FnDecl* main_fn = program_->FindFunction("main");
+  if (main_fn == nullptr) {
+    diags_->Error(ril::Phase::kIfc, 0, 0, "no 'main' function to verify");
+    return false;
+  }
+  if (!main_fn->params.empty()) {
+    diags_->Error(ril::Phase::kIfc, main_fn->line, 0,
+                  "'main' must take no parameters");
+    return false;
+  }
+  // Intern every sink's principals first so diagnostics render stably.
+  for (const ril::SinkDecl& sink : program_->sinks) {
+    (void)tags_.LabelOf(sink.tags);
+  }
+  const std::size_t errors_before = diags_->count();
+  Env env;
+  AnalyzeFunction(*main_fn, env, Label::Bottom(), 0);
+  return diags_->count() == errors_before;
+}
+
+IfcAnalyzer::FrameResult IfcAnalyzer::AnalyzeFunction(const FnDecl& fn,
+                                                      Env& env, Label pc,
+                                                      int depth) {
+  Label ret;
+  AnalyzeBlock(fn.body, env, pc, depth, &ret, fn);
+  return FrameResult{ret};
+}
+
+void IfcAnalyzer::AnalyzeBlock(const ril::Block& block, Env& env, Label pc,
+                               int depth, Label* ret, const FnDecl& fn) {
+  for (const ril::StmtPtr& stmt : block.stmts) {
+    AnalyzeStmt(*stmt, env, pc, depth, ret, fn);
+  }
+}
+
+IfcAnalyzer::Env IfcAnalyzer::JoinEnv(const Env& a, const Env& b) {
+  Env out = a;
+  for (const auto& [key, label] : b) {
+    out[key].JoinWith(label);
+  }
+  return out;
+}
+
+void IfcAnalyzer::SeedVar(const std::string& name, const ril::Type& type,
+                          const Label& label, Env& env) {
+  if (type.base == BaseType::kStruct) {
+    const ril::StructDecl* decl = program_->FindStruct(type.struct_name);
+    if (decl != nullptr) {
+      for (const auto& [fname, ftype] : decl->fields) {
+        env[name + "." + fname] = label;
+      }
+      return;
+    }
+  }
+  env[name] = label;
+}
+
+std::optional<std::string> IfcAnalyzer::PlaceKey(const Expr& place) const {
+  if (const auto* var = place.As<ril::VarRef>()) {
+    return var->name;
+  }
+  if (const auto* fa = place.As<ril::FieldAccess>()) {
+    if (const auto* base = fa->base->As<ril::VarRef>()) {
+      return base->name + "." + fa->field;
+    }
+  }
+  return std::nullopt;
+}
+
+Label IfcAnalyzer::ReadPlace(const Expr& place, Env& env) {
+  if (const auto* var = place.As<ril::VarRef>()) {
+    if (place.type.base == BaseType::kStruct) {
+      // Whole-struct read: join the field cells.
+      const ril::StructDecl* decl =
+          program_->FindStruct(place.type.struct_name);
+      Label joined;
+      if (decl != nullptr) {
+        for (const auto& [fname, ftype] : decl->fields) {
+          joined.JoinWith(env[var->name + "." + fname]);
+        }
+      }
+      return joined;
+    }
+    return env[var->name];
+  }
+  if (auto key = PlaceKey(place)) {
+    return env[*key];
+  }
+  if (const auto* ix = place.As<ril::IndexExpr>()) {
+    Label base = ReadPlace(*ix->base, env);
+    return base;  // index label added by the caller via EvalExpr
+  }
+  return Label::Bottom();
+}
+
+void IfcAnalyzer::WritePlace(const Expr& place, const Label& label,
+                             Env& env) {
+  if (const auto* var = place.As<ril::VarRef>()) {
+    if (place.type.base == BaseType::kStruct) {
+      SeedVar(var->name, place.type, label, env);
+      return;
+    }
+    env[var->name] = label;  // strong update: sound without aliasing
+    return;
+  }
+  if (auto key = PlaceKey(place)) {
+    env[*key] = label;
+    return;
+  }
+  if (const auto* ix = place.As<ril::IndexExpr>()) {
+    // Element write: one cell of the vec — weak update (join), because the
+    // other elements keep their data.
+    JoinPlace(*ix->base, label, env);
+  }
+}
+
+void IfcAnalyzer::JoinPlace(const Expr& place, const Label& label,
+                            Env& env) {
+  if (const auto* var = place.As<ril::VarRef>()) {
+    if (place.type.base == BaseType::kStruct) {
+      const ril::StructDecl* decl =
+          program_->FindStruct(place.type.struct_name);
+      if (decl != nullptr) {
+        for (const auto& [fname, ftype] : decl->fields) {
+          env[var->name + "." + fname].JoinWith(label);
+        }
+      }
+      return;
+    }
+    env[var->name].JoinWith(label);
+    return;
+  }
+  if (auto key = PlaceKey(place)) {
+    env[*key].JoinWith(label);
+    return;
+  }
+  if (const auto* ix = place.As<ril::IndexExpr>()) {
+    JoinPlace(*ix->base, label, env);
+  }
+}
+
+Label IfcAnalyzer::SinkBound(const std::string& sink) {
+  const ril::SinkDecl* decl = program_->FindSink(sink);
+  if (decl == nullptr) {
+    return Label::Bottom();  // implicit stdout: public
+  }
+  return tags_.LabelOf(decl->tags);
+}
+
+void IfcAnalyzer::AnalyzeStmt(const Stmt& stmt, Env& env, Label pc,
+                              int depth, Label* ret, const FnDecl& fn) {
+  if (const auto* let = stmt.As<ril::LetStmt>()) {
+    Label annot = tags_.LabelOf(let->label_tags);
+    const Expr& init = *let->init;
+    // Struct moves/literals keep per-field precision.
+    if (const auto* lit = init.As<ril::StructLit>()) {
+      for (const auto& [fname, fexpr] : lit->fields) {
+        Label l = EvalExpr(*fexpr, env, pc, depth);
+        l.JoinWith(pc);
+        l.JoinWith(annot);
+        env[let->name + "." + fname] = l;
+      }
+      return;
+    }
+    if (const auto* var = init.As<ril::VarRef>()) {
+      if (init.type.base == BaseType::kStruct) {
+        const ril::StructDecl* decl =
+            program_->FindStruct(init.type.struct_name);
+        if (decl != nullptr) {
+          for (const auto& [fname, ftype] : decl->fields) {
+            Label l = env[var->name + "." + fname];
+            l.JoinWith(pc);
+            l.JoinWith(annot);
+            env[let->name + "." + fname] = l;
+          }
+          return;
+        }
+      }
+    }
+    Label l = EvalExpr(init, env, pc, depth);
+    l.JoinWith(pc);
+    l.JoinWith(annot);
+    SeedVar(let->name, init.type, l, env);
+    return;
+  }
+  if (const auto* assign = stmt.As<ril::AssignStmt>()) {
+    Label l = EvalExpr(*assign->value, env, pc, depth);
+    l.JoinWith(pc);
+    WritePlace(*assign->place, l, env);
+    return;
+  }
+  if (const auto* es = stmt.As<ril::ExprStmt>()) {
+    (void)EvalExpr(*es->expr, env, pc, depth);
+    return;
+  }
+  if (const auto* ifs = stmt.As<ril::IfStmt>()) {
+    Label cond = EvalExpr(*ifs->cond, env, pc, depth);
+    Label branch_pc = pc.Join(cond);
+    Env then_env = env;
+    AnalyzeBlock(ifs->then_block, then_env, branch_pc, depth, ret, fn);
+    Env else_env = env;
+    if (ifs->else_block.has_value()) {
+      AnalyzeBlock(*ifs->else_block, else_env, branch_pc, depth, ret, fn);
+    }
+    env = JoinEnv(then_env, else_env);
+    return;
+  }
+  if (const auto* w = stmt.As<ril::WhileStmt>()) {
+    // Fixpoint: labels only grow and the lattice is finite, so this
+    // terminates. Reporting is suppressed until the fixpoint, then one
+    // clean pass diagnoses violations with the stable env.
+    const bool outer_report = report_;
+    report_ = false;
+    while (true) {
+      Env body_env = env;
+      Label cond = EvalExpr(*w->cond, body_env, pc, depth);
+      AnalyzeBlock(w->body, body_env, pc.Join(cond), depth, ret, fn);
+      Env joined = JoinEnv(env, body_env);
+      if (joined == env) {
+        break;
+      }
+      env = std::move(joined);
+    }
+    report_ = outer_report;
+    Env final_env = env;
+    Label cond = EvalExpr(*w->cond, final_env, pc, depth);
+    AnalyzeBlock(w->body, final_env, pc.Join(cond), depth, ret, fn);
+    env = JoinEnv(env, final_env);
+    return;
+  }
+  if (const auto* r = stmt.As<ril::ReturnStmt>()) {
+    if (r->value != nullptr) {
+      Label l = EvalExpr(*r->value, env, pc, depth);
+      l.JoinWith(pc);
+      ret->JoinWith(l);
+    }
+    return;
+  }
+  if (const auto* a = stmt.As<ril::AssertLabelStmt>()) {
+    Label l = EvalExpr(*a->expr, env, pc, depth);
+    Label bound = tags_.LabelOf(a->tags);
+    if (mode_ == Mode::kSummaries && !summary_stack_.empty()) {
+      // Summary computation: defer as an obligation.
+      summaries_[summary_stack_.back()].obligations.push_back(
+          Obligation{l, bound, stmt.line, stmt.col,
+                     "assert_label in '" + fn.name + "'"});
+      return;
+    }
+    if (!l.FlowsTo(bound)) {
+      Error(stmt.line, stmt.col,
+            "assert_label failed: expression has label " + tags_.Render(l) +
+                " which does not flow to " + tags_.Render(bound));
+    }
+    return;
+  }
+  if (const auto* e = stmt.As<ril::EmitStmt>()) {
+    Label l = EvalExpr(*e->value, env, pc, depth);
+    l.JoinWith(pc);
+    Label bound = SinkBound(e->sink);
+    if (mode_ == Mode::kSummaries && !summary_stack_.empty()) {
+      summaries_[summary_stack_.back()].obligations.push_back(Obligation{
+          l, bound, stmt.line, stmt.col, "emit to sink '" + e->sink + "'"});
+      return;
+    }
+    if (!l.FlowsTo(bound)) {
+      Error(stmt.line, stmt.col,
+            "emit to sink '" + e->sink + "' leaks data labeled " +
+                tags_.Render(l) + " (channel bound " + tags_.Render(bound) +
+                ")");
+    }
+    return;
+  }
+}
+
+Label IfcAnalyzer::EvalExpr(const Expr& expr, Env& env, Label pc,
+                            int depth) {
+  if (expr.Is<ril::IntLit>() || expr.Is<ril::BoolLit>()) {
+    return Label::Bottom();
+  }
+  if (expr.Is<ril::VarRef>() || expr.Is<ril::FieldAccess>()) {
+    return ReadPlace(expr, env);
+  }
+  if (const auto* ix = expr.As<ril::IndexExpr>()) {
+    Label base = ReadPlace(*ix->base, env);
+    base.JoinWith(EvalExpr(*ix->index, env, pc, depth));
+    return base;
+  }
+  if (const auto* un = expr.As<ril::UnaryExpr>()) {
+    return EvalExpr(*un->operand, env, pc, depth);
+  }
+  if (const auto* bin = expr.As<ril::BinaryExpr>()) {
+    Label l = EvalExpr(*bin->lhs, env, pc, depth);
+    l.JoinWith(EvalExpr(*bin->rhs, env, pc, depth));
+    return l;
+  }
+  if (const auto* call = expr.As<ril::CallExpr>()) {
+    return EvalCall(expr, *call, env, pc, depth);
+  }
+  if (const auto* vec = expr.As<ril::VecLit>()) {
+    Label l;
+    for (const ril::ExprPtr& element : vec->elements) {
+      l.JoinWith(EvalExpr(*element, env, pc, depth));
+    }
+    return l;
+  }
+  if (const auto* lit = expr.As<ril::StructLit>()) {
+    Label l;
+    for (const auto& [fname, fexpr] : lit->fields) {
+      l.JoinWith(EvalExpr(*fexpr, env, pc, depth));
+    }
+    return l;
+  }
+  if (const auto* borrow = expr.As<ril::BorrowExpr>()) {
+    return ReadPlace(*borrow->place, env);
+  }
+  return Label::Bottom();
+}
+
+Label IfcAnalyzer::Substitute(const Label& symbolic,
+                              const std::vector<Label>& args) {
+  Label out;
+  out.tags = symbolic.tags;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (symbolic.params & (1ULL << i)) {
+      out.JoinWith(args[i]);
+    }
+  }
+  return out;
+}
+
+const FnSummary& IfcAnalyzer::SummaryOf(const FnDecl& fn) {
+  auto it = summaries_.find(fn.name);
+  if (it != summaries_.end() && !in_progress_.count(fn.name)) {
+    return it->second;
+  }
+  if (in_progress_.count(fn.name)) {
+    diags_->Error(ril::Phase::kIfc, fn.line, 0,
+                  "recursive function '" + fn.name +
+                      "' is not supported by the IFC analyzer");
+    return summaries_[fn.name];
+  }
+  in_progress_.insert(fn.name);
+  summary_stack_.push_back(fn.name);
+  summaries_[fn.name] = FnSummary{};
+
+  // Analyze with symbolic parameter atoms.
+  Env env;
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    ril::Type pointee = fn.params[i].type;
+    pointee.ref = RefKind::kNone;
+    SeedVar(fn.params[i].name, pointee, Label::OfParam(static_cast<int>(i)),
+            env);
+  }
+  FrameResult frame = AnalyzeFunction(fn, env, Label::Bottom(), 0);
+
+  FnSummary& summary = summaries_[fn.name];
+  summary.return_label = frame.return_label;
+  summary.param_out.clear();
+  for (const ril::Param& p : fn.params) {
+    // Post-state of the parameter's pointee (join of field cells).
+    ril::Type pointee = p.type;
+    pointee.ref = RefKind::kNone;
+    Label out;
+    if (pointee.base == BaseType::kStruct) {
+      const ril::StructDecl* decl =
+          program_->FindStruct(pointee.struct_name);
+      if (decl != nullptr) {
+        for (const auto& [fname, ftype] : decl->fields) {
+          out.JoinWith(env[p.name + "." + fname]);
+        }
+      }
+    } else {
+      out = env[p.name];
+    }
+    summary.param_out.push_back(out);
+  }
+  in_progress_.erase(fn.name);
+  summary_stack_.pop_back();
+  return summary;
+}
+
+Label IfcAnalyzer::EvalCall(const Expr& expr, const ril::CallExpr& call,
+                            Env& env, Label pc, int depth) {
+  // Builtins first: their label semantics are fixed.
+  if (ril::TypeChecker::IsBuiltin(call.callee)) {
+    auto place_of = [](const Expr& arg) -> const Expr& {
+      if (const auto* borrow = arg.As<ril::BorrowExpr>()) {
+        return *borrow->place;
+      }
+      return arg;
+    };
+    if (call.callee == "push" || call.callee == "append") {
+      const Expr& target = place_of(*call.args[0]);
+      Label incoming = EvalExpr(*call.args[1], env, pc, depth);
+      incoming.JoinWith(pc);
+      JoinPlace(target, incoming, env);
+      return Label::Bottom();
+    }
+    if (call.callee == "check_range") {
+      // The checked value flows through; literal bounds are public.
+      Label l;
+      for (const ril::ExprPtr& arg : call.args) {
+        l.JoinWith(EvalExpr(*arg, env, pc, depth));
+      }
+      return l;
+    }
+    // len / clone: label of the source vec.
+    return ReadPlace(place_of(*call.args[0]), env);
+  }
+
+  const FnDecl* fn = program_->FindFunction(call.callee);
+  if (fn == nullptr) {
+    return Label::Bottom();
+  }
+
+  // Evaluate argument labels.
+  std::vector<Label> arg_labels;
+  arg_labels.reserve(call.args.size());
+  for (const ril::ExprPtr& arg : call.args) {
+    arg_labels.push_back(EvalExpr(*arg, env, pc, depth));
+  }
+
+  if (mode_ == Mode::kSummaries) {
+    const FnSummary& summary = SummaryOf(*fn);
+    // Check the callee's deferred emit/assert obligations at this site.
+    // (Copy: the loop below may push into summaries_ and invalidate refs.)
+    const std::vector<Obligation> obligations = summary.obligations;
+    const bool inside_summary = !summary_stack_.empty();
+    for (const Obligation& ob : obligations) {
+      Label actual = Substitute(ob.label, arg_labels);
+      actual.JoinWith(pc);
+      if (inside_summary) {
+        // Propagate upward: we are computing some caller's summary.
+        summaries_[summary_stack_.back()].obligations.push_back(
+            Obligation{actual, ob.bound, ob.line, ob.col, ob.what});
+      } else if (!actual.FlowsTo(ob.bound)) {
+        Error(ob.line, ob.col,
+              ob.what + " leaks data labeled " + tags_.Render(actual) +
+                  " (channel bound " + tags_.Render(ob.bound) +
+                  ") [via call to '" + call.callee + "']");
+      }
+    }
+    // Apply &mut effects.
+    for (std::size_t i = 0; i < fn->params.size() && i < call.args.size();
+         ++i) {
+      if (fn->params[i].type.ref == RefKind::kMut) {
+        if (const auto* borrow = call.args[i]->As<ril::BorrowExpr>()) {
+          Label out = Substitute(summary.param_out[i], arg_labels);
+          out.JoinWith(pc);
+          WritePlace(*borrow->place, out, env);
+        }
+      }
+    }
+    return Substitute(summary.return_label, arg_labels);
+  }
+
+  // Whole-program mode: inline.
+  if (depth >= kMaxInlineDepth) {
+    Error(expr.line, expr.col,
+          "call depth exceeds " + std::to_string(kMaxInlineDepth) +
+              " while inlining '" + call.callee +
+              "' (recursion is not supported)");
+    return Label::Bottom();
+  }
+  Env callee_env;
+  for (std::size_t i = 0; i < fn->params.size() && i < call.args.size();
+       ++i) {
+    const ril::Param& p = fn->params[i];
+    ril::Type pointee = p.type;
+    pointee.ref = RefKind::kNone;
+    if (p.type.ref != RefKind::kNone) {
+      // Borrow: copy the caller's cells in (per field for structs).
+      if (const auto* borrow = call.args[i]->As<ril::BorrowExpr>()) {
+        if (pointee.base == BaseType::kStruct) {
+          if (const auto* var = borrow->place->As<ril::VarRef>()) {
+            const ril::StructDecl* decl =
+                program_->FindStruct(pointee.struct_name);
+            if (decl != nullptr) {
+              for (const auto& [fname, ftype] : decl->fields) {
+                callee_env[p.name + "." + fname] =
+                    env[var->name + "." + fname];
+              }
+              continue;
+            }
+          }
+        }
+        callee_env[p.name] = ReadPlace(*borrow->place, env);
+        continue;
+      }
+      callee_env[p.name] = arg_labels[i];
+      continue;
+    }
+    // By-value: per-field copy when moving a struct variable.
+    if (pointee.base == BaseType::kStruct) {
+      if (const auto* var = call.args[i]->As<ril::VarRef>()) {
+        const ril::StructDecl* decl =
+            program_->FindStruct(pointee.struct_name);
+        if (decl != nullptr) {
+          for (const auto& [fname, ftype] : decl->fields) {
+            callee_env[p.name + "." + fname] = env[var->name + "." + fname];
+          }
+          continue;
+        }
+      }
+    }
+    SeedVar(p.name, pointee, arg_labels[i], callee_env);
+  }
+
+  FrameResult frame = AnalyzeFunction(*fn, callee_env, pc, depth + 1);
+
+  // Copy back &mut effects (strong update — single ownership).
+  for (std::size_t i = 0; i < fn->params.size() && i < call.args.size();
+       ++i) {
+    const ril::Param& p = fn->params[i];
+    if (p.type.ref != RefKind::kMut) {
+      continue;
+    }
+    const auto* borrow = call.args[i]->As<ril::BorrowExpr>();
+    if (borrow == nullptr) {
+      continue;
+    }
+    ril::Type pointee = p.type;
+    pointee.ref = RefKind::kNone;
+    if (pointee.base == BaseType::kStruct) {
+      if (const auto* var = borrow->place->As<ril::VarRef>()) {
+        const ril::StructDecl* decl =
+            program_->FindStruct(pointee.struct_name);
+        if (decl != nullptr) {
+          for (const auto& [fname, ftype] : decl->fields) {
+            env[var->name + "." + fname] = callee_env[p.name + "." + fname];
+          }
+          continue;
+        }
+      }
+    }
+    WritePlace(*borrow->place, callee_env[p.name], env);
+  }
+  return frame.return_label;
+}
+
+}  // namespace ifc

@@ -1,0 +1,73 @@
+// Interval (value-range) verification for RIL — the §6 future-work
+// direction made concrete: "by lifting the burden of resolving memory
+// aliasing from the verifier, Rust enables faster and more accurate
+// verification ... ranging from verified kernel extensions to ..."
+//
+// The same alias-free property the IFC analysis exploits (every write is a
+// strong update) makes a classic interval abstract interpretation exact on
+// straight-line code: no pointer can change an integer behind the
+// analyzer's back. The verifier proves:
+//   * check_range(x, lo, hi) builtin calls — x ∈ [lo, hi] on every path;
+//   * absence of division by zero (the divisor's interval excludes 0).
+// Loops use widening-to-infinity after a few unrolled iterations, then one
+// narrowing pass, the textbook Cousot recipe.
+#ifndef LINSYS_SRC_IFC_AN_INTERVALS_H_
+#define LINSYS_SRC_IFC_AN_INTERVALS_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/ifc/ril/ast.h"
+#include "src/ifc/ril/diag.h"
+
+namespace ifc {
+
+// A (possibly unbounded, possibly empty) integer interval.
+struct Interval {
+  static constexpr std::int64_t kNegInf =
+      std::numeric_limits<std::int64_t>::min();
+  static constexpr std::int64_t kPosInf =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::int64_t lo = kNegInf;
+  std::int64_t hi = kPosInf;
+
+  static Interval Top() { return Interval{}; }
+  static Interval Bottom() { return Interval{1, 0}; }  // empty (lo > hi)
+  static Interval Const(std::int64_t c) { return Interval{c, c}; }
+  static Interval Range(std::int64_t lo, std::int64_t hi) {
+    return Interval{lo, hi};
+  }
+
+  bool IsBottom() const { return lo > hi; }
+  bool IsTop() const { return lo == kNegInf && hi == kPosInf; }
+  bool Contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  bool Within(const Interval& bound) const {
+    return IsBottom() || (lo >= bound.lo && hi <= bound.hi);
+  }
+  bool operator==(const Interval&) const = default;
+
+  Interval Join(const Interval& o) const;   // convex hull
+  Interval Meet(const Interval& o) const;   // intersection
+  Interval Widen(const Interval& next) const;
+
+  Interval Add(const Interval& o) const;
+  Interval Sub(const Interval& o) const;
+  Interval Mul(const Interval& o) const;
+  Interval Neg() const;
+
+  std::string ToString() const;
+};
+
+// Verifies main() (whole-program, calls inlined). Emits Phase::kIfc
+// diagnostics for unprovable check_range calls and possible divisions by
+// zero. Returns true when everything was proved. Requires a type-annotated
+// AST (run TypeChecker first).
+bool VerifyRanges(const ril::Program& program, ril::Diagnostics* diags);
+
+}  // namespace ifc
+
+#endif  // LINSYS_SRC_IFC_AN_INTERVALS_H_

@@ -1,0 +1,107 @@
+// Security-label lattice for IFC (§4).
+//
+// A label is a set of principals ("tags"): join is set union, order is set
+// inclusion, ⊥ is the empty set (public). This is the classic powerset
+// lattice — rich enough for the paper's secure multi-client store (client
+// data tagged {client_i}, channels bounded per client) while keeping joins
+// one machine instruction.
+//
+// Labels carry a second bit-set of *parameter atoms* used by compositional
+// summaries: analyzing a function with param i's label set to atom p_i
+// yields exact symbolic summaries, because every label operation in the
+// abstract semantics is a union (unions of unions stay unions — no loss).
+#ifndef LINSYS_SRC_IFC_AN_LABEL_H_
+#define LINSYS_SRC_IFC_AN_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/panic.h"
+
+namespace ifc {
+
+struct Label {
+  std::uint64_t tags = 0;    // concrete principals (interned bits)
+  std::uint64_t params = 0;  // symbolic parameter atoms (summaries only)
+
+  static Label Bottom() { return Label{}; }
+  static Label OfTagBit(int bit) { return Label{1ULL << bit, 0}; }
+  static Label OfParam(int index) { return Label{0, 1ULL << index}; }
+
+  Label Join(const Label& other) const {
+    return Label{tags | other.tags, params | other.params};
+  }
+  void JoinWith(const Label& other) {
+    tags |= other.tags;
+    params |= other.params;
+  }
+
+  // ⊑ : this flows to `bound` if every principal here is allowed there.
+  // Symbolic atoms never flow to a concrete bound (they are resolved before
+  // bound checks).
+  bool FlowsTo(const Label& bound) const {
+    return (tags & ~bound.tags) == 0 && (params & ~bound.params) == 0;
+  }
+
+  bool IsPublic() const { return tags == 0 && params == 0; }
+  bool operator==(const Label&) const = default;
+};
+
+// Interns principal names to bits. One table per analysis run.
+class TagTable {
+ public:
+  int Intern(const std::string& name) {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    LINSYS_ASSERT(names_.size() < 64, "more than 64 security principals");
+    names_.push_back(name);
+    return static_cast<int>(names_.size() - 1);
+  }
+
+  Label LabelOf(const std::vector<std::string>& tags) {
+    Label label;
+    for (const std::string& tag : tags) {
+      label.JoinWith(Label::OfTagBit(Intern(tag)));
+    }
+    return label;
+  }
+
+  // Renders "{alice, bob}" for diagnostics.
+  std::string Render(const Label& label) const {
+    std::string out = "{";
+    bool first = true;
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (label.tags & (1ULL << i)) {
+        if (!first) {
+          out += ", ";
+        }
+        out += names_[i];
+        first = false;
+      }
+    }
+    for (int i = 0; i < 64; ++i) {
+      if (label.params & (1ULL << i)) {
+        if (!first) {
+          out += ", ";
+        }
+        out += "param#" + std::to_string(i);
+        first = false;
+      }
+    }
+    out += "}";
+    return out;
+  }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace ifc
+
+#endif  // LINSYS_SRC_IFC_AN_LABEL_H_

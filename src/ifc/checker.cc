@@ -1,0 +1,34 @@
+#include "src/ifc/checker.h"
+
+#include "src/ifc/ril/ownership.h"
+#include "src/ifc/ril/parser.h"
+#include "src/ifc/ril/types.h"
+
+namespace ifc {
+
+AnalysisResult AnalyzeSource(std::string_view source, Mode mode) {
+  AnalysisResult result;
+  result.program = ril::Parser::Parse(source, &result.diags);
+  result.parse_ok = !result.diags.HasErrors();
+  if (!result.parse_ok) {
+    return result;
+  }
+
+  ril::TypeChecker types(&result.program, &result.diags);
+  result.type_ok = types.Check();
+  if (!result.type_ok) {
+    return result;
+  }
+
+  ril::OwnershipChecker ownership(&result.program, &result.diags);
+  result.ownership_ok = ownership.Check();
+  if (!result.ownership_ok) {
+    return result;
+  }
+
+  IfcAnalyzer analyzer(&result.program, &result.diags, mode);
+  result.ifc_ok = analyzer.Verify();
+  return result;
+}
+
+}  // namespace ifc

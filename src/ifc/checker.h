@@ -1,0 +1,36 @@
+// Facade over the full RIL verification pipeline:
+//   parse → type check → ownership/borrow check → IFC abstract interpretation
+// matching the paper's toolchain (Rust macros + SMACK) end to end: the
+// ownership phase plays rustc, the IFC phase plays the verifier.
+#ifndef LINSYS_SRC_IFC_CHECKER_H_
+#define LINSYS_SRC_IFC_CHECKER_H_
+
+#include <string_view>
+
+#include "src/ifc/an/abstract.h"
+#include "src/ifc/ril/ast.h"
+#include "src/ifc/ril/diag.h"
+
+namespace ifc {
+
+struct AnalysisResult {
+  ril::Program program;
+  ril::Diagnostics diags;
+  bool parse_ok = false;
+  bool type_ok = false;
+  bool ownership_ok = false;
+  bool ifc_ok = false;
+
+  // The program is safe to run/ship only if every phase passed.
+  bool AllOk() const { return parse_ok && type_ok && ownership_ok && ifc_ok; }
+};
+
+// Runs the pipeline. Later phases are skipped when an earlier one fails
+// (their invariants would not hold). `mode` selects whole-program inlining
+// or compositional summaries for the IFC phase.
+AnalysisResult AnalyzeSource(std::string_view source,
+                             Mode mode = Mode::kWholeProgram);
+
+}  // namespace ifc
+
+#endif  // LINSYS_SRC_IFC_CHECKER_H_

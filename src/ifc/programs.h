@@ -1,0 +1,139 @@
+// Canonical RIL programs shared by tests, benches, and examples:
+// the §4 secure multi-client data store (correct and seeded-bug variants)
+// and a synthetic program generator for the verification-scalability sweep.
+#ifndef LINSYS_SRC_IFC_PROGRAMS_H_
+#define LINSYS_SRC_IFC_PROGRAMS_H_
+
+#include <string>
+#include <string_view>
+
+namespace ifc {
+
+// The §4 case study: "a simple secure data store in Rust, which stores data
+// on behalf of multiple clients, while preventing non-privileged clients
+// from reading data belonging to privileged ones."
+//
+// alice is a regular client, bob is privileged. Channels: each client's
+// terminal is bounded by their own principal; the admin console may see
+// everything. Data is labeled per owner; read_for() routes a request and
+// must only release data the requesting channel is allowed to carry.
+inline constexpr std::string_view kSecureStoreSource = R"(
+sink alice_terminal: {alice};
+sink bob_terminal: {alice, bob};
+
+struct Store { alice_data: vec, bob_data: vec }
+
+fn store_put_alice(s: &mut Store, v: vec) {
+  append(&mut s.alice_data, v);
+}
+
+fn store_put_bob(s: &mut Store, v: vec) {
+  append(&mut s.bob_data, v);
+}
+
+fn read_for_alice(s: &Store) -> vec {
+  return clone(&s.alice_data);
+}
+
+fn read_for_bob(s: &Store, want_privileged: bool) -> vec {
+  if want_privileged {
+    return clone(&s.bob_data);
+  }
+  return clone(&s.alice_data);
+}
+
+fn main() {
+  let mut store = Store { alice_data: vec![], bob_data: vec![] };
+  #[label(alice)]
+  let alice_v = vec![1, 2, 3];
+  #[label(alice, bob)]
+  let bob_v = vec![40, 41];
+  store_put_alice(&mut store, alice_v);
+  store_put_bob(&mut store, bob_v);
+
+  // alice reads her own data: fine.
+  let a = read_for_alice(&store);
+  assert_label(a, {alice});
+  emit(alice_terminal, a);
+
+  // bob (privileged) reads both: fine on his channel.
+  let b1 = read_for_bob(&store, true);
+  let b2 = read_for_bob(&store, false);
+  emit(bob_terminal, b1);
+  emit(bob_terminal, b2);
+}
+)";
+
+// The sanity check: "we seeded a bug into checking of security access in
+// the implementation. SMACK discovered the injected bug." The bug inverts
+// the privilege test, releasing bob's privileged data down alice's channel.
+inline constexpr std::string_view kSecureStoreSeededBug = R"(
+sink alice_terminal: {alice};
+sink bob_terminal: {alice, bob};
+
+struct Store { alice_data: vec, bob_data: vec }
+
+fn store_put_alice(s: &mut Store, v: vec) {
+  append(&mut s.alice_data, v);
+}
+
+fn store_put_bob(s: &mut Store, v: vec) {
+  append(&mut s.bob_data, v);
+}
+
+fn read_for_alice(s: &Store, privileged: bool) -> vec {
+  if privileged {                // BUG: inverted check — alice is NOT
+    return clone(&s.bob_data);   // privileged, yet gets bob's data
+  }
+  return clone(&s.alice_data);
+}
+
+fn main() {
+  let mut store = Store { alice_data: vec![], bob_data: vec![] };
+  #[label(alice)]
+  let alice_v = vec![1, 2, 3];
+  #[label(alice, bob)]
+  let bob_v = vec![40, 41];
+  store_put_alice(&mut store, alice_v);
+  store_put_bob(&mut store, bob_v);
+
+  let a = read_for_alice(&store, true);
+  emit(alice_terminal, a);       // leak detected here
+}
+)";
+
+// Synthetic program for the E7 scalability sweep: `depth` layers of
+// functions, each calling the next layer `fanout` times and doing a little
+// local label work. Whole-program inlining visits O(fanout^depth) bodies;
+// summaries visit each body once.
+inline std::string GenerateLayeredProgram(int depth, int fanout) {
+  std::string src = "sink out: {top};\n";
+  for (int d = depth - 1; d >= 0; --d) {
+    const std::string name = "layer" + std::to_string(d);
+    src += "fn " + name + "(x: int) -> int {\n";
+    src += "  let mut acc = x;\n";
+    src += "  if acc > 100 { acc = acc - 1; }\n";
+    if (d == depth - 1) {
+      src += "  let mut v = vec![];\n";
+      src += "  push(&mut v, acc);\n";
+      src += "  acc = acc + len(&v);\n";
+    } else {
+      const std::string callee = "layer" + std::to_string(d + 1);
+      for (int f = 0; f < fanout; ++f) {
+        src += "  acc = acc + " + callee + "(acc + " + std::to_string(f) +
+               ");\n";
+      }
+    }
+    src += "  return acc;\n}\n";
+  }
+  src += "fn main() {\n";
+  src += "  #[label(top)]\n  let seed = 1;\n";
+  src += "  let result = layer0(seed);\n";
+  src += "  emit(out, result);\n";  // labeled {top}: flows to bound {top}
+  src += "}\n";
+  return src;
+}
+
+}  // namespace ifc
+
+#endif  // LINSYS_SRC_IFC_PROGRAMS_H_

@@ -1,0 +1,276 @@
+// RIL abstract syntax tree. Expressions and statements are std::variant
+// nodes with source positions; the type checker annotates expressions in
+// place. The surface language (see parser.cc for the grammar):
+//
+//   sink alice_out: {alice};
+//   struct Buffer { data: vec }
+//   fn append_buf(buf: &mut Buffer, v: vec) { append(buf.data, v); }
+//   fn main() {
+//     let mut buf = Buffer { data: vec![] };
+//     #[label(secret)] let sec = vec![4,5,6];
+//     append_buf(&mut buf, sec);
+//     emit(stdout, buf.data);            // IFC error: leaks {secret}
+//   }
+//
+// Deliberate restrictions that keep the static checkers exact (DESIGN.md):
+// reference types appear only in function parameters (no reference lets), so
+// borrows live exactly as long as one call; structs are one level deep for
+// label purposes (per-field label tracking).
+#ifndef LINSYS_SRC_IFC_RIL_AST_H_
+#define LINSYS_SRC_IFC_RIL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/ifc/ril/token.h"
+
+namespace ril {
+
+// ---- Types ------------------------------------------------------------
+
+enum class BaseType : std::uint8_t { kUnit, kInt, kBool, kVec, kStruct };
+enum class RefKind : std::uint8_t { kNone, kShared, kMut };
+
+struct Type {
+  BaseType base = BaseType::kUnit;
+  std::string struct_name;       // when base == kStruct
+  RefKind ref = RefKind::kNone;  // only legal on function parameters
+
+  // Copy types are duplicated on use; everything else moves (Rust's rule).
+  bool IsCopy() const {
+    return ref != RefKind::kNone || base == BaseType::kInt ||
+           base == BaseType::kBool || base == BaseType::kUnit;
+  }
+
+  bool SameValueType(const Type& o) const {
+    return base == o.base && struct_name == o.struct_name;
+  }
+  bool operator==(const Type& o) const {
+    return SameValueType(o) && ref == o.ref;
+  }
+
+  std::string ToString() const;
+
+  static Type Unit() { return Type{}; }
+  static Type Int() { return Type{BaseType::kInt, {}, RefKind::kNone}; }
+  static Type Bool() { return Type{BaseType::kBool, {}, RefKind::kNone}; }
+  static Type Vec() { return Type{BaseType::kVec, {}, RefKind::kNone}; }
+  static Type Struct(std::string name) {
+    return Type{BaseType::kStruct, std::move(name), RefKind::kNone};
+  }
+};
+
+// ---- Expressions --------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLit {
+  std::int64_t value = 0;
+};
+struct BoolLit {
+  bool value = false;
+};
+struct VarRef {
+  std::string name;
+};
+// base.field — `base` is restricted to a variable by the parser.
+struct FieldAccess {
+  ExprPtr base;
+  std::string field;
+};
+struct IndexExpr {
+  ExprPtr base;  // a place (variable or field)
+  ExprPtr index;
+};
+struct UnaryExpr {
+  TokKind op = TokKind::kMinus;  // kMinus or kBang
+  ExprPtr operand;
+};
+struct BinaryExpr {
+  TokKind op = TokKind::kPlus;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+struct CallExpr {
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+struct VecLit {
+  std::vector<ExprPtr> elements;
+};
+struct StructLit {
+  std::string name;
+  std::vector<std::pair<std::string, ExprPtr>> fields;
+};
+// &place or &mut place, legal only directly as a call argument.
+struct BorrowExpr {
+  bool is_mut = false;
+  ExprPtr place;
+};
+
+struct Expr {
+  std::variant<IntLit, BoolLit, VarRef, FieldAccess, IndexExpr, UnaryExpr,
+               BinaryExpr, CallExpr, VecLit, StructLit, BorrowExpr>
+      node;
+  int line = 0;
+  int col = 0;
+  Type type;  // filled by the type checker
+
+  template <typename T>
+  const T* As() const {
+    return std::get_if<T>(&node);
+  }
+  template <typename T>
+  T* As() {
+    return std::get_if<T>(&node);
+  }
+  template <typename T>
+  bool Is() const {
+    return std::holds_alternative<T>(node);
+  }
+};
+
+// ---- Statements ---------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Block {
+  std::vector<StmtPtr> stmts;
+};
+
+struct LetStmt {
+  std::string name;
+  bool is_mut = false;
+  std::optional<Type> declared_type;
+  ExprPtr init;
+  // #[label(a, b)] — security tags for IFC; empty vector with
+  // has_label_attr=true means explicitly public.
+  bool has_label_attr = false;
+  std::vector<std::string> label_tags;
+};
+struct AssignStmt {
+  ExprPtr place;  // VarRef, FieldAccess, or IndexExpr
+  ExprPtr value;
+};
+struct ExprStmt {
+  ExprPtr expr;
+};
+struct IfStmt {
+  ExprPtr cond;
+  Block then_block;
+  std::optional<Block> else_block;
+};
+struct WhileStmt {
+  ExprPtr cond;
+  Block body;
+};
+struct ReturnStmt {
+  ExprPtr value;  // may be null (return unit)
+};
+// assert_label(expr, {tags}) — statically verified upper bound (§4: "bounds
+// were specified in the example program through the use of assertions").
+struct AssertLabelStmt {
+  ExprPtr expr;
+  std::vector<std::string> tags;
+};
+// emit(sink_name, expr) — write to a labeled output channel.
+struct EmitStmt {
+  std::string sink;
+  ExprPtr value;
+};
+
+struct Stmt {
+  std::variant<LetStmt, AssignStmt, ExprStmt, IfStmt, WhileStmt, ReturnStmt,
+               AssertLabelStmt, EmitStmt>
+      node;
+  int line = 0;
+  int col = 0;
+
+  template <typename T>
+  const T* As() const {
+    return std::get_if<T>(&node);
+  }
+  template <typename T>
+  T* As() {
+    return std::get_if<T>(&node);
+  }
+};
+
+// ---- Items --------------------------------------------------------------
+
+struct StructDecl {
+  std::string name;
+  std::vector<std::pair<std::string, Type>> fields;
+  int line = 0;
+
+  const Type* FieldType(const std::string& field) const {
+    for (const auto& [fname, ftype] : fields) {
+      if (fname == field) {
+        return &ftype;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// A labeled output channel: data written here must satisfy label ⊑ {tags}.
+struct SinkDecl {
+  std::string name;
+  std::vector<std::string> tags;
+  int line = 0;
+};
+
+struct Param {
+  std::string name;
+  Type type;
+};
+
+struct FnDecl {
+  std::string name;
+  std::vector<Param> params;
+  Type return_type;
+  Block body;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<StructDecl> structs;
+  std::vector<SinkDecl> sinks;
+  std::vector<FnDecl> functions;
+
+  const StructDecl* FindStruct(const std::string& name) const {
+    for (const auto& s : structs) {
+      if (s.name == name) {
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+  const SinkDecl* FindSink(const std::string& name) const {
+    for (const auto& s : sinks) {
+      if (s.name == name) {
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+  const FnDecl* FindFunction(const std::string& name) const {
+    for (const auto& f : functions) {
+      if (f.name == name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace ril
+
+#endif  // LINSYS_SRC_IFC_RIL_AST_H_

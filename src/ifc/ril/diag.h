@@ -1,0 +1,65 @@
+// Diagnostics: every phase (lexer, parser, type check, ownership check, IFC
+// verifier) reports through one sink so callers can render uniform
+// "line:col: phase: message" output and tests can assert on structured
+// fields instead of strings.
+#ifndef LINSYS_SRC_IFC_RIL_DIAG_H_
+#define LINSYS_SRC_IFC_RIL_DIAG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ril {
+
+enum class Phase : std::uint8_t {
+  kLex,
+  kParse,
+  kType,
+  kOwnership,
+  kIfc,
+  kRuntime,
+};
+
+std::string_view PhaseName(Phase phase);
+
+struct Diag {
+  Phase phase = Phase::kParse;
+  int line = 0;
+  int col = 0;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+class Diagnostics {
+ public:
+  void Error(Phase phase, int line, int col, std::string message) {
+    diags_.push_back(Diag{phase, line, col, std::move(message)});
+  }
+
+  bool HasErrors() const { return !diags_.empty(); }
+  std::size_t count() const { return diags_.size(); }
+  const std::vector<Diag>& all() const { return diags_; }
+
+  // True if any diagnostic from `phase` mentions `needle` — the common test
+  // assertion shape.
+  bool Contains(Phase phase, std::string_view needle) const {
+    for (const Diag& d : diags_) {
+      if (d.phase == phase && d.message.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // All diagnostics rendered one per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diag> diags_;
+};
+
+}  // namespace ril
+
+#endif  // LINSYS_SRC_IFC_RIL_DIAG_H_

@@ -1,0 +1,357 @@
+#include "src/ifc/ril/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace ril {
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kLex:
+      return "lex";
+    case Phase::kParse:
+      return "parse";
+    case Phase::kType:
+      return "type";
+    case Phase::kOwnership:
+      return "ownership";
+    case Phase::kIfc:
+      return "ifc";
+    case Phase::kRuntime:
+      return "runtime";
+  }
+  return "unknown";
+}
+
+std::string Diag::ToString() const {
+  return std::to_string(line) + ":" + std::to_string(col) + ": " +
+         std::string(PhaseName(phase)) + ": " + message;
+}
+
+std::string Diagnostics::ToString() const {
+  std::string out;
+  for (const Diag& d : diags_) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string_view TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEof:
+      return "end of input";
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kInt:
+      return "integer";
+    case TokKind::kFn:
+      return "'fn'";
+    case TokKind::kLet:
+      return "'let'";
+    case TokKind::kMut:
+      return "'mut'";
+    case TokKind::kStruct:
+      return "'struct'";
+    case TokKind::kSink:
+      return "'sink'";
+    case TokKind::kIf:
+      return "'if'";
+    case TokKind::kElse:
+      return "'else'";
+    case TokKind::kWhile:
+      return "'while'";
+    case TokKind::kReturn:
+      return "'return'";
+    case TokKind::kTrue:
+      return "'true'";
+    case TokKind::kFalse:
+      return "'false'";
+    case TokKind::kVecBang:
+      return "'vec!'";
+    case TokKind::kAssertLabel:
+      return "'assert_label'";
+    case TokKind::kEmit:
+      return "'emit'";
+    case TokKind::kLabelAttr:
+      return "'#[label'";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kLBrace:
+      return "'{'";
+    case TokKind::kRBrace:
+      return "'}'";
+    case TokKind::kLBracket:
+      return "'['";
+    case TokKind::kRBracket:
+      return "']'";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kSemi:
+      return "';'";
+    case TokKind::kColon:
+      return "':'";
+    case TokKind::kArrow:
+      return "'->'";
+    case TokKind::kDot:
+      return "'.'";
+    case TokKind::kAmp:
+      return "'&'";
+    case TokKind::kAssign:
+      return "'='";
+    case TokKind::kEq:
+      return "'=='";
+    case TokKind::kNe:
+      return "'!='";
+    case TokKind::kLt:
+      return "'<'";
+    case TokKind::kLe:
+      return "'<='";
+    case TokKind::kGt:
+      return "'>'";
+    case TokKind::kGe:
+      return "'>='";
+    case TokKind::kPlus:
+      return "'+'";
+    case TokKind::kMinus:
+      return "'-'";
+    case TokKind::kStar:
+      return "'*'";
+    case TokKind::kSlash:
+      return "'/'";
+    case TokKind::kPercent:
+      return "'%'";
+    case TokKind::kAndAnd:
+      return "'&&'";
+    case TokKind::kOrOr:
+      return "'||'";
+    case TokKind::kBang:
+      return "'!'";
+  }
+  return "unknown token";
+}
+
+char Lexer::Peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < source_.size() ? source_[i] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    const char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') {
+        Advance();
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::MakeToken(TokKind kind, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = tok_line_;
+  t.col = tok_col_;
+  return t;
+}
+
+Token Lexer::LexNumber() {
+  std::string digits;
+  while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+    digits.push_back(Advance());
+  }
+  Token t = MakeToken(TokKind::kInt, digits);
+  t.int_value = std::strtoll(digits.c_str(), nullptr, 10);
+  return t;
+}
+
+Token Lexer::LexIdentOrKeyword() {
+  std::string name;
+  while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '_')) {
+    name.push_back(Advance());
+  }
+  static const std::unordered_map<std::string_view, TokKind> kKeywords = {
+      {"fn", TokKind::kFn},        {"let", TokKind::kLet},
+      {"mut", TokKind::kMut},      {"struct", TokKind::kStruct},
+      {"sink", TokKind::kSink},    {"if", TokKind::kIf},
+      {"else", TokKind::kElse},    {"while", TokKind::kWhile},
+      {"return", TokKind::kReturn}, {"true", TokKind::kTrue},
+      {"false", TokKind::kFalse},  {"assert_label", TokKind::kAssertLabel},
+      {"emit", TokKind::kEmit},
+  };
+  // 'vec!' — the only bang-suffixed name.
+  if (name == "vec" && Peek() == '!') {
+    Advance();
+    return MakeToken(TokKind::kVecBang, "vec!");
+  }
+  auto it = kKeywords.find(name);
+  if (it != kKeywords.end()) {
+    return MakeToken(it->second, std::move(name));
+  }
+  return MakeToken(TokKind::kIdent, std::move(name));
+}
+
+std::vector<Token> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    SkipWhitespaceAndComments();
+    tok_line_ = line_;
+    tok_col_ = col_;
+    if (AtEnd()) {
+      tokens.push_back(MakeToken(TokKind::kEof));
+      break;
+    }
+    const char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tokens.push_back(LexNumber());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tokens.push_back(LexIdentOrKeyword());
+      continue;
+    }
+    Advance();
+    switch (c) {
+      case '(':
+        tokens.push_back(MakeToken(TokKind::kLParen));
+        break;
+      case ')':
+        tokens.push_back(MakeToken(TokKind::kRParen));
+        break;
+      case '{':
+        tokens.push_back(MakeToken(TokKind::kLBrace));
+        break;
+      case '}':
+        tokens.push_back(MakeToken(TokKind::kRBrace));
+        break;
+      case '[':
+        tokens.push_back(MakeToken(TokKind::kLBracket));
+        break;
+      case ']':
+        tokens.push_back(MakeToken(TokKind::kRBracket));
+        break;
+      case ',':
+        tokens.push_back(MakeToken(TokKind::kComma));
+        break;
+      case ';':
+        tokens.push_back(MakeToken(TokKind::kSemi));
+        break;
+      case ':':
+        tokens.push_back(MakeToken(TokKind::kColon));
+        break;
+      case '.':
+        tokens.push_back(MakeToken(TokKind::kDot));
+        break;
+      case '+':
+        tokens.push_back(MakeToken(TokKind::kPlus));
+        break;
+      case '*':
+        tokens.push_back(MakeToken(TokKind::kStar));
+        break;
+      case '/':
+        tokens.push_back(MakeToken(TokKind::kSlash));
+        break;
+      case '%':
+        tokens.push_back(MakeToken(TokKind::kPercent));
+        break;
+      case '-':
+        if (Peek() == '>') {
+          Advance();
+          tokens.push_back(MakeToken(TokKind::kArrow));
+        } else {
+          tokens.push_back(MakeToken(TokKind::kMinus));
+        }
+        break;
+      case '=':
+        if (Peek() == '=') {
+          Advance();
+          tokens.push_back(MakeToken(TokKind::kEq));
+        } else {
+          tokens.push_back(MakeToken(TokKind::kAssign));
+        }
+        break;
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          tokens.push_back(MakeToken(TokKind::kNe));
+        } else {
+          tokens.push_back(MakeToken(TokKind::kBang));
+        }
+        break;
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          tokens.push_back(MakeToken(TokKind::kLe));
+        } else {
+          tokens.push_back(MakeToken(TokKind::kLt));
+        }
+        break;
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          tokens.push_back(MakeToken(TokKind::kGe));
+        } else {
+          tokens.push_back(MakeToken(TokKind::kGt));
+        }
+        break;
+      case '&':
+        if (Peek() == '&') {
+          Advance();
+          tokens.push_back(MakeToken(TokKind::kAndAnd));
+        } else {
+          tokens.push_back(MakeToken(TokKind::kAmp));
+        }
+        break;
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          tokens.push_back(MakeToken(TokKind::kOrOr));
+        } else {
+          diags_->Error(Phase::kLex, tok_line_, tok_col_,
+                        "stray '|' (did you mean '||'?)");
+        }
+        break;
+      case '#':
+        // '#[label' introducer; the parser consumes the rest of the
+        // attribute ( '(' tags ')' ']' ).
+        if (Peek() == '[' && source_.substr(pos_ + 1, 5) == "label") {
+          Advance();  // '['
+          for (int i = 0; i < 5; ++i) {
+            Advance();  // 'label'
+          }
+          tokens.push_back(MakeToken(TokKind::kLabelAttr));
+        } else {
+          diags_->Error(Phase::kLex, tok_line_, tok_col_,
+                        "unexpected '#' (only #[label(...)] is supported)");
+        }
+        break;
+      default:
+        diags_->Error(Phase::kLex, tok_line_, tok_col_,
+                      std::string("unexpected character '") + c + "'");
+        break;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace ril

@@ -1,0 +1,45 @@
+// Hand-written lexer for RIL. Produces the full token stream up front;
+// errors are reported with line/column through the shared diagnostics sink.
+#ifndef LINSYS_SRC_IFC_RIL_LEXER_H_
+#define LINSYS_SRC_IFC_RIL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ifc/ril/diag.h"
+#include "src/ifc/ril/token.h"
+
+namespace ril {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, Diagnostics* diags)
+      : source_(source), diags_(diags) {}
+
+  // Tokenizes the whole input. The last token is always kEof. On a lexical
+  // error a diagnostic is emitted and the offending character skipped, so
+  // the parser still gets a well-formed stream.
+  std::vector<Token> Tokenize();
+
+ private:
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  void SkipWhitespaceAndComments();
+  Token MakeToken(TokKind kind, std::string text = {});
+  Token LexNumber();
+  Token LexIdentOrKeyword();
+
+  std::string_view source_;
+  Diagnostics* diags_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int tok_line_ = 1;
+  int tok_col_ = 1;
+};
+
+}  // namespace ril
+
+#endif  // LINSYS_SRC_IFC_RIL_LEXER_H_

@@ -1,0 +1,277 @@
+#include "src/ifc/ril/ownership.h"
+
+#include <vector>
+
+#include "src/ifc/ril/types.h"
+
+namespace ril {
+
+bool OwnershipChecker::Check() {
+  const std::size_t errors_before = diags_->count();
+  for (const FnDecl& fn : program_->functions) {
+    CheckFunction(fn);
+  }
+  return diags_->count() == errors_before;
+}
+
+void OwnershipChecker::CheckFunction(const FnDecl& fn) {
+  State state;
+  for (const Param& p : fn.params) {
+    state[p.name] = false;  // all params start live
+  }
+  CheckBlock(fn.body, state);
+}
+
+void OwnershipChecker::CheckBlock(const Block& block, State& state) {
+  for (const StmtPtr& stmt : block.stmts) {
+    CheckStmt(*stmt, state);
+  }
+}
+
+OwnershipChecker::State OwnershipChecker::Join(const State& a,
+                                               const State& b) {
+  State out = a;
+  for (const auto& [name, moved] : b) {
+    out[name] = out.count(name) ? (out[name] || moved) : moved;
+  }
+  return out;
+}
+
+void OwnershipChecker::CheckStmt(const Stmt& stmt, State& state) {
+  if (const auto* let = stmt.As<LetStmt>()) {
+    CheckExpr(*let->init, state, UseKind::kMove);
+    state[let->name] = false;
+    return;
+  }
+  if (const auto* assign = stmt.As<AssignStmt>()) {
+    CheckExpr(*assign->value, state, UseKind::kMove);
+    const Expr& place = *assign->place;
+    if (const auto* var = place.As<VarRef>()) {
+      // Whole-variable assignment re-initializes: legal even after a move
+      // (Rust allows `x = ...;` after x was moved out, when x is mut).
+      state[var->name] = false;
+      return;
+    }
+    // Field/index assignment requires the root to be live.
+    const std::string* root = PlaceRoot(place);
+    if (root != nullptr && state.count(*root) && state[*root]) {
+      Error(stmt.line, stmt.col,
+            "assignment into '" + *root + "' after it was moved");
+    }
+    return;
+  }
+  if (const auto* es = stmt.As<ExprStmt>()) {
+    // Rust semantics: a bare value statement moves (and drops) the value.
+    CheckExpr(*es->expr, state, UseKind::kMove);
+    return;
+  }
+  if (const auto* ifs = stmt.As<IfStmt>()) {
+    CheckExpr(*ifs->cond, state, UseKind::kRead);
+    State then_state = state;
+    CheckBlock(ifs->then_block, then_state);
+    State else_state = state;
+    if (ifs->else_block.has_value()) {
+      CheckBlock(*ifs->else_block, else_state);
+    }
+    state = Join(then_state, else_state);
+    return;
+  }
+  if (const auto* w = stmt.As<WhileStmt>()) {
+    // Fixpoint over the moved-set (it only grows), errors suppressed; then
+    // one reporting pass at the fixpoint so a move in iteration k is
+    // reported as a use-after-move in iteration k+1, exactly once.
+    const bool outer_report = report_;
+    report_ = false;
+    while (true) {
+      State body_state = state;
+      CheckExpr(*w->cond, body_state, UseKind::kRead);
+      CheckBlock(w->body, body_state);
+      State joined = Join(state, body_state);
+      if (joined == state) {
+        break;
+      }
+      state = std::move(joined);
+    }
+    report_ = outer_report;
+    State final_state = state;
+    CheckExpr(*w->cond, final_state, UseKind::kRead);
+    CheckBlock(w->body, final_state);
+    state = Join(state, final_state);
+    return;
+  }
+  if (const auto* ret = stmt.As<ReturnStmt>()) {
+    if (ret->value != nullptr) {
+      CheckExpr(*ret->value, state, UseKind::kMove);
+    }
+    return;
+  }
+  if (const auto* a = stmt.As<AssertLabelStmt>()) {
+    CheckExpr(*a->expr, state, UseKind::kRead);
+    return;
+  }
+  if (const auto* e = stmt.As<EmitStmt>()) {
+    // emit reads (borrows) its value — printing does not consume, so the
+    // paper's line 17 fails on the earlier *move*, not on emit itself.
+    CheckExpr(*e->value, state, UseKind::kRead);
+    return;
+  }
+}
+
+const std::string* OwnershipChecker::PlaceRoot(const Expr& place) {
+  if (const auto* var = place.As<VarRef>()) {
+    return &var->name;
+  }
+  if (const auto* fa = place.As<FieldAccess>()) {
+    return PlaceRoot(*fa->base);
+  }
+  if (const auto* ix = place.As<IndexExpr>()) {
+    return PlaceRoot(*ix->base);
+  }
+  return nullptr;
+}
+
+void OwnershipChecker::CheckExpr(const Expr& expr, State& state,
+                                 UseKind use) {
+  if (expr.Is<IntLit>() || expr.Is<BoolLit>()) {
+    return;
+  }
+  if (const auto* var = expr.As<VarRef>()) {
+    auto it = state.find(var->name);
+    if (it != state.end() && it->second) {
+      Error(expr.line, expr.col,
+            "use of moved value '" + var->name +
+                "' (ownership was transferred earlier)");
+      return;
+    }
+    if (use == UseKind::kMove && !expr.type.IsCopy()) {
+      state[var->name] = true;
+    }
+    return;
+  }
+  if (const auto* fa = expr.As<FieldAccess>()) {
+    CheckExpr(*fa->base, state, UseKind::kRead);
+    if (use == UseKind::kMove && !expr.type.IsCopy()) {
+      Error(expr.line, expr.col,
+            "cannot move out of field '" + fa->field +
+                "'; use clone(&place) to copy it");
+    }
+    return;
+  }
+  if (const auto* ix = expr.As<IndexExpr>()) {
+    CheckExpr(*ix->base, state, UseKind::kRead);
+    CheckExpr(*ix->index, state, UseKind::kRead);
+    return;
+  }
+  if (const auto* un = expr.As<UnaryExpr>()) {
+    CheckExpr(*un->operand, state, UseKind::kRead);
+    return;
+  }
+  if (const auto* bin = expr.As<BinaryExpr>()) {
+    CheckExpr(*bin->lhs, state, UseKind::kRead);
+    CheckExpr(*bin->rhs, state, UseKind::kRead);
+    return;
+  }
+  if (const auto* call = expr.As<CallExpr>()) {
+    CheckCall(expr, *call, state);
+    return;
+  }
+  if (const auto* vec = expr.As<VecLit>()) {
+    for (const ExprPtr& element : vec->elements) {
+      CheckExpr(*element, state, UseKind::kRead);
+    }
+    return;
+  }
+  if (const auto* lit = expr.As<StructLit>()) {
+    for (const auto& [fname, fexpr] : lit->fields) {
+      CheckExpr(*fexpr, state, UseKind::kMove);
+    }
+    return;
+  }
+  if (const auto* borrow = expr.As<BorrowExpr>()) {
+    // Reached only when a borrow appears outside a call argument — calls
+    // consume their borrow args in CheckCall without recursing here.
+    (void)borrow;
+    Error(expr.line, expr.col,
+          "borrows are only allowed as call arguments (no reference lets)");
+    return;
+  }
+}
+
+void OwnershipChecker::CheckCall(const Expr& expr, const CallExpr& call,
+                                 State& state) {
+  // Per-argument use classification; the type checker has already matched
+  // arity and reference kinds, so classify by the annotated argument type.
+  struct RootUse {
+    bool moved = false;
+    int shared_borrows = 0;
+    int mut_borrows = 0;
+    int line = 0;
+    int col = 0;
+  };
+  std::map<std::string, RootUse> roots;
+
+  auto record_borrow = [&](const Expr& borrow_arg, bool is_mut) {
+    const auto* borrow = borrow_arg.As<BorrowExpr>();
+    if (borrow == nullptr) {
+      // e.g. passing a reference parameter straight through: `f(r)` where
+      // r: &mut T. Treated as re-borrowing the parameter root.
+      if (const std::string* root = PlaceRoot(borrow_arg)) {
+        RootUse& ru = roots[*root];
+        is_mut ? ++ru.mut_borrows : ++ru.shared_borrows;
+        ru.line = borrow_arg.line;
+        ru.col = borrow_arg.col;
+      }
+      return;
+    }
+    // Liveness of the borrowed place.
+    CheckExpr(*borrow->place, state, UseKind::kRead);
+    if (const std::string* root = PlaceRoot(*borrow->place)) {
+      RootUse& ru = roots[*root];
+      is_mut ? ++ru.mut_borrows : ++ru.shared_borrows;
+      ru.line = borrow_arg.line;
+      ru.col = borrow_arg.col;
+    }
+  };
+  auto record_move = [&](const Expr& arg) {
+    CheckExpr(arg, state, UseKind::kMove);
+    if (const std::string* root = PlaceRoot(arg)) {
+      RootUse& ru = roots[*root];
+      ru.moved = true;
+      ru.line = arg.line;
+      ru.col = arg.col;
+    }
+  };
+
+  for (const ExprPtr& arg : call.args) {
+    if (arg->type.ref == RefKind::kMut) {
+      record_borrow(*arg, /*is_mut=*/true);
+    } else if (arg->type.ref == RefKind::kShared) {
+      record_borrow(*arg, /*is_mut=*/false);
+    } else if (arg->type.IsCopy()) {
+      CheckExpr(*arg, state, UseKind::kRead);
+    } else {
+      record_move(*arg);
+    }
+  }
+
+  // Conflicts within this one call (the only window borrows exist in).
+  for (const auto& [root, ru] : roots) {
+    if (ru.mut_borrows > 1) {
+      Error(ru.line, ru.col,
+            "'" + root + "' mutably borrowed more than once in call to '" +
+                call.callee + "'");
+    } else if (ru.mut_borrows == 1 && ru.shared_borrows > 0) {
+      Error(ru.line, ru.col,
+            "'" + root + "' borrowed both mutably and immutably in call "
+                         "to '" + call.callee + "'");
+    }
+    if (ru.moved && (ru.mut_borrows > 0 || ru.shared_borrows > 0)) {
+      Error(ru.line, ru.col,
+            "'" + root + "' moved into call to '" + call.callee +
+                "' while also borrowed by it");
+    }
+  }
+  (void)expr;
+}
+
+}  // namespace ril

@@ -1,0 +1,588 @@
+#include "src/ifc/ril/parser.h"
+
+#include <utility>
+
+#include "src/ifc/ril/lexer.h"
+
+namespace ril {
+
+std::string Type::ToString() const {
+  std::string s;
+  if (ref == RefKind::kShared) {
+    s += "&";
+  } else if (ref == RefKind::kMut) {
+    s += "&mut ";
+  }
+  switch (base) {
+    case BaseType::kUnit:
+      s += "()";
+      break;
+    case BaseType::kInt:
+      s += "int";
+      break;
+    case BaseType::kBool:
+      s += "bool";
+      break;
+    case BaseType::kVec:
+      s += "vec";
+      break;
+    case BaseType::kStruct:
+      s += struct_name;
+      break;
+  }
+  return s;
+}
+
+Program Parser::Parse(std::string_view source, Diagnostics* diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.Tokenize(), diags);
+  return parser.ParseProgram();
+}
+
+const Token& Parser::Peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ + 1 < tokens_.size()) {
+    ++pos_;
+  }
+  return t;
+}
+
+bool Parser::Match(TokKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+const Token& Parser::Expect(TokKind kind, const char* context) {
+  if (Check(kind)) {
+    return Advance();
+  }
+  ErrorHere(std::string("expected ") + std::string(TokKindName(kind)) +
+            " in " + context + ", found " +
+            std::string(TokKindName(Peek().kind)));
+  return Peek();
+}
+
+void Parser::ErrorHere(const std::string& message) {
+  diags_->Error(Phase::kParse, Peek().line, Peek().col, message);
+}
+
+void Parser::SynchronizeToItem() {
+  while (!Check(TokKind::kEof) && !Check(TokKind::kFn) &&
+         !Check(TokKind::kStruct) && !Check(TokKind::kSink)) {
+    Advance();
+  }
+}
+
+Program Parser::ParseProgram() {
+  Program program;
+  while (!Check(TokKind::kEof)) {
+    const std::size_t before = pos_;
+    if (Check(TokKind::kStruct)) {
+      program.structs.push_back(ParseStruct());
+    } else if (Check(TokKind::kSink)) {
+      program.sinks.push_back(ParseSink());
+    } else if (Check(TokKind::kFn)) {
+      program.functions.push_back(ParseFn());
+    } else {
+      ErrorHere("expected 'struct', 'sink', or 'fn' at top level");
+      SynchronizeToItem();
+    }
+    if (pos_ == before) {
+      Advance();  // guarantee progress on malformed input
+    }
+  }
+  return program;
+}
+
+StructDecl Parser::ParseStruct() {
+  StructDecl decl;
+  decl.line = Peek().line;
+  Expect(TokKind::kStruct, "struct declaration");
+  decl.name = Expect(TokKind::kIdent, "struct name").text;
+  Expect(TokKind::kLBrace, "struct body");
+  while (!Check(TokKind::kRBrace) && !Check(TokKind::kEof)) {
+    std::string field = Expect(TokKind::kIdent, "field name").text;
+    Expect(TokKind::kColon, "field type");
+    Type type = ParseType();
+    if (type.ref != RefKind::kNone) {
+      ErrorHere("struct fields cannot be references");
+    }
+    decl.fields.emplace_back(std::move(field), std::move(type));
+    if (!Match(TokKind::kComma)) {
+      break;
+    }
+  }
+  Expect(TokKind::kRBrace, "struct body");
+  return decl;
+}
+
+SinkDecl Parser::ParseSink() {
+  SinkDecl decl;
+  decl.line = Peek().line;
+  Expect(TokKind::kSink, "sink declaration");
+  decl.name = Expect(TokKind::kIdent, "sink name").text;
+  Expect(TokKind::kColon, "sink label");
+  decl.tags = ParseLabelSet();
+  Expect(TokKind::kSemi, "sink declaration");
+  return decl;
+}
+
+std::vector<std::string> Parser::ParseLabelSet() {
+  std::vector<std::string> tags;
+  Expect(TokKind::kLBrace, "label set");
+  while (Check(TokKind::kIdent)) {
+    tags.push_back(Advance().text);
+    if (!Match(TokKind::kComma)) {
+      break;
+    }
+  }
+  Expect(TokKind::kRBrace, "label set");
+  return tags;
+}
+
+FnDecl Parser::ParseFn() {
+  FnDecl fn;
+  fn.line = Peek().line;
+  Expect(TokKind::kFn, "function declaration");
+  fn.name = Expect(TokKind::kIdent, "function name").text;
+  Expect(TokKind::kLParen, "parameter list");
+  while (!Check(TokKind::kRParen) && !Check(TokKind::kEof)) {
+    Param p;
+    p.name = Expect(TokKind::kIdent, "parameter name").text;
+    Expect(TokKind::kColon, "parameter type");
+    p.type = ParseType();
+    fn.params.push_back(std::move(p));
+    if (!Match(TokKind::kComma)) {
+      break;
+    }
+  }
+  Expect(TokKind::kRParen, "parameter list");
+  if (Match(TokKind::kArrow)) {
+    fn.return_type = ParseType();
+    if (fn.return_type.ref != RefKind::kNone) {
+      ErrorHere("functions cannot return references");
+    }
+  }
+  fn.body = ParseBlock();
+  return fn;
+}
+
+Type Parser::ParseType() {
+  Type type;
+  if (Match(TokKind::kAmp)) {
+    type.ref = Match(TokKind::kMut) ? RefKind::kMut : RefKind::kShared;
+  }
+  const Token& t = Expect(TokKind::kIdent, "type");
+  if (t.text == "int") {
+    type.base = BaseType::kInt;
+  } else if (t.text == "bool") {
+    type.base = BaseType::kBool;
+  } else if (t.text == "vec") {
+    type.base = BaseType::kVec;
+  } else {
+    type.base = BaseType::kStruct;
+    type.struct_name = t.text;
+  }
+  return type;
+}
+
+Block Parser::ParseBlock() {
+  Block block;
+  Expect(TokKind::kLBrace, "block");
+  while (!Check(TokKind::kRBrace) && !Check(TokKind::kEof)) {
+    const std::size_t before = pos_;
+    block.stmts.push_back(ParseStmt());
+    if (pos_ == before) {
+      Advance();
+    }
+  }
+  Expect(TokKind::kRBrace, "block");
+  return block;
+}
+
+StmtPtr Parser::ParseStmt() {
+  const int line = Peek().line;
+  const int col = Peek().col;
+
+  if (Check(TokKind::kLabelAttr)) {
+    Advance();
+    Expect(TokKind::kLParen, "label attribute");
+    std::vector<std::string> tags;
+    while (Check(TokKind::kIdent)) {
+      tags.push_back(Advance().text);
+      if (!Match(TokKind::kComma)) {
+        break;
+      }
+    }
+    Expect(TokKind::kRParen, "label attribute");
+    Expect(TokKind::kRBracket, "label attribute");
+    if (!Check(TokKind::kLet)) {
+      ErrorHere("#[label(...)] must be followed by a let statement");
+    }
+    return ParseLet(/*has_attr=*/true, std::move(tags));
+  }
+  if (Check(TokKind::kLet)) {
+    return ParseLet(/*has_attr=*/false, {});
+  }
+  if (Check(TokKind::kIf)) {
+    return ParseIf();
+  }
+  if (Check(TokKind::kWhile)) {
+    return ParseWhile();
+  }
+  if (Check(TokKind::kReturn)) {
+    Advance();
+    ReturnStmt ret;
+    if (!Check(TokKind::kSemi)) {
+      ret.value = ParseExpr();
+    }
+    Expect(TokKind::kSemi, "return statement");
+    auto stmt = std::make_unique<Stmt>();
+    stmt->node = std::move(ret);
+    stmt->line = line;
+    stmt->col = col;
+    return stmt;
+  }
+  if (Check(TokKind::kAssertLabel)) {
+    Advance();
+    Expect(TokKind::kLParen, "assert_label");
+    AssertLabelStmt a;
+    a.expr = ParseExpr();
+    Expect(TokKind::kComma, "assert_label");
+    a.tags = ParseLabelSet();
+    Expect(TokKind::kRParen, "assert_label");
+    Expect(TokKind::kSemi, "assert_label");
+    auto stmt = std::make_unique<Stmt>();
+    stmt->node = std::move(a);
+    stmt->line = line;
+    stmt->col = col;
+    return stmt;
+  }
+  if (Check(TokKind::kEmit)) {
+    Advance();
+    Expect(TokKind::kLParen, "emit");
+    EmitStmt e;
+    e.sink = Expect(TokKind::kIdent, "emit sink name").text;
+    Expect(TokKind::kComma, "emit");
+    e.value = ParseExpr();
+    Expect(TokKind::kRParen, "emit");
+    Expect(TokKind::kSemi, "emit");
+    auto stmt = std::make_unique<Stmt>();
+    stmt->node = std::move(e);
+    stmt->line = line;
+    stmt->col = col;
+    return stmt;
+  }
+
+  // Expression statement or assignment.
+  ExprPtr first = ParseExpr();
+  auto stmt = std::make_unique<Stmt>();
+  stmt->line = line;
+  stmt->col = col;
+  if (Match(TokKind::kAssign)) {
+    AssignStmt assign;
+    assign.place = std::move(first);
+    assign.value = ParseExpr();
+    Expect(TokKind::kSemi, "assignment");
+    stmt->node = std::move(assign);
+  } else {
+    Expect(TokKind::kSemi, "expression statement");
+    ExprStmt es;
+    es.expr = std::move(first);
+    stmt->node = std::move(es);
+  }
+  return stmt;
+}
+
+StmtPtr Parser::ParseLet(bool has_attr, std::vector<std::string> tags) {
+  const int line = Peek().line;
+  const int col = Peek().col;
+  Expect(TokKind::kLet, "let statement");
+  LetStmt let;
+  let.has_label_attr = has_attr;
+  let.label_tags = std::move(tags);
+  let.is_mut = Match(TokKind::kMut);
+  let.name = Expect(TokKind::kIdent, "let binding name").text;
+  if (Match(TokKind::kColon)) {
+    let.declared_type = ParseType();
+  }
+  Expect(TokKind::kAssign, "let statement");
+  let.init = ParseExpr();
+  Expect(TokKind::kSemi, "let statement");
+  auto stmt = std::make_unique<Stmt>();
+  stmt->node = std::move(let);
+  stmt->line = line;
+  stmt->col = col;
+  return stmt;
+}
+
+StmtPtr Parser::ParseIf() {
+  const int line = Peek().line;
+  const int col = Peek().col;
+  Expect(TokKind::kIf, "if statement");
+  IfStmt ifs;
+  ifs.cond = ParseExpr();
+  ifs.then_block = ParseBlock();
+  if (Match(TokKind::kElse)) {
+    if (Check(TokKind::kIf)) {
+      // else-if chains: wrap the nested if in a synthetic block.
+      Block block;
+      block.stmts.push_back(ParseIf());
+      ifs.else_block = std::move(block);
+    } else {
+      ifs.else_block = ParseBlock();
+    }
+  }
+  auto stmt = std::make_unique<Stmt>();
+  stmt->node = std::move(ifs);
+  stmt->line = line;
+  stmt->col = col;
+  return stmt;
+}
+
+StmtPtr Parser::ParseWhile() {
+  const int line = Peek().line;
+  const int col = Peek().col;
+  Expect(TokKind::kWhile, "while statement");
+  WhileStmt w;
+  w.cond = ParseExpr();
+  w.body = ParseBlock();
+  auto stmt = std::make_unique<Stmt>();
+  stmt->node = std::move(w);
+  stmt->line = line;
+  stmt->col = col;
+  return stmt;
+}
+
+ExprPtr Parser::NewExpr(int line, int col) {
+  auto e = std::make_unique<Expr>();
+  e->line = line;
+  e->col = col;
+  return e;
+}
+
+ExprPtr Parser::ParseExpr() { return ParseOr(); }
+
+ExprPtr Parser::ParseOr() {
+  ExprPtr lhs = ParseAnd();
+  while (Check(TokKind::kOrOr)) {
+    const Token& op = Advance();
+    ExprPtr e = NewExpr(op.line, op.col);
+    BinaryExpr bin;
+    bin.op = op.kind;
+    bin.lhs = std::move(lhs);
+    bin.rhs = ParseAnd();
+    e->node = std::move(bin);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseAnd() {
+  ExprPtr lhs = ParseCmp();
+  while (Check(TokKind::kAndAnd)) {
+    const Token& op = Advance();
+    ExprPtr e = NewExpr(op.line, op.col);
+    BinaryExpr bin;
+    bin.op = op.kind;
+    bin.lhs = std::move(lhs);
+    bin.rhs = ParseCmp();
+    e->node = std::move(bin);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseCmp() {
+  ExprPtr lhs = ParseAdd();
+  if (Check(TokKind::kEq) || Check(TokKind::kNe) || Check(TokKind::kLt) ||
+      Check(TokKind::kLe) || Check(TokKind::kGt) || Check(TokKind::kGe)) {
+    const Token& op = Advance();
+    ExprPtr e = NewExpr(op.line, op.col);
+    BinaryExpr bin;
+    bin.op = op.kind;
+    bin.lhs = std::move(lhs);
+    bin.rhs = ParseAdd();
+    e->node = std::move(bin);
+    return e;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseAdd() {
+  ExprPtr lhs = ParseMul();
+  while (Check(TokKind::kPlus) || Check(TokKind::kMinus)) {
+    const Token& op = Advance();
+    ExprPtr e = NewExpr(op.line, op.col);
+    BinaryExpr bin;
+    bin.op = op.kind;
+    bin.lhs = std::move(lhs);
+    bin.rhs = ParseMul();
+    e->node = std::move(bin);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseMul() {
+  ExprPtr lhs = ParseUnary();
+  while (Check(TokKind::kStar) || Check(TokKind::kSlash) ||
+         Check(TokKind::kPercent)) {
+    const Token& op = Advance();
+    ExprPtr e = NewExpr(op.line, op.col);
+    BinaryExpr bin;
+    bin.op = op.kind;
+    bin.lhs = std::move(lhs);
+    bin.rhs = ParseUnary();
+    e->node = std::move(bin);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseUnary() {
+  if (Check(TokKind::kMinus) || Check(TokKind::kBang)) {
+    const Token& op = Advance();
+    ExprPtr e = NewExpr(op.line, op.col);
+    UnaryExpr un;
+    un.op = op.kind;
+    un.operand = ParseUnary();
+    e->node = std::move(un);
+    return e;
+  }
+  return ParsePostfix();
+}
+
+ExprPtr Parser::ParsePostfix() {
+  ExprPtr base = ParsePrimary();
+  while (true) {
+    if (Check(TokKind::kDot)) {
+      const Token& dot = Advance();
+      FieldAccess fa;
+      if (!base->Is<VarRef>()) {
+        ErrorHere("field access base must be a variable (RIL structs are "
+                  "one level deep)");
+      }
+      fa.base = std::move(base);
+      fa.field = Expect(TokKind::kIdent, "field access").text;
+      ExprPtr e = NewExpr(dot.line, dot.col);
+      e->node = std::move(fa);
+      base = std::move(e);
+    } else if (Check(TokKind::kLBracket)) {
+      const Token& bracket = Advance();
+      IndexExpr ix;
+      ix.base = std::move(base);
+      ix.index = ParseExpr();
+      Expect(TokKind::kRBracket, "index expression");
+      ExprPtr e = NewExpr(bracket.line, bracket.col);
+      e->node = std::move(ix);
+      base = std::move(e);
+    } else {
+      return base;
+    }
+  }
+}
+
+ExprPtr Parser::ParsePrimary() {
+  const Token& t = Peek();
+  if (Check(TokKind::kInt)) {
+    Advance();
+    ExprPtr e = NewExpr(t.line, t.col);
+    e->node = IntLit{t.int_value};
+    return e;
+  }
+  if (Check(TokKind::kTrue) || Check(TokKind::kFalse)) {
+    const bool value = Check(TokKind::kTrue);
+    Advance();
+    ExprPtr e = NewExpr(t.line, t.col);
+    e->node = BoolLit{value};
+    return e;
+  }
+  if (Check(TokKind::kVecBang)) {
+    Advance();
+    Expect(TokKind::kLBracket, "vec! literal");
+    VecLit vec;
+    while (!Check(TokKind::kRBracket) && !Check(TokKind::kEof)) {
+      vec.elements.push_back(ParseExpr());
+      if (!Match(TokKind::kComma)) {
+        break;
+      }
+    }
+    Expect(TokKind::kRBracket, "vec! literal");
+    ExprPtr e = NewExpr(t.line, t.col);
+    e->node = std::move(vec);
+    return e;
+  }
+  if (Check(TokKind::kAmp)) {
+    Advance();
+    BorrowExpr borrow;
+    borrow.is_mut = Match(TokKind::kMut);
+    borrow.place = ParsePostfix();
+    ExprPtr e = NewExpr(t.line, t.col);
+    e->node = std::move(borrow);
+    return e;
+  }
+  if (Check(TokKind::kLParen)) {
+    Advance();
+    ExprPtr inner = ParseExpr();
+    Expect(TokKind::kRParen, "parenthesized expression");
+    return inner;
+  }
+  if (Check(TokKind::kIdent)) {
+    const Token name = Advance();
+    if (Check(TokKind::kLParen)) {
+      Advance();
+      CallExpr call;
+      call.callee = name.text;
+      while (!Check(TokKind::kRParen) && !Check(TokKind::kEof)) {
+        call.args.push_back(ParseExpr());
+        if (!Match(TokKind::kComma)) {
+          break;
+        }
+      }
+      Expect(TokKind::kRParen, "call arguments");
+      ExprPtr e = NewExpr(name.line, name.col);
+      e->node = std::move(call);
+      return e;
+    }
+    if (Check(TokKind::kLBrace) && Peek(1).kind == TokKind::kIdent &&
+        Peek(2).kind == TokKind::kColon) {
+      // Struct literal: Name { field: expr, ... }. The two-token lookahead
+      // disambiguates from a block following `if x` etc.
+      Advance();
+      StructLit lit;
+      lit.name = name.text;
+      while (!Check(TokKind::kRBrace) && !Check(TokKind::kEof)) {
+        std::string field = Expect(TokKind::kIdent, "struct literal").text;
+        Expect(TokKind::kColon, "struct literal");
+        lit.fields.emplace_back(std::move(field), ParseExpr());
+        if (!Match(TokKind::kComma)) {
+          break;
+        }
+      }
+      Expect(TokKind::kRBrace, "struct literal");
+      ExprPtr e = NewExpr(name.line, name.col);
+      e->node = std::move(lit);
+      return e;
+    }
+    ExprPtr e = NewExpr(name.line, name.col);
+    e->node = VarRef{name.text};
+    return e;
+  }
+  ErrorHere(std::string("expected expression, found ") +
+            std::string(TokKindName(t.kind)));
+  Advance();
+  ExprPtr e = NewExpr(t.line, t.col);
+  e->node = IntLit{0};
+  return e;
+}
+
+}  // namespace ril

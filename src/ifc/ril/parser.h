@@ -1,0 +1,95 @@
+// Recursive-descent parser for RIL. Grammar (see ast.h for node meanings):
+//
+//   program      := item*
+//   item         := struct_decl | sink_decl | fn_decl
+//   struct_decl  := 'struct' IDENT '{' (field (',' field)* ','?)? '}'
+//   field        := IDENT ':' type
+//   sink_decl    := 'sink' IDENT ':' label_set ';'
+//   label_set    := '{' (IDENT (',' IDENT)*)? '}'
+//   fn_decl      := 'fn' IDENT '(' (param (',' param)*)? ')'
+//                   ('->' type)? block
+//   param        := IDENT ':' type
+//   type         := '&' 'mut'? base_type | base_type
+//   base_type    := 'int' | 'bool' | 'vec' | IDENT
+//   block        := '{' stmt* '}'
+//   stmt         := let | assign_or_expr | if | while | return
+//                 | assert_label | emit
+//   let          := label_attr? 'let' 'mut'? IDENT (':' type)? '=' expr ';'
+//   label_attr   := '#[label' '(' (IDENT (',' IDENT)*)? ')' ']'
+//   if           := 'if' expr block ('else' (if | block))?
+//   while        := 'while' expr block
+//   return       := 'return' expr? ';'
+//   assert_label := 'assert_label' '(' expr ',' label_set ')' ';'
+//   emit         := 'emit' '(' IDENT ',' expr ')' ';'
+//   expr         := or; or := and ('||' and)*; and := cmp ('&&' cmp)*;
+//   cmp          := add (('=='|'!='|'<'|'<='|'>'|'>=') add)?;
+//   add          := mul (('+'|'-') mul)*; mul := unary (('*'|'/'|'%') unary)*
+//   unary        := ('-'|'!') unary | postfix
+//   postfix      := primary ('.' IDENT | '[' expr ']')*
+//   primary      := INT | 'true' | 'false' | 'vec!' '[' args? ']'
+//                 | '&' 'mut'? place | IDENT call_or_structlit_or_var
+//                 | '(' expr ')'
+#ifndef LINSYS_SRC_IFC_RIL_PARSER_H_
+#define LINSYS_SRC_IFC_RIL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/ifc/ril/ast.h"
+#include "src/ifc/ril/diag.h"
+#include "src/ifc/ril/token.h"
+
+namespace ril {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Diagnostics* diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  // Parses a whole program. On errors, diagnostics are emitted and the
+  // parser recovers at item boundaries; the returned Program contains
+  // whatever parsed cleanly.
+  Program ParseProgram();
+
+  // Convenience: lex + parse in one step.
+  static Program Parse(std::string_view source, Diagnostics* diags);
+
+ private:
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokKind kind) const { return Peek().kind == kind; }
+  bool Match(TokKind kind);
+  const Token& Expect(TokKind kind, const char* context);
+  void ErrorHere(const std::string& message);
+  void SynchronizeToItem();
+
+  StructDecl ParseStruct();
+  SinkDecl ParseSink();
+  FnDecl ParseFn();
+  Type ParseType();
+  std::vector<std::string> ParseLabelSet();
+  Block ParseBlock();
+  StmtPtr ParseStmt();
+  StmtPtr ParseLet(bool has_attr, std::vector<std::string> tags);
+  StmtPtr ParseIf();
+  StmtPtr ParseWhile();
+  ExprPtr ParseExpr();
+  ExprPtr ParseOr();
+  ExprPtr ParseAnd();
+  ExprPtr ParseCmp();
+  ExprPtr ParseAdd();
+  ExprPtr ParseMul();
+  ExprPtr ParseUnary();
+  ExprPtr ParsePostfix();
+  ExprPtr ParsePrimary();
+
+  ExprPtr NewExpr(int line, int col);
+
+  std::vector<Token> tokens_;
+  Diagnostics* diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ril
+
+#endif  // LINSYS_SRC_IFC_RIL_PARSER_H_

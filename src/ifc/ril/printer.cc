@@ -1,0 +1,221 @@
+#include "src/ifc/ril/printer.h"
+
+#include <string>
+
+namespace ril {
+namespace {
+
+std::string Indent(int n) { return std::string(static_cast<std::size_t>(n) * 2, ' '); }
+
+const char* OpSpelling(TokKind op) {
+  switch (op) {
+    case TokKind::kPlus:
+      return "+";
+    case TokKind::kMinus:
+      return "-";
+    case TokKind::kStar:
+      return "*";
+    case TokKind::kSlash:
+      return "/";
+    case TokKind::kPercent:
+      return "%";
+    case TokKind::kEq:
+      return "==";
+    case TokKind::kNe:
+      return "!=";
+    case TokKind::kLt:
+      return "<";
+    case TokKind::kLe:
+      return "<=";
+    case TokKind::kGt:
+      return ">";
+    case TokKind::kGe:
+      return ">=";
+    case TokKind::kAndAnd:
+      return "&&";
+    case TokKind::kOrOr:
+      return "||";
+    case TokKind::kBang:
+      return "!";
+    default:
+      return "?";
+  }
+}
+
+std::string PrintLabelSet(const std::vector<std::string>& tags) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += tags[i];
+  }
+  return out + "}";
+}
+
+std::string PrintBlock(const Block& block, int indent) {
+  std::string out = "{\n";
+  for (const StmtPtr& stmt : block.stmts) {
+    out += PrintStmt(*stmt, indent + 1);
+  }
+  out += Indent(indent) + "}";
+  return out;
+}
+
+}  // namespace
+
+std::string PrintType(const Type& type) { return type.ToString(); }
+
+std::string PrintExpr(const Expr& expr) {
+  if (const auto* lit = expr.As<IntLit>()) {
+    return std::to_string(lit->value);
+  }
+  if (const auto* lit = expr.As<BoolLit>()) {
+    return lit->value ? "true" : "false";
+  }
+  if (const auto* var = expr.As<VarRef>()) {
+    return var->name;
+  }
+  if (const auto* fa = expr.As<FieldAccess>()) {
+    return PrintExpr(*fa->base) + "." + fa->field;
+  }
+  if (const auto* ix = expr.As<IndexExpr>()) {
+    return PrintExpr(*ix->base) + "[" + PrintExpr(*ix->index) + "]";
+  }
+  if (const auto* un = expr.As<UnaryExpr>()) {
+    return std::string(OpSpelling(un->op)) + "(" +
+           PrintExpr(*un->operand) + ")";
+  }
+  if (const auto* bin = expr.As<BinaryExpr>()) {
+    // Fully parenthesized: precedence-preserving by construction.
+    return "(" + PrintExpr(*bin->lhs) + " " + OpSpelling(bin->op) + " " +
+           PrintExpr(*bin->rhs) + ")";
+  }
+  if (const auto* call = expr.As<CallExpr>()) {
+    std::string out = call->callee + "(";
+    for (std::size_t i = 0; i < call->args.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += PrintExpr(*call->args[i]);
+    }
+    return out + ")";
+  }
+  if (const auto* vec = expr.As<VecLit>()) {
+    std::string out = "vec![";
+    for (std::size_t i = 0; i < vec->elements.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += PrintExpr(*vec->elements[i]);
+    }
+    return out + "]";
+  }
+  if (const auto* lit = expr.As<StructLit>()) {
+    std::string out = lit->name + " { ";
+    for (std::size_t i = 0; i < lit->fields.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += lit->fields[i].first + ": " + PrintExpr(*lit->fields[i].second);
+    }
+    return out + " }";
+  }
+  if (const auto* borrow = expr.As<BorrowExpr>()) {
+    return std::string(borrow->is_mut ? "&mut " : "&") +
+           PrintExpr(*borrow->place);
+  }
+  return "<?>";
+}
+
+std::string PrintStmt(const Stmt& stmt, int indent) {
+  const std::string pad = Indent(indent);
+  if (const auto* let = stmt.As<LetStmt>()) {
+    std::string out;
+    if (let->has_label_attr) {
+      out += pad + "#[label(";
+      for (std::size_t i = 0; i < let->label_tags.size(); ++i) {
+        if (i != 0) {
+          out += ", ";
+        }
+        out += let->label_tags[i];
+      }
+      out += ")]\n";
+    }
+    out += pad + "let " + (let->is_mut ? std::string("mut ") : std::string());
+    out += let->name;
+    if (let->declared_type.has_value()) {
+      out += ": " + PrintType(*let->declared_type);
+    }
+    out += " = " + PrintExpr(*let->init) + ";\n";
+    return out;
+  }
+  if (const auto* assign = stmt.As<AssignStmt>()) {
+    return pad + PrintExpr(*assign->place) + " = " +
+           PrintExpr(*assign->value) + ";\n";
+  }
+  if (const auto* es = stmt.As<ExprStmt>()) {
+    return pad + PrintExpr(*es->expr) + ";\n";
+  }
+  if (const auto* ifs = stmt.As<IfStmt>()) {
+    std::string out =
+        pad + "if " + PrintExpr(*ifs->cond) + " " +
+        PrintBlock(ifs->then_block, indent);
+    if (ifs->else_block.has_value()) {
+      out += " else " + PrintBlock(*ifs->else_block, indent);
+    }
+    return out + "\n";
+  }
+  if (const auto* w = stmt.As<WhileStmt>()) {
+    return pad + "while " + PrintExpr(*w->cond) + " " +
+           PrintBlock(w->body, indent) + "\n";
+  }
+  if (const auto* r = stmt.As<ReturnStmt>()) {
+    if (r->value == nullptr) {
+      return pad + "return;\n";
+    }
+    return pad + "return " + PrintExpr(*r->value) + ";\n";
+  }
+  if (const auto* a = stmt.As<AssertLabelStmt>()) {
+    return pad + "assert_label(" + PrintExpr(*a->expr) + ", " +
+           PrintLabelSet(a->tags) + ");\n";
+  }
+  if (const auto* e = stmt.As<EmitStmt>()) {
+    return pad + "emit(" + e->sink + ", " + PrintExpr(*e->value) + ");\n";
+  }
+  return pad + "<?>;\n";
+}
+
+std::string PrintProgram(const Program& program) {
+  std::string out;
+  for (const SinkDecl& sink : program.sinks) {
+    out += "sink " + sink.name + ": " + PrintLabelSet(sink.tags) + ";\n";
+  }
+  for (const StructDecl& decl : program.structs) {
+    out += "struct " + decl.name + " { ";
+    for (std::size_t i = 0; i < decl.fields.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += decl.fields[i].first + ": " + PrintType(decl.fields[i].second);
+    }
+    out += " }\n";
+  }
+  for (const FnDecl& fn : program.functions) {
+    out += "fn " + fn.name + "(";
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += fn.params[i].name + ": " + PrintType(fn.params[i].type);
+    }
+    out += ")";
+    if (!(fn.return_type == Type::Unit())) {
+      out += " -> " + PrintType(fn.return_type);
+    }
+    out += " " + PrintBlock(fn.body, 0) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ril

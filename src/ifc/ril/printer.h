@@ -1,0 +1,25 @@
+// RIL pretty-printer: renders an AST back to parseable source. Primary use
+// is the print -> reparse -> print fixpoint property test (the cheapest
+// strong evidence that the parser covers the grammar it claims), plus
+// human-readable dumps from tooling.
+#ifndef LINSYS_SRC_IFC_RIL_PRINTER_H_
+#define LINSYS_SRC_IFC_RIL_PRINTER_H_
+
+#include <string>
+
+#include "src/ifc/ril/ast.h"
+
+namespace ril {
+
+// Renders a whole program. Output reparses to a structurally identical
+// program (modulo source positions).
+std::string PrintProgram(const Program& program);
+
+// Individual node renderers, exposed for diagnostics and tests.
+std::string PrintExpr(const Expr& expr);
+std::string PrintStmt(const Stmt& stmt, int indent = 0);
+std::string PrintType(const Type& type);
+
+}  // namespace ril
+
+#endif  // LINSYS_SRC_IFC_RIL_PRINTER_H_

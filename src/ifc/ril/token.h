@@ -1,0 +1,80 @@
+// Token definitions for RIL, the Rust-like imperative language used by the
+// §4 information-flow experiments.
+//
+// RIL exists because this project is C++: we cannot make the *host* compiler
+// reject ownership violations, so the paper's "the compiler rejects line 17"
+// claim is reproduced inside a small language whose checker we control
+// (DESIGN.md §2). RIL has structs, vecs, moves, borrows-in-calls, security
+// labels, and labeled output sinks — everything §4's programs need.
+#ifndef LINSYS_SRC_IFC_RIL_TOKEN_H_
+#define LINSYS_SRC_IFC_RIL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ril {
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kIdent,
+  kInt,       // integer literal
+  // Keywords.
+  kFn,
+  kLet,
+  kMut,
+  kStruct,
+  kSink,
+  kIf,
+  kElse,
+  kWhile,
+  kReturn,
+  kTrue,
+  kFalse,
+  kVecBang,   // 'vec!'
+  kAssertLabel,
+  kEmit,
+  kLabelAttr,  // '#[label'
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemi,
+  kColon,
+  kArrow,     // ->
+  kDot,
+  kAmp,       // &
+  kAssign,    // =
+  kEq,        // ==
+  kNe,        // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAndAnd,
+  kOrOr,
+  kBang,
+};
+
+std::string_view TokKindName(TokKind kind);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;      // identifier spelling / literal spelling
+  std::int64_t int_value = 0;
+  int line = 0;
+  int col = 0;
+};
+
+}  // namespace ril
+
+#endif  // LINSYS_SRC_IFC_RIL_TOKEN_H_

@@ -1,0 +1,490 @@
+#include "src/ifc/ril/types.h"
+
+#include <set>
+#include <utility>
+
+namespace ril {
+
+bool TypeChecker::IsBuiltin(const std::string& name) {
+  return name == "push" || name == "append" || name == "len" ||
+         name == "clone" || name == "check_range";
+}
+
+bool TypeChecker::Check() {
+  const std::size_t errors_before = diags_->count();
+
+  // Duplicate-name and struct-field sanity up front.
+  std::set<std::string> names;
+  for (const StructDecl& s : program_->structs) {
+    if (!names.insert(s.name).second) {
+      Error(s.line, 0, "duplicate struct '" + s.name + "'");
+    }
+    std::set<std::string> fields;
+    for (const auto& [fname, ftype] : s.fields) {
+      if (!fields.insert(fname).second) {
+        Error(s.line, 0,
+              "duplicate field '" + fname + "' in struct '" + s.name + "'");
+      }
+      if (ftype.base == BaseType::kStruct &&
+          program_->FindStruct(ftype.struct_name) == nullptr) {
+        Error(s.line, 0, "unknown field type '" + ftype.struct_name + "'");
+      }
+      if (ftype.base == BaseType::kStruct) {
+        // One-level structs keep per-field label tracking exact.
+        Error(s.line, 0,
+              "struct fields must be scalars or vecs (RIL structs are one "
+              "level deep)");
+      }
+    }
+  }
+  std::set<std::string> sink_names;
+  for (const SinkDecl& s : program_->sinks) {
+    if (!sink_names.insert(s.name).second) {
+      Error(s.line, 0, "duplicate sink '" + s.name + "'");
+    }
+  }
+  std::set<std::string> fn_names;
+  for (const FnDecl& f : program_->functions) {
+    if (!fn_names.insert(f.name).second) {
+      Error(f.line, 0, "duplicate function '" + f.name + "'");
+    }
+    if (IsBuiltin(f.name)) {
+      Error(f.line, 0, "function '" + f.name + "' shadows a builtin");
+    }
+  }
+
+  for (FnDecl& fn : program_->functions) {
+    CheckFunction(fn);
+  }
+  return diags_->count() == errors_before;
+}
+
+void TypeChecker::CheckFunction(FnDecl& fn) {
+  scopes_.clear();
+  scopes_.emplace_back();
+  for (const Param& p : fn.params) {
+    if (p.type.base == BaseType::kStruct &&
+        program_->FindStruct(p.type.struct_name) == nullptr) {
+      Error(fn.line, 0, "unknown parameter type '" + p.type.struct_name +
+                            "' in function '" + fn.name + "'");
+      continue;
+    }
+    // By-value params are owned locals; reference params are assignable
+    // through only when &mut.
+    Declare(p.name, p.type, /*is_mut=*/true, fn.line, 0);
+  }
+  CheckBlock(fn.body, fn);
+  scopes_.pop_back();
+}
+
+void TypeChecker::CheckBlock(Block& block, const FnDecl& fn) {
+  scopes_.emplace_back();
+  for (StmtPtr& stmt : block.stmts) {
+    CheckStmt(*stmt, fn);
+  }
+  scopes_.pop_back();
+}
+
+void TypeChecker::CheckStmt(Stmt& stmt, const FnDecl& fn) {
+  if (auto* let = stmt.As<LetStmt>()) {
+    Type init_type = CheckExpr(*let->init);
+    if (init_type.ref != RefKind::kNone) {
+      Error(stmt.line, stmt.col,
+            "references cannot be stored in variables (borrows live only "
+            "for the duration of a call)");
+    }
+    if (let->declared_type.has_value() &&
+        !let->declared_type->SameValueType(init_type)) {
+      Error(stmt.line, stmt.col,
+            "declared type " + let->declared_type->ToString() +
+                " does not match initializer type " + init_type.ToString());
+    }
+    Declare(let->name, init_type, let->is_mut, stmt.line, stmt.col);
+    return;
+  }
+  if (auto* assign = stmt.As<AssignStmt>()) {
+    bool is_mutable = false;
+    Type place_type = CheckPlace(*assign->place, &is_mutable);
+    if (!is_mutable) {
+      Error(stmt.line, stmt.col,
+            "assignment to immutable place (declare it with 'let mut')");
+    }
+    Type value_type = CheckExpr(*assign->value);
+    if (!place_type.SameValueType(value_type)) {
+      Error(stmt.line, stmt.col, "cannot assign " + value_type.ToString() +
+                                     " to place of type " +
+                                     place_type.ToString());
+    }
+    return;
+  }
+  if (auto* es = stmt.As<ExprStmt>()) {
+    CheckExpr(*es->expr);
+    return;
+  }
+  if (auto* ifs = stmt.As<IfStmt>()) {
+    Type cond = CheckExpr(*ifs->cond);
+    if (cond.base != BaseType::kBool) {
+      Error(stmt.line, stmt.col,
+            "if condition must be bool, got " + cond.ToString());
+    }
+    CheckBlock(ifs->then_block, fn);
+    if (ifs->else_block.has_value()) {
+      CheckBlock(*ifs->else_block, fn);
+    }
+    return;
+  }
+  if (auto* w = stmt.As<WhileStmt>()) {
+    Type cond = CheckExpr(*w->cond);
+    if (cond.base != BaseType::kBool) {
+      Error(stmt.line, stmt.col,
+            "while condition must be bool, got " + cond.ToString());
+    }
+    CheckBlock(w->body, fn);
+    return;
+  }
+  if (auto* ret = stmt.As<ReturnStmt>()) {
+    Type value_type = Type::Unit();
+    if (ret->value != nullptr) {
+      value_type = CheckExpr(*ret->value);
+    }
+    if (!value_type.SameValueType(fn.return_type)) {
+      Error(stmt.line, stmt.col,
+            "return type mismatch: function returns " +
+                fn.return_type.ToString() + ", got " + value_type.ToString());
+    }
+    return;
+  }
+  if (auto* a = stmt.As<AssertLabelStmt>()) {
+    CheckExpr(*a->expr);
+    return;
+  }
+  if (auto* e = stmt.As<EmitStmt>()) {
+    if (program_->FindSink(e->sink) == nullptr && e->sink != "stdout") {
+      Error(stmt.line, stmt.col, "unknown sink '" + e->sink + "'");
+    }
+    CheckExpr(*e->value);
+    return;
+  }
+}
+
+Type TypeChecker::CheckExpr(Expr& expr) {
+  if (auto* lit = expr.As<IntLit>()) {
+    (void)lit;
+    expr.type = Type::Int();
+  } else if (expr.Is<BoolLit>()) {
+    expr.type = Type::Bool();
+  } else if (auto* var = expr.As<VarRef>()) {
+    VarInfo* info = Lookup(var->name);
+    if (info == nullptr) {
+      Error(expr.line, expr.col, "unknown variable '" + var->name + "'");
+      expr.type = Type::Int();
+    } else {
+      // Reading through a reference parameter yields the pointee type.
+      expr.type = info->type;
+      expr.type.ref = RefKind::kNone;
+    }
+  } else if (expr.Is<FieldAccess>() || expr.Is<IndexExpr>()) {
+    bool is_mutable = false;
+    expr.type = CheckPlace(expr, &is_mutable);
+  } else if (auto* un = expr.As<UnaryExpr>()) {
+    Type t = CheckExpr(*un->operand);
+    if (un->op == TokKind::kMinus && t.base != BaseType::kInt) {
+      Error(expr.line, expr.col, "unary '-' needs int, got " + t.ToString());
+    }
+    if (un->op == TokKind::kBang && t.base != BaseType::kBool) {
+      Error(expr.line, expr.col, "'!' needs bool, got " + t.ToString());
+    }
+    expr.type = t;
+  } else if (auto* bin = expr.As<BinaryExpr>()) {
+    Type lhs = CheckExpr(*bin->lhs);
+    Type rhs = CheckExpr(*bin->rhs);
+    switch (bin->op) {
+      case TokKind::kPlus:
+      case TokKind::kMinus:
+      case TokKind::kStar:
+      case TokKind::kSlash:
+      case TokKind::kPercent:
+        if (lhs.base != BaseType::kInt || rhs.base != BaseType::kInt) {
+          Error(expr.line, expr.col,
+                "arithmetic needs int operands, got " + lhs.ToString() +
+                    " and " + rhs.ToString());
+        }
+        expr.type = Type::Int();
+        break;
+      case TokKind::kLt:
+      case TokKind::kLe:
+      case TokKind::kGt:
+      case TokKind::kGe:
+        if (lhs.base != BaseType::kInt || rhs.base != BaseType::kInt) {
+          Error(expr.line, expr.col, "comparison needs int operands");
+        }
+        expr.type = Type::Bool();
+        break;
+      case TokKind::kEq:
+      case TokKind::kNe:
+        if (!lhs.SameValueType(rhs) ||
+            (lhs.base != BaseType::kInt && lhs.base != BaseType::kBool)) {
+          Error(expr.line, expr.col,
+                "equality needs matching int or bool operands");
+        }
+        expr.type = Type::Bool();
+        break;
+      case TokKind::kAndAnd:
+      case TokKind::kOrOr:
+        if (lhs.base != BaseType::kBool || rhs.base != BaseType::kBool) {
+          Error(expr.line, expr.col, "logical operator needs bool operands");
+        }
+        expr.type = Type::Bool();
+        break;
+      default:
+        Error(expr.line, expr.col, "unsupported binary operator");
+        expr.type = Type::Int();
+        break;
+    }
+  } else if (auto* call = expr.As<CallExpr>()) {
+    expr.type = CheckCall(expr, *call);
+  } else if (auto* vec = expr.As<VecLit>()) {
+    for (ExprPtr& element : vec->elements) {
+      Type t = CheckExpr(*element);
+      if (t.base != BaseType::kInt) {
+        Error(element->line, element->col,
+              "vec! elements must be int, got " + t.ToString());
+      }
+    }
+    expr.type = Type::Vec();
+  } else if (auto* slit = expr.As<StructLit>()) {
+    const StructDecl* decl = program_->FindStruct(slit->name);
+    if (decl == nullptr) {
+      Error(expr.line, expr.col, "unknown struct '" + slit->name + "'");
+      expr.type = Type::Int();
+      return expr.type;
+    }
+    std::set<std::string> seen;
+    for (auto& [fname, fexpr] : slit->fields) {
+      const Type* want = decl->FieldType(fname);
+      if (want == nullptr) {
+        Error(fexpr->line, fexpr->col,
+              "struct '" + slit->name + "' has no field '" + fname + "'");
+        continue;
+      }
+      if (!seen.insert(fname).second) {
+        Error(fexpr->line, fexpr->col, "field '" + fname + "' set twice");
+      }
+      Type got = CheckExpr(*fexpr);
+      if (!got.SameValueType(*want)) {
+        Error(fexpr->line, fexpr->col,
+              "field '" + fname + "' needs " + want->ToString() + ", got " +
+                  got.ToString());
+      }
+    }
+    if (seen.size() != decl->fields.size()) {
+      Error(expr.line, expr.col,
+            "struct literal must initialize every field of '" + slit->name +
+                "'");
+    }
+    expr.type = Type::Struct(slit->name);
+  } else if (auto* borrow = expr.As<BorrowExpr>()) {
+    bool place_mutable = false;
+    Type pointee = CheckPlace(*borrow->place, &place_mutable);
+    if (borrow->is_mut && !place_mutable) {
+      Error(expr.line, expr.col,
+            "cannot take &mut of an immutable place (declare 'let mut')");
+    }
+    expr.type = pointee;
+    expr.type.ref = borrow->is_mut ? RefKind::kMut : RefKind::kShared;
+  }
+  return expr.type;
+}
+
+Type TypeChecker::CheckCall(Expr& expr, CallExpr& call) {
+  if (IsBuiltin(call.callee)) {
+    return CheckBuiltin(expr, call);
+  }
+  const FnDecl* fn = program_->FindFunction(call.callee);
+  if (fn == nullptr) {
+    Error(expr.line, expr.col, "unknown function '" + call.callee + "'");
+    for (ExprPtr& arg : call.args) {
+      CheckExpr(*arg);
+    }
+    return Type::Int();
+  }
+  if (call.args.size() != fn->params.size()) {
+    Error(expr.line, expr.col,
+          "'" + call.callee + "' takes " +
+              std::to_string(fn->params.size()) + " argument(s), got " +
+              std::to_string(call.args.size()));
+  }
+  const std::size_t n = std::min(call.args.size(), fn->params.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    Type got = CheckExpr(*call.args[i]);
+    const Type& want = fn->params[i].type;
+    if (!got.SameValueType(want) || got.ref != want.ref) {
+      Error(call.args[i]->line, call.args[i]->col,
+            "argument " + std::to_string(i + 1) + " of '" + call.callee +
+                "' needs " + want.ToString() + ", got " + got.ToString());
+    }
+  }
+  return fn->return_type;
+}
+
+Type TypeChecker::CheckBuiltin(Expr& expr, CallExpr& call) {
+  auto expect_args = [&](std::size_t n) {
+    if (call.args.size() != n) {
+      Error(expr.line, expr.col,
+            "'" + call.callee + "' takes " + std::to_string(n) +
+                " argument(s), got " + std::to_string(call.args.size()));
+      return false;
+    }
+    return true;
+  };
+  auto expect_vec_borrow = [&](std::size_t i, bool want_mut) {
+    Type got = CheckExpr(*call.args[i]);
+    const RefKind want_ref = want_mut ? RefKind::kMut : RefKind::kShared;
+    if (got.base != BaseType::kVec || got.ref != want_ref) {
+      Error(call.args[i]->line, call.args[i]->col,
+            "argument " + std::to_string(i + 1) + " of '" + call.callee +
+                "' needs " + std::string(want_mut ? "&mut vec" : "&vec") +
+                ", got " + got.ToString());
+    }
+  };
+
+  if (call.callee == "push") {
+    if (expect_args(2)) {
+      expect_vec_borrow(0, /*want_mut=*/true);
+      Type v = CheckExpr(*call.args[1]);
+      if (v.base != BaseType::kInt) {
+        Error(call.args[1]->line, call.args[1]->col,
+              "push value must be int, got " + v.ToString());
+      }
+    }
+    return Type::Unit();
+  }
+  if (call.callee == "append") {
+    if (expect_args(2)) {
+      expect_vec_borrow(0, /*want_mut=*/true);
+      Type v = CheckExpr(*call.args[1]);
+      if (v.base != BaseType::kVec || v.ref != RefKind::kNone) {
+        Error(call.args[1]->line, call.args[1]->col,
+              "append source must be an owned vec (it is consumed), got " +
+                  v.ToString());
+      }
+    }
+    return Type::Unit();
+  }
+  if (call.callee == "len") {
+    if (expect_args(1)) {
+      expect_vec_borrow(0, /*want_mut=*/false);
+    }
+    return Type::Int();
+  }
+  if (call.callee == "check_range") {
+    // check_range(x, lo, hi): asserts x in [lo, hi]; verified statically by
+    // the interval analyzer, enforced dynamically by the interpreter.
+    // Returns x (so the refined value can be bound).
+    if (expect_args(3)) {
+      for (int i = 0; i < 3; ++i) {
+        Type t = CheckExpr(*call.args[static_cast<std::size_t>(i)]);
+        if (t.base != BaseType::kInt || t.ref != RefKind::kNone) {
+          Error(call.args[static_cast<std::size_t>(i)]->line,
+                call.args[static_cast<std::size_t>(i)]->col,
+                "check_range arguments must be int, got " + t.ToString());
+        }
+      }
+    }
+    return Type::Int();
+  }
+  // clone
+  if (expect_args(1)) {
+    expect_vec_borrow(0, /*want_mut=*/false);
+  }
+  return Type::Vec();
+}
+
+Type TypeChecker::CheckPlace(Expr& expr, bool* is_mutable) {
+  if (auto* var = expr.As<VarRef>()) {
+    VarInfo* info = Lookup(var->name);
+    if (info == nullptr) {
+      Error(expr.line, expr.col, "unknown variable '" + var->name + "'");
+      expr.type = Type::Int();
+      *is_mutable = false;
+      return expr.type;
+    }
+    // A reference parameter is itself a place for its pointee; mutability
+    // comes from the reference kind.
+    if (info->type.ref != RefKind::kNone) {
+      *is_mutable = info->type.ref == RefKind::kMut;
+    } else {
+      *is_mutable = info->is_mut;
+    }
+    expr.type = info->type;
+    expr.type.ref = RefKind::kNone;
+    return expr.type;
+  }
+  if (auto* fa = expr.As<FieldAccess>()) {
+    bool base_mut = false;
+    Type base = CheckPlace(*fa->base, &base_mut);
+    if (base.base != BaseType::kStruct) {
+      Error(expr.line, expr.col,
+            "field access on non-struct type " + base.ToString());
+      expr.type = Type::Int();
+      *is_mutable = false;
+      return expr.type;
+    }
+    const StructDecl* decl = program_->FindStruct(base.struct_name);
+    const Type* ftype = decl ? decl->FieldType(fa->field) : nullptr;
+    if (ftype == nullptr) {
+      Error(expr.line, expr.col, "struct '" + base.struct_name +
+                                     "' has no field '" + fa->field + "'");
+      expr.type = Type::Int();
+      *is_mutable = false;
+      return expr.type;
+    }
+    expr.type = *ftype;
+    *is_mutable = base_mut;
+    return expr.type;
+  }
+  if (auto* ix = expr.As<IndexExpr>()) {
+    bool base_mut = false;
+    Type base = CheckPlace(*ix->base, &base_mut);
+    if (base.base != BaseType::kVec) {
+      Error(expr.line, expr.col,
+            "indexing needs a vec, got " + base.ToString());
+    }
+    Type idx = CheckExpr(*ix->index);
+    if (idx.base != BaseType::kInt) {
+      Error(expr.line, expr.col, "index must be int, got " + idx.ToString());
+    }
+    expr.type = Type::Int();
+    *is_mutable = base_mut;
+    return expr.type;
+  }
+  Error(expr.line, expr.col,
+        "expected a place (variable, field, or index)");
+  *is_mutable = false;
+  expr.type = CheckExpr(expr);
+  return expr.type;
+}
+
+TypeChecker::VarInfo* TypeChecker::Lookup(const std::string& name) {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->find(name);
+    if (found != it->end()) {
+      return &found->second;
+    }
+  }
+  return nullptr;
+}
+
+void TypeChecker::Declare(const std::string& name, Type type, bool is_mut,
+                          int line, int col) {
+  if (Lookup(name) != nullptr) {
+    Error(line, col,
+          "variable '" + name +
+              "' shadows an existing binding (RIL forbids shadowing so "
+              "ownership state stays unambiguous)");
+    return;
+  }
+  scopes_.back()[name] = VarInfo{std::move(type), is_mut};
+}
+
+}  // namespace ril

@@ -1,0 +1,253 @@
+// lin::Arc<T> / lin::ArcWeak<T> — atomic reference counting with weak
+// references, the cross-thread sibling of lin::Rc.
+//
+// Two roles in this project:
+//   * §3 SFI: each rref holds an ArcWeak to its proxy entry in the owning
+//     domain's reference table; revocation drops the strong count and every
+//     later Upgrade() fails — exactly the paper's revocation story.
+//   * §5 checkpointing of shared state: Arc carries the same epoch-mark hook
+//     as Rc, taken with a CAS so concurrent checkpointers dedup correctly.
+//
+// Memory ordering follows the standard Boost/libstdc++ pattern: increments
+// relaxed, decrements acq_rel with the final decrement acquiring before
+// destruction.
+#ifndef LINSYS_SRC_LIN_ARC_H_
+#define LINSYS_SRC_LIN_ARC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "src/util/panic.h"
+
+namespace lin {
+
+template <typename T>
+class ArcWeak;
+
+namespace internal {
+
+template <typename T>
+struct ArcBlock {
+  template <typename... Args>
+  explicit ArcBlock(Args&&... args) {
+    ::new (Payload()) T(std::forward<Args>(args)...);
+  }
+
+  T* Payload() { return std::launder(reinterpret_cast<T*>(storage)); }
+  const T* Payload() const {
+    return std::launder(reinterpret_cast<const T*>(storage));
+  }
+
+  std::atomic<std::uint32_t> strong{1};
+  // `weak` counts weak handles plus one for "some strong handle exists",
+  // the standard trick that makes the block-free decision race-free.
+  std::atomic<std::uint32_t> weak{1};
+  std::atomic<std::uint64_t> mark{0};
+  std::atomic<std::uint64_t> mark_aux{0};  // copy-id for checkpoint marks
+  alignas(T) unsigned char storage[sizeof(T)];
+};
+
+}  // namespace internal
+
+template <typename T>
+class Arc {
+ public:
+  Arc() = default;
+
+  template <typename... Args>
+  static Arc Make(Args&&... args) {
+    return Arc(new internal::ArcBlock<T>(std::forward<Args>(args)...));
+  }
+
+  Arc(const Arc& other) : block_(other.block_) {
+    if (block_ != nullptr) {
+      block_->strong.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Arc& operator=(const Arc& other) {
+    if (this != &other) {
+      Arc tmp(other);
+      std::swap(block_, tmp.block_);
+    }
+    return *this;
+  }
+  Arc(Arc&& other) noexcept : block_(other.block_) { other.block_ = nullptr; }
+  Arc& operator=(Arc&& other) noexcept {
+    if (this != &other) {
+      Release();
+      block_ = other.block_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+  ~Arc() { Release(); }
+
+  bool has_value() const { return block_ != nullptr; }
+  explicit operator bool() const { return has_value(); }
+
+  const T& operator*() const {
+    CheckAlive();
+    return *block_->Payload();
+  }
+  const T* operator->() const { return &**this; }
+
+  // Arc gives shared *read* access; mutation goes through lin::Mutex<T>
+  // payloads (whose Lock() is non-const by design) or sole ownership.
+  T* GetMutIfUnique() {
+    CheckAlive();
+    if (block_->strong.load(std::memory_order_acquire) == 1 &&
+        block_->weak.load(std::memory_order_acquire) == 1) {
+      return block_->Payload();
+    }
+    return nullptr;
+  }
+
+  // Shared access to a payload that manages its own synchronization (e.g.
+  // lin::Mutex<U>). Non-const to make mutation intent explicit at call site.
+  T& SharedMut() const {
+    CheckAlive();
+    return *const_cast<T*>(block_->Payload());
+  }
+
+  std::uint32_t StrongCount() const {
+    return block_ == nullptr
+               ? 0
+               : block_->strong.load(std::memory_order_relaxed);
+  }
+
+  bool SameObject(const Arc& other) const { return block_ == other.block_; }
+  const void* Id() const { return block_; }
+
+  // Concurrent first-visit mark (see Rc::MarkVisited). CAS so that exactly
+  // one of several racing checkpointers wins a given epoch.
+  bool MarkVisited(std::uint64_t epoch) const {
+    CheckAlive();
+    std::uint64_t seen = block_->mark.load(std::memory_order_relaxed);
+    while (seen != epoch) {
+      if (block_->mark.compare_exchange_weak(seen, epoch,
+                                             std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Checkpoint hook with copy-id (see Rc::CheckpointMark). The aux store
+  // happens before the epoch CAS publishes it, so a loser reading the mark
+  // after a failed CAS observes the winner's id.
+  bool CheckpointMark(std::uint64_t epoch, std::uint64_t fresh_id,
+                      std::uint64_t* existing_id) const {
+    CheckAlive();
+    std::uint64_t seen = block_->mark.load(std::memory_order_acquire);
+    while (seen != epoch) {
+      block_->mark_aux.store(fresh_id, std::memory_order_relaxed);
+      if (block_->mark.compare_exchange_weak(seen, epoch,
+                                             std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    *existing_id = block_->mark_aux.load(std::memory_order_acquire);
+    return false;
+  }
+
+ private:
+  friend class ArcWeak<T>;
+
+  explicit Arc(internal::ArcBlock<T>* block) : block_(block) {}
+
+  void CheckAlive() const {
+    if (block_ == nullptr) {
+      util::Panic(util::PanicKind::kUseAfterMove,
+                  "lin::Arc accessed after move/reset");
+    }
+  }
+
+  void Release() {
+    if (block_ == nullptr) {
+      return;
+    }
+    if (block_->strong.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      block_->Payload()->~T();
+      if (block_->weak.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        delete block_;
+      }
+    }
+    block_ = nullptr;
+  }
+
+  internal::ArcBlock<T>* block_ = nullptr;
+};
+
+template <typename T>
+class ArcWeak {
+ public:
+  ArcWeak() = default;
+  explicit ArcWeak(const Arc<T>& strong) : block_(strong.block_) {
+    if (block_ != nullptr) {
+      block_->weak.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ArcWeak(const ArcWeak& other) : block_(other.block_) {
+    if (block_ != nullptr) {
+      block_->weak.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ArcWeak& operator=(const ArcWeak& other) {
+    if (this != &other) {
+      ArcWeak tmp(other);
+      std::swap(block_, tmp.block_);
+    }
+    return *this;
+  }
+  ArcWeak(ArcWeak&& other) noexcept : block_(other.block_) {
+    other.block_ = nullptr;
+  }
+  ArcWeak& operator=(ArcWeak&& other) noexcept {
+    if (this != &other) {
+      Release();
+      block_ = other.block_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+  ~ArcWeak() { Release(); }
+
+  // Lock-free upgrade: increments strong only if it is still nonzero.
+  Arc<T> Upgrade() const {
+    if (block_ == nullptr) {
+      return Arc<T>();
+    }
+    std::uint32_t count = block_->strong.load(std::memory_order_relaxed);
+    while (count != 0) {
+      if (block_->strong.compare_exchange_weak(count, count + 1,
+                                               std::memory_order_acq_rel)) {
+        return Arc<T>(block_);
+      }
+    }
+    return Arc<T>();
+  }
+
+  bool Expired() const {
+    return block_ == nullptr ||
+           block_->strong.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  void Release() {
+    if (block_ == nullptr) {
+      return;
+    }
+    if (block_->weak.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete block_;
+    }
+    block_ = nullptr;
+  }
+
+  internal::ArcBlock<T>* block_ = nullptr;
+};
+
+}  // namespace lin
+
+#endif  // LINSYS_SRC_LIN_ARC_H_

@@ -1,0 +1,47 @@
+// lin::Cell<T> — interior mutability for small copyable values (counters,
+// flags, config knobs), modeled on Rust's std::cell::Cell.
+//
+// Get/Set copy the whole value, so no reference to the interior ever
+// escapes — which is why it is safe to mutate through a shared handle even
+// under the aliasing-xor-mutation discipline the rest of lin:: enforces.
+#ifndef LINSYS_SRC_LIN_CELL_H_
+#define LINSYS_SRC_LIN_CELL_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace lin {
+
+template <typename T>
+class Cell {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "lin::Cell requires a trivially copyable T; use lin::Mutex "
+                "or Own/BorrowMut for larger state");
+
+ public:
+  Cell() = default;
+  explicit Cell(T value) : value_(value) {}
+
+  T Get() const { return value_; }
+  void Set(T value) const { value_ = value; }
+
+  // Swap in a new value, returning the old one.
+  T Replace(T value) const {
+    T old = value_;
+    value_ = value;
+    return old;
+  }
+
+  // Apply f to the current value and store the result (read-modify-write).
+  template <typename Fn>
+  void Update(Fn&& f) const {
+    value_ = std::forward<Fn>(f)(value_);
+  }
+
+ private:
+  mutable T value_{};
+};
+
+}  // namespace lin
+
+#endif  // LINSYS_SRC_LIN_CELL_H_

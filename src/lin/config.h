@@ -1,0 +1,20 @@
+// Build-mode switch for the lin:: ownership runtime.
+//
+// LINSYS_CHECKED_OWNERSHIP=1 (default, set by CMake option LINSYS_CHECKED):
+// every Own/borrow operation maintains a borrow flag and panics
+// deterministically on use-after-move, aliasing-xor-mutation violations, and
+// drop-while-borrowed. This is the "borrow checker at runtime" that stands in
+// for Rust's static checker (see DESIGN.md §2).
+//
+// LINSYS_CHECKED_OWNERSHIP=0: the flags and checks compile away entirely, so
+// Own<T> is exactly a unique_ptr-shaped box — this build demonstrates the
+// paper's "zero runtime overhead during normal execution" claim and is what
+// the Figure-2 bench uses for its no-isolation baseline sanity row.
+#ifndef LINSYS_SRC_LIN_CONFIG_H_
+#define LINSYS_SRC_LIN_CONFIG_H_
+
+#ifndef LINSYS_CHECKED_OWNERSHIP
+#define LINSYS_CHECKED_OWNERSHIP 1
+#endif
+
+#endif  // LINSYS_SRC_LIN_CONFIG_H_

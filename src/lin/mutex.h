@@ -1,0 +1,121 @@
+// lin::Mutex<T> — a data-holding mutex with poisoning, modeled on Rust's
+// std::sync::Mutex.
+//
+// Unlike std::mutex, the protected data lives *inside* the lock, so the only
+// way to reach it is through a Lock() guard — "dynamically enforced single
+// ownership" as §2 of the paper puts it. If a panic unwinds while the lock is
+// held, the mutex is poisoned and later Lock() calls panic (kPoisoned),
+// because the invariants of the protected data may be broken; recovery code
+// can clear the poison explicitly after restoring a clean state.
+#ifndef LINSYS_SRC_LIN_MUTEX_H_
+#define LINSYS_SRC_LIN_MUTEX_H_
+
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "src/util/panic.h"
+
+namespace lin {
+
+template <typename T>
+class MutexGuard;
+
+template <typename T>
+class Mutex {
+ public:
+  template <typename... Args>
+  explicit Mutex(Args&&... args) : value_(std::forward<Args>(args)...) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // Move support (std::mutex itself cannot move; the *value* does): takes
+  // the source's lock, moves the value out, and starts with a fresh,
+  // unpoisoned mutex. Needed so Mutex<T> fields fit the checkpoint-restore
+  // Load()->T pattern; not intended for concurrent hand-offs.
+  Mutex(Mutex&& other) : value_(std::move(*other.Lock())) {}
+  Mutex& operator=(Mutex&& other) {
+    if (this != &other) {
+      T incoming = std::move(*other.Lock());
+      auto guard = LockClearPoison();
+      *guard = std::move(incoming);
+    }
+    return *this;
+  }
+
+  // Blocks until the lock is held; panics if the mutex is poisoned.
+  MutexGuard<T> Lock();
+
+  // As Lock(), but clears a poisoned state instead of panicking — for
+  // recovery paths that are about to overwrite the data anyway.
+  MutexGuard<T> LockClearPoison();
+
+  bool IsPoisoned() const { return poisoned_; }
+
+ private:
+  friend class MutexGuard<T>;
+
+  std::mutex mu_;
+  bool poisoned_ = false;
+  T value_;
+};
+
+// RAII guard giving exclusive access to the protected value. If destroyed
+// during unwinding (a panic escaped while holding the lock), it poisons the
+// mutex on the way out.
+template <typename T>
+class MutexGuard {
+ public:
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+  MutexGuard(MutexGuard&& other) noexcept
+      : mutex_(other.mutex_), entry_exceptions_(other.entry_exceptions_) {
+    other.mutex_ = nullptr;
+  }
+  MutexGuard& operator=(MutexGuard&&) = delete;
+
+  ~MutexGuard() {
+    if (mutex_ == nullptr) {
+      return;
+    }
+    if (std::uncaught_exceptions() > entry_exceptions_) {
+      mutex_->poisoned_ = true;
+    }
+    mutex_->mu_.unlock();
+  }
+
+  T& operator*() const { return mutex_->value_; }
+  T* operator->() const { return &mutex_->value_; }
+
+ private:
+  friend class Mutex<T>;
+
+  explicit MutexGuard(Mutex<T>* mutex)
+      : mutex_(mutex), entry_exceptions_(std::uncaught_exceptions()) {}
+
+  Mutex<T>* mutex_;
+  int entry_exceptions_;
+};
+
+template <typename T>
+MutexGuard<T> Mutex<T>::Lock() {
+  mu_.lock();
+  if (poisoned_) {
+    mu_.unlock();
+    util::Panic(util::PanicKind::kPoisoned,
+                "lin::Mutex is poisoned by a previous panic");
+  }
+  return MutexGuard<T>(this);
+}
+
+template <typename T>
+MutexGuard<T> Mutex<T>::LockClearPoison() {
+  mu_.lock();
+  poisoned_ = false;
+  return MutexGuard<T>(this);
+}
+
+}  // namespace lin
+
+#endif  // LINSYS_SRC_LIN_MUTEX_H_

@@ -1,0 +1,301 @@
+// lin::Own<T> — the affine owning handle at the core of this project.
+//
+// C++ move semantics are *affine* (a moved-from handle still exists) where
+// Rust's are *linear-checked* (the compiler rejects any later use). Own<T>
+// closes the gap dynamically: every access through a consumed handle is a
+// deterministic util::Panic(kUseAfterMove), and borrows are tracked with a
+// RefCell-style flag so aliasing-xor-mutation holds at runtime. All of the
+// paper's arguments — the SFI sender losing access after transfer (§3), the
+// IFC aliasing exploit being impossible (§4), checkpoint traversal needing no
+// visited-set (§5) — only require that violations *cannot go unnoticed*; a
+// deterministic panic (recoverable by the domain runtime) provides that.
+//
+// The payload lives in a heap Box whose address is stable across moves of the
+// handle, so outstanding borrows stay valid while ownership moves between
+// stack frames, containers, and domains.
+#ifndef LINSYS_SRC_LIN_OWN_H_
+#define LINSYS_SRC_LIN_OWN_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/lin/config.h"
+#include "src/util/panic.h"
+
+namespace lin {
+
+namespace internal {
+
+// Borrow state: 0 = unborrowed, >0 = N shared borrows, -1 = one mutable
+// borrow. Not atomic: like Rust's RefCell, an Own and its borrows belong to
+// one thread; cross-thread sharing must go through Arc/Mutex.
+using BorrowFlag = std::int32_t;
+inline constexpr BorrowFlag kExclusive = -1;
+
+template <typename T>
+struct Box {
+#if LINSYS_CHECKED_OWNERSHIP
+  BorrowFlag borrow = 0;
+#endif
+  T value;
+
+  template <typename... Args>
+  explicit Box(Args&&... args) : value(std::forward<Args>(args)...) {}
+};
+
+[[noreturn]] inline void PanicUseAfterMove() {
+  util::Panic(util::PanicKind::kUseAfterMove,
+              "lin::Own accessed after its value was moved out");
+}
+
+[[noreturn]] inline void PanicBorrowConflict(const char* what) {
+  util::Panic(util::PanicKind::kBorrowConflict, what);
+}
+
+}  // namespace internal
+
+template <typename T>
+class Ref;
+template <typename T>
+class Mut;
+
+// Unique owner of a heap-allocated T. Move-only; moving transfers ownership
+// and consumes the source handle.
+template <typename T>
+class Own {
+ public:
+  // Empty (consumed) handle. Any access panics until a value is assigned.
+  Own() = default;
+
+  // Constructs a T in place on the heap.
+  template <typename... Args>
+  static Own Make(Args&&... args) {
+    return Own(new internal::Box<T>(std::forward<Args>(args)...));
+  }
+
+  Own(const Own&) = delete;
+  Own& operator=(const Own&) = delete;
+
+  Own(Own&& other) noexcept : box_(other.box_) { other.box_ = nullptr; }
+
+  Own& operator=(Own&& other) noexcept(!LINSYS_CHECKED_OWNERSHIP) {
+    if (this != &other) {
+      Release();
+      box_ = other.box_;
+      other.box_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~Own() noexcept(!LINSYS_CHECKED_OWNERSHIP) { Release(); }
+
+  // True if this handle still owns a value.
+  bool has_value() const { return box_ != nullptr; }
+  explicit operator bool() const { return has_value(); }
+
+  // Direct access. Requires an un-consumed handle; in checked builds also
+  // requires no outstanding mutable borrow (shared reads are fine).
+  const T& operator*() const {
+    CheckAlive();
+    CheckNotExclusivelyBorrowed();
+    return box_->value;
+  }
+  T& operator*() {
+    CheckAlive();
+    CheckUnborrowed("mutable access to lin::Own while it is borrowed");
+    return box_->value;
+  }
+  const T* operator->() const { return &**this; }
+  T* operator->() { return &**this; }
+
+  // Shared borrow (analog of &T). Multiple may coexist; panics if a mutable
+  // borrow is live.
+  Ref<T> Borrow() const;
+
+  // Exclusive borrow (analog of &mut T). Panics if any borrow is live.
+  Mut<T> BorrowMut();
+
+  // Consumes the handle and returns the value by move.
+  T Take() {
+    CheckAlive();
+    CheckUnborrowed("lin::Own::Take() while borrowed");
+    T out = std::move(box_->value);
+    delete box_;
+    box_ = nullptr;
+    return out;
+  }
+
+  // Consumes the handle, destroying the value (explicit early drop).
+  void Drop() {
+    CheckAlive();
+    Release();
+  }
+
+ private:
+  template <typename U>
+  friend class Ref;
+  template <typename U>
+  friend class Mut;
+
+  explicit Own(internal::Box<T>* box) : box_(box) {}
+
+  void CheckAlive() const {
+    if (box_ == nullptr) {
+      internal::PanicUseAfterMove();
+    }
+  }
+
+  void CheckUnborrowed([[maybe_unused]] const char* what) const {
+#if LINSYS_CHECKED_OWNERSHIP
+    if (box_->borrow != 0) {
+      internal::PanicBorrowConflict(what);
+    }
+#endif
+  }
+
+  void CheckNotExclusivelyBorrowed() const {
+#if LINSYS_CHECKED_OWNERSHIP
+    if (box_->borrow == internal::kExclusive) {
+      internal::PanicBorrowConflict(
+          "read of lin::Own while mutably borrowed");
+    }
+#endif
+  }
+
+  void Release() noexcept(!LINSYS_CHECKED_OWNERSHIP) {
+    if (box_ == nullptr) {
+      return;
+    }
+#if LINSYS_CHECKED_OWNERSHIP
+    if (box_->borrow != 0) {
+      // Dropping a value with live borrows would dangle them. If we are
+      // already unwinding (e.g. a domain panic), leak the box instead of
+      // terminating: the domain's recovery path discards the heap anyway.
+      if (std::uncaught_exceptions() > 0) {
+        box_ = nullptr;
+        return;
+      }
+      internal::PanicBorrowConflict("lin::Own destroyed while borrowed");
+    }
+#endif
+    delete box_;
+    box_ = nullptr;
+  }
+
+  internal::Box<T>* box_ = nullptr;
+};
+
+// Shared borrow guard. Copyable (like Rust &T); keeps the borrow flag
+// incremented for its lifetime.
+template <typename T>
+class Ref {
+ public:
+  Ref(const Ref& other) : box_(other.box_) { Acquire(); }
+  Ref& operator=(const Ref& other) {
+    if (this != &other) {
+      ReleaseFlag();
+      box_ = other.box_;
+      Acquire();
+    }
+    return *this;
+  }
+  Ref(Ref&& other) noexcept : box_(other.box_) { other.box_ = nullptr; }
+  Ref& operator=(Ref&& other) noexcept {
+    if (this != &other) {
+      ReleaseFlag();
+      box_ = other.box_;
+      other.box_ = nullptr;
+    }
+    return *this;
+  }
+  ~Ref() { ReleaseFlag(); }
+
+  const T& operator*() const { return box_->value; }
+  const T* operator->() const { return &box_->value; }
+
+ private:
+  friend class Own<T>;
+
+  explicit Ref(internal::Box<T>* box) : box_(box) { Acquire(); }
+
+  void Acquire() {
+#if LINSYS_CHECKED_OWNERSHIP
+    if (box_ != nullptr) {
+      ++box_->borrow;
+    }
+#endif
+  }
+  void ReleaseFlag() {
+#if LINSYS_CHECKED_OWNERSHIP
+    if (box_ != nullptr) {
+      --box_->borrow;
+    }
+#endif
+  }
+
+  internal::Box<T>* box_;
+};
+
+// Exclusive borrow guard. Move-only (like Rust &mut T).
+template <typename T>
+class Mut {
+ public:
+  Mut(const Mut&) = delete;
+  Mut& operator=(const Mut&) = delete;
+  Mut(Mut&& other) noexcept : box_(other.box_) { other.box_ = nullptr; }
+  Mut& operator=(Mut&& other) noexcept {
+    if (this != &other) {
+      ReleaseFlag();
+      box_ = other.box_;
+      other.box_ = nullptr;
+    }
+    return *this;
+  }
+  ~Mut() { ReleaseFlag(); }
+
+  T& operator*() const { return box_->value; }
+  T* operator->() const { return &box_->value; }
+
+ private:
+  friend class Own<T>;
+
+  explicit Mut(internal::Box<T>* box) : box_(box) {
+#if LINSYS_CHECKED_OWNERSHIP
+    box_->borrow = internal::kExclusive;
+#endif
+  }
+
+  void ReleaseFlag() {
+#if LINSYS_CHECKED_OWNERSHIP
+    if (box_ != nullptr) {
+      box_->borrow = 0;
+    }
+#endif
+  }
+
+  internal::Box<T>* box_;
+};
+
+template <typename T>
+Ref<T> Own<T>::Borrow() const {
+  CheckAlive();
+  CheckNotExclusivelyBorrowed();
+  return Ref<T>(box_);
+}
+
+template <typename T>
+Mut<T> Own<T>::BorrowMut() {
+  CheckAlive();
+  CheckUnborrowed("lin::Own::BorrowMut() while already borrowed");
+  return Mut<T>(box_);
+}
+
+// Convenience: lin::Make<T>(...) reads like Rust's Box::new.
+template <typename T, typename... Args>
+Own<T> Make(Args&&... args) {
+  return Own<T>::Make(std::forward<Args>(args)...);
+}
+
+}  // namespace lin
+
+#endif  // LINSYS_SRC_LIN_OWN_H_

@@ -1,0 +1,259 @@
+// lin::Rc<T> — single-threaded reference-counted aliasing, made *explicit*.
+//
+// In the paper's model (§2, §5), aliasing is only possible when it is visible
+// in the type: objects wrapped in Rc/Arc may have multiple owners, everything
+// else is uniquely owned. Rc is therefore "the one place aliasing lives", and
+// §5 exploits that: the checkpoint library specializes its traversal at Rc
+// and nowhere else.
+//
+// The control block carries a `mark` word for that purpose: an epoch-stamped
+// first-visit flag. The paper describes a boolean "internal flag set the
+// first time checkpoint() is called"; an epoch counter is the same idea minus
+// the need to clear flags between checkpoints (stale epochs read as
+// unvisited). See src/ckpt/rc_ckpt.h.
+#ifndef LINSYS_SRC_LIN_RC_H_
+#define LINSYS_SRC_LIN_RC_H_
+
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "src/util/panic.h"
+
+// GCC's -Wuse-after-free cannot correlate the strong/weak counters across
+// inlined destructor sequences and reports false positives on the standard
+// refcount release pattern below; the logic matches libstdc++'s shared_ptr.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuse-after-free"
+#endif
+
+namespace lin {
+
+template <typename T>
+class RcWeak;
+
+namespace internal {
+
+// Control block: counts + checkpoint mark + in-place payload storage. The
+// payload is destroyed when the last strong reference drops; the block
+// outlives it while weak references remain (Rust's Rc layout).
+template <typename T>
+struct RcBlock {
+  template <typename... Args>
+  explicit RcBlock(Args&&... args) {
+    ::new (Payload()) T(std::forward<Args>(args)...);
+  }
+
+  T* Payload() { return std::launder(reinterpret_cast<T*>(storage)); }
+  const T* Payload() const {
+    return std::launder(reinterpret_cast<const T*>(storage));
+  }
+
+  void DestroyPayload() {
+    Payload()->~T();
+    payload_alive = false;
+  }
+
+  std::uint32_t strong = 1;
+  std::uint32_t weak = 0;
+  std::uint64_t mark = 0;
+  std::uint64_t mark_aux = 0;  // copy-id stored alongside the epoch mark
+  bool payload_alive = true;
+  alignas(T) unsigned char storage[sizeof(T)];
+};
+
+}  // namespace internal
+
+template <typename T>
+class Rc {
+ public:
+  Rc() = default;
+
+  template <typename... Args>
+  static Rc Make(Args&&... args) {
+    return Rc(new internal::RcBlock<T>(std::forward<Args>(args)...));
+  }
+
+  Rc(const Rc& other) : block_(other.block_) {
+    if (block_ != nullptr) {
+      ++block_->strong;
+    }
+  }
+  Rc& operator=(const Rc& other) {
+    if (this != &other) {
+      Rc tmp(other);
+      std::swap(block_, tmp.block_);
+    }
+    return *this;
+  }
+  Rc(Rc&& other) noexcept : block_(other.block_) { other.block_ = nullptr; }
+  Rc& operator=(Rc&& other) noexcept {
+    if (this != &other) {
+      Release();
+      block_ = other.block_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+  ~Rc() { Release(); }
+
+  bool has_value() const { return block_ != nullptr; }
+  explicit operator bool() const { return has_value(); }
+
+  // Shared read access. Rc alone is read-only aliasing, as in Rust; interior
+  // mutation requires lin::Mutex, or sole ownership via GetMutIfUnique.
+  const T& operator*() const {
+    CheckAlive();
+    return *block_->Payload();
+  }
+  const T* operator->() const { return &**this; }
+
+  // Mutable access only when uniquely owned (Rust's Rc::get_mut).
+  T* GetMutIfUnique() {
+    CheckAlive();
+    return (block_->strong == 1 && block_->weak == 0) ? block_->Payload()
+                                                      : nullptr;
+  }
+
+  std::uint32_t StrongCount() const {
+    return block_ == nullptr ? 0 : block_->strong;
+  }
+  std::uint32_t WeakCount() const {
+    return block_ == nullptr ? 0 : block_->weak;
+  }
+
+  // Pointer identity of the shared allocation (Rust's Rc::ptr_eq).
+  bool SameObject(const Rc& other) const { return block_ == other.block_; }
+  const void* Id() const { return block_; }
+
+  // Checkpoint-epoch hook: returns true exactly once per (object, epoch)
+  // pair. Lets ckpt:: deduplicate aliased nodes in O(1) with no visited-set.
+  // Epoch 0 is reserved (fresh blocks start there).
+  bool MarkVisited(std::uint64_t epoch) const {
+    CheckAlive();
+    if (block_->mark == epoch) {
+      return false;
+    }
+    block_->mark = epoch;
+    return true;
+  }
+  std::uint64_t mark() const {
+    CheckAlive();
+    return block_->mark;
+  }
+
+  // Checkpoint hook (§5): on the first visit in `epoch`, stores `fresh_id`
+  // in the control block and returns true (serialize the payload); on a
+  // repeat visit returns false and yields the id recorded by the first
+  // visitor, so the snapshot can encode a back-reference instead of a copy.
+  bool CheckpointMark(std::uint64_t epoch, std::uint64_t fresh_id,
+                      std::uint64_t* existing_id) const {
+    CheckAlive();
+    if (block_->mark == epoch) {
+      *existing_id = block_->mark_aux;
+      return false;
+    }
+    block_->mark = epoch;
+    block_->mark_aux = fresh_id;
+    return true;
+  }
+
+ private:
+  friend class RcWeak<T>;
+
+  explicit Rc(internal::RcBlock<T>* block) : block_(block) {}
+
+  void CheckAlive() const {
+    if (block_ == nullptr) {
+      util::Panic(util::PanicKind::kUseAfterMove,
+                  "lin::Rc accessed after move/reset");
+    }
+  }
+
+  void Release() {
+    internal::RcBlock<T>* b = block_;
+    block_ = nullptr;
+    if (b == nullptr) {
+      return;
+    }
+    if (--b->strong == 0) {
+      b->DestroyPayload();
+      if (b->weak == 0) {
+        delete b;
+      }
+    }
+  }
+
+  internal::RcBlock<T>* block_ = nullptr;
+};
+
+// Weak reference: does not keep the payload alive; Upgrade() yields an empty
+// Rc once all strong references are gone.
+template <typename T>
+class RcWeak {
+ public:
+  RcWeak() = default;
+  explicit RcWeak(const Rc<T>& strong) : block_(strong.block_) {
+    if (block_ != nullptr) {
+      ++block_->weak;
+    }
+  }
+  RcWeak(const RcWeak& other) : block_(other.block_) {
+    if (block_ != nullptr) {
+      ++block_->weak;
+    }
+  }
+  RcWeak& operator=(const RcWeak& other) {
+    if (this != &other) {
+      RcWeak tmp(other);
+      std::swap(block_, tmp.block_);
+    }
+    return *this;
+  }
+  RcWeak(RcWeak&& other) noexcept : block_(other.block_) {
+    other.block_ = nullptr;
+  }
+  RcWeak& operator=(RcWeak&& other) noexcept {
+    if (this != &other) {
+      Release();
+      block_ = other.block_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+  ~RcWeak() { Release(); }
+
+  // Empty Rc if the payload is already gone.
+  Rc<T> Upgrade() const {
+    if (block_ == nullptr || block_->strong == 0) {
+      return Rc<T>();
+    }
+    ++block_->strong;
+    return Rc<T>(block_);
+  }
+
+  bool Expired() const { return block_ == nullptr || block_->strong == 0; }
+
+ private:
+  void Release() {
+    internal::RcBlock<T>* b = block_;
+    block_ = nullptr;
+    if (b == nullptr) {
+      return;
+    }
+    if (--b->weak == 0 && b->strong == 0) {
+      delete b;
+    }
+  }
+
+  internal::RcBlock<T>* block_ = nullptr;
+};
+
+}  // namespace lin
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // LINSYS_SRC_LIN_RC_H_

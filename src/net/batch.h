@@ -1,0 +1,76 @@
+// PacketBatch: the unit of work flowing through a pipeline.
+//
+// NetBricks retrieves packets from DPDK "in batches of user-defined size and
+// feeds them to the pipeline, which processes the batch to completion before
+// starting the next batch" (§3). A batch is move-only, so exactly one stage
+// owns it at a time — handing it to the next stage (or across a protection
+// domain) consumes the binding.
+#ifndef LINSYS_SRC_NET_BATCH_H_
+#define LINSYS_SRC_NET_BATCH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/util/panic.h"
+
+namespace net {
+
+class PacketBatch {
+ public:
+  PacketBatch() = default;
+  explicit PacketBatch(std::size_t reserve) { packets_.reserve(reserve); }
+
+  PacketBatch(const PacketBatch&) = delete;
+  PacketBatch& operator=(const PacketBatch&) = delete;
+  PacketBatch(PacketBatch&&) noexcept = default;
+  PacketBatch& operator=(PacketBatch&&) noexcept = default;
+
+  void Push(PacketBuf pkt) { packets_.push_back(std::move(pkt)); }
+
+  std::size_t size() const { return packets_.size(); }
+  bool empty() const { return packets_.empty(); }
+
+  PacketBuf& operator[](std::size_t i) {
+    if (i >= packets_.size()) {
+      util::Panic(util::PanicKind::kBoundsCheck,
+                  "PacketBatch index out of range");
+    }
+    return packets_[i];
+  }
+
+  // In-place filtering: keep packets where keep(pkt) is true, drop the rest
+  // (their buffers return to the pool). NFs use this for firewall drops and
+  // TTL expiry. Preserves relative order.
+  template <typename Pred>
+  void Retain(Pred&& keep) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < packets_.size(); ++i) {
+      if (keep(packets_[i])) {
+        if (out != i) {
+          packets_[out] = std::move(packets_[i]);
+        }
+        ++out;
+      }
+      // else: leave in place; erase below destroys it (frees the buffer)
+    }
+    packets_.erase(packets_.begin() + static_cast<std::ptrdiff_t>(out),
+                   packets_.end());
+  }
+
+  // Drops all packets, returning their buffers.
+  void Clear() { packets_.clear(); }
+
+  auto begin() { return packets_.begin(); }
+  auto end() { return packets_.end(); }
+  auto begin() const { return packets_.begin(); }
+  auto end() const { return packets_.end(); }
+
+ private:
+  std::vector<PacketBuf> packets_;
+};
+
+}  // namespace net
+
+#endif  // LINSYS_SRC_NET_BATCH_H_

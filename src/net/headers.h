@@ -1,0 +1,156 @@
+// Wire-format packet headers (Ethernet / IPv4 / UDP) and checksum helpers.
+//
+// The DPDK simulator synthesizes real byte-level frames so that network
+// functions in this repo do genuine header work (parse, rewrite, checksum
+// fix-up) with realistic cache footprints — the Figure-2 experiment depends
+// on per-packet memory traffic, not just function-call counts.
+#ifndef LINSYS_SRC_NET_HEADERS_H_
+#define LINSYS_SRC_NET_HEADERS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace net {
+
+// All multi-byte fields are big-endian on the wire, as in real frames.
+inline std::uint16_t HostToNet16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+inline std::uint16_t NetToHost16(std::uint16_t v) { return HostToNet16(v); }
+inline std::uint32_t HostToNet32(std::uint32_t v) {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+inline std::uint32_t NetToHost32(std::uint32_t v) { return HostToNet32(v); }
+
+#pragma pack(push, 1)
+
+struct EthHdr {
+  std::uint8_t dst[6];
+  std::uint8_t src[6];
+  std::uint16_t ether_type;  // big-endian; 0x0800 = IPv4
+
+  static constexpr std::uint16_t kTypeIpv4 = 0x0800;
+};
+
+struct Ipv4Hdr {
+  std::uint8_t version_ihl;    // 0x45: version 4, 20-byte header
+  std::uint8_t dscp_ecn;
+  std::uint16_t total_length;  // big-endian
+  std::uint16_t identification;
+  std::uint16_t flags_fragment;
+  std::uint8_t ttl;
+  std::uint8_t protocol;       // 6 = TCP, 17 = UDP
+  std::uint16_t header_checksum;
+  std::uint32_t src_addr;      // big-endian
+  std::uint32_t dst_addr;      // big-endian
+
+  static constexpr std::uint8_t kProtoTcp = 6;
+  static constexpr std::uint8_t kProtoUdp = 17;
+};
+
+struct UdpHdr {
+  std::uint16_t src_port;  // big-endian
+  std::uint16_t dst_port;  // big-endian
+  std::uint16_t length;
+  std::uint16_t checksum;  // 0 = not computed (legal for IPv4 UDP)
+};
+
+#pragma pack(pop)
+
+static_assert(sizeof(EthHdr) == 14);
+static_assert(sizeof(Ipv4Hdr) == 20);
+static_assert(sizeof(UdpHdr) == 8);
+
+inline constexpr std::size_t kEthOffset = 0;
+inline constexpr std::size_t kIpv4Offset = sizeof(EthHdr);
+inline constexpr std::size_t kUdpOffset = sizeof(EthHdr) + sizeof(Ipv4Hdr);
+inline constexpr std::size_t kPayloadOffset = kUdpOffset + sizeof(UdpHdr);
+
+// The connection identity used by flows, the firewall, and Maglev. Host
+// byte order — extracted once at parse time.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = Ipv4Hdr::kProtoUdp;
+
+  bool operator==(const FiveTuple&) const = default;
+
+  // FNV-1a over the tuple bytes: cheap, decent dispersion; used by flow
+  // tables and Maglev hashing (with different seeds).
+  std::uint64_t Hash(std::uint64_t seed = 0xcbf29ce484222325ULL) const {
+    std::uint64_t h = seed;
+    auto mix = [&h](std::uint64_t v, int bytes) {
+      for (int i = 0; i < bytes; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ULL;
+      }
+    };
+    mix(src_ip, 4);
+    mix(dst_ip, 4);
+    mix(src_port, 2);
+    mix(dst_port, 2);
+    mix(proto, 1);
+    return h;
+  }
+};
+
+// Standard internet checksum (RFC 1071) over `len` bytes.
+inline std::uint16_t InternetChecksum(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t sum = 0;
+  while (len >= 2) {
+    std::uint16_t word;
+    std::memcpy(&word, p, 2);
+    sum += word;
+    p += 2;
+    len -= 2;
+  }
+  if (len == 1) {
+    std::uint16_t word = 0;
+    std::memcpy(&word, p, 1);
+    sum += word;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+// Recomputes the IPv4 header checksum in place.
+inline void FixIpv4Checksum(Ipv4Hdr* ip) {
+  ip->header_checksum = 0;
+  ip->header_checksum = InternetChecksum(ip, sizeof(Ipv4Hdr));
+}
+
+// Incremental checksum update per RFC 1624 (HC' = ~(~HC + ~m + m')) for a
+// 16-bit field change — what real NFs use for TTL decrement and NAT rewrites
+// instead of recomputing the full sum.
+inline std::uint16_t ChecksumFixup16(std::uint16_t checksum,
+                                     std::uint16_t old_field,
+                                     std::uint16_t new_field) {
+  std::uint32_t sum = static_cast<std::uint16_t>(~checksum);
+  sum += static_cast<std::uint16_t>(~old_field);
+  sum += new_field;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+inline std::uint16_t ChecksumFixup32(std::uint16_t checksum,
+                                     std::uint32_t old_field,
+                                     std::uint32_t new_field) {
+  checksum = ChecksumFixup16(checksum, static_cast<std::uint16_t>(old_field),
+                             static_cast<std::uint16_t>(new_field));
+  return ChecksumFixup16(checksum,
+                         static_cast<std::uint16_t>(old_field >> 16),
+                         static_cast<std::uint16_t>(new_field >> 16));
+}
+
+}  // namespace net
+
+#endif  // LINSYS_SRC_NET_HEADERS_H_

@@ -1,0 +1,112 @@
+#include "src/net/maglev.h"
+
+#include <algorithm>
+
+#include "src/util/panic.h"
+
+namespace net {
+namespace {
+
+bool IsPrime(std::size_t n) {
+  if (n < 2) {
+    return false;
+  }
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// FNV-1a over a string with a seed, the same family the 5-tuple hash uses.
+std::uint64_t HashName(const std::string& name, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Maglev::Maglev(std::vector<std::string> backends, std::size_t table_size)
+    : backends_(std::move(backends)) {
+  LINSYS_ASSERT(!backends_.empty(), "Maglev needs at least one backend");
+  LINSYS_ASSERT(IsPrime(table_size), "Maglev table size must be prime");
+  LINSYS_ASSERT(table_size >= backends_.size() * 100,
+                "table should be >=100x backends for good balance");
+  table_.assign(table_size, 0);
+  Populate();
+}
+
+void Maglev::Populate() {
+  const std::size_t m = table_.size();
+  const std::size_t n = backends_.size();
+
+  // Per-backend permutation parameters (Maglev paper §3.4).
+  struct Perm {
+    std::size_t offset;
+    std::size_t skip;
+    std::size_t next = 0;  // index into its permutation sequence
+  };
+  std::vector<Perm> perms;
+  perms.reserve(n);
+  for (const std::string& name : backends_) {
+    Perm p;
+    p.offset = HashName(name, 0x5ca1ab1e) % m;
+    p.skip = HashName(name, 0xdeadbeef) % (m - 1) + 1;
+    perms.push_back(p);
+  }
+
+  std::vector<std::int32_t> entry(m, -1);
+  std::size_t filled = 0;
+  // Round-robin: each backend claims its next preferred slot that is still
+  // free. Terminates after at most n*m candidate probes total.
+  while (filled < m) {
+    for (std::size_t i = 0; i < n && filled < m; ++i) {
+      Perm& p = perms[i];
+      std::size_t c = (p.offset + p.next * p.skip) % m;
+      while (entry[c] >= 0) {
+        ++p.next;
+        c = (p.offset + p.next * p.skip) % m;
+      }
+      entry[c] = static_cast<std::int32_t>(i);
+      ++p.next;
+      ++filled;
+    }
+  }
+
+  for (std::size_t j = 0; j < m; ++j) {
+    table_[j] = static_cast<std::uint32_t>(entry[j]);
+  }
+}
+
+void Maglev::AddBackend(std::string name) {
+  backends_.push_back(std::move(name));
+  LINSYS_ASSERT(table_.size() >= backends_.size() * 100,
+                "table too small for added backend");
+  Populate();
+}
+
+bool Maglev::RemoveBackend(const std::string& name) {
+  auto it = std::find(backends_.begin(), backends_.end(), name);
+  if (it == backends_.end()) {
+    return false;
+  }
+  LINSYS_ASSERT(backends_.size() > 1, "cannot remove the last backend");
+  backends_.erase(it);
+  Populate();
+  return true;
+}
+
+std::vector<std::size_t> Maglev::SlotHistogram() const {
+  std::vector<std::size_t> histogram(backends_.size(), 0);
+  for (std::uint32_t b : table_) {
+    histogram[b]++;
+  }
+  return histogram;
+}
+
+}  // namespace net

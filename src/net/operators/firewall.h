@@ -1,0 +1,78 @@
+// Stateless firewall NF: first-match rule list over the 5-tuple, with CIDR
+// prefixes and port ranges. This is the "network firewall that consists of
+// rules" whose state §5 checkpoints; here it is the packet-path half.
+#ifndef LINSYS_SRC_NET_OPERATORS_FIREWALL_H_
+#define LINSYS_SRC_NET_OPERATORS_FIREWALL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/net/headers.h"
+#include "src/net/pipeline.h"
+
+namespace net {
+
+struct FirewallRule {
+  std::uint32_t src_prefix = 0;
+  std::uint8_t src_prefix_len = 0;  // 0 = match any
+  std::uint32_t dst_prefix = 0;
+  std::uint8_t dst_prefix_len = 0;
+  std::uint16_t dst_port_lo = 0;
+  std::uint16_t dst_port_hi = 0xffff;
+  bool allow = true;
+
+  bool Matches(const FiveTuple& t) const {
+    return MatchPrefix(t.src_ip, src_prefix, src_prefix_len) &&
+           MatchPrefix(t.dst_ip, dst_prefix, dst_prefix_len) &&
+           t.dst_port >= dst_port_lo && t.dst_port <= dst_port_hi;
+  }
+
+  static bool MatchPrefix(std::uint32_t addr, std::uint32_t prefix,
+                          std::uint8_t len) {
+    if (len == 0) {
+      return true;
+    }
+    const std::uint32_t mask = len >= 32 ? 0xffffffffu
+                                         : ~((1u << (32 - len)) - 1);
+    return (addr & mask) == (prefix & mask);
+  }
+};
+
+class FirewallNf : public Operator {
+ public:
+  explicit FirewallNf(std::vector<FirewallRule> rules,
+                      bool default_allow = true)
+      : rules_(std::move(rules)), default_allow_(default_allow) {}
+
+  PacketBatch Process(PacketBatch batch) override {
+    batch.Retain([this](PacketBuf& pkt) {
+      const FiveTuple t = pkt.Tuple();
+      for (const FirewallRule& rule : rules_) {
+        if (rule.Matches(t)) {
+          rule.allow ? ++allowed_ : ++dropped_;
+          return rule.allow;
+        }
+      }
+      default_allow_ ? ++allowed_ : ++dropped_;
+      return default_allow_;
+    });
+    return batch;
+  }
+
+  std::string_view name() const override { return "firewall"; }
+
+  std::uint64_t allowed() const { return allowed_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  std::vector<FirewallRule> rules_;
+  bool default_allow_;
+  std::uint64_t allowed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace net
+
+#endif  // LINSYS_SRC_NET_OPERATORS_FIREWALL_H_

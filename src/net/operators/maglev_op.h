@@ -1,0 +1,59 @@
+// Maglev load-balancer NF: the "realistic, but light-weight, network
+// function" Figure 2 compares isolation overhead against. Per packet: hash
+// the 5-tuple, look up the backend in the Maglev table, rewrite the
+// destination IP to that backend with an incremental checksum fix-up.
+#ifndef LINSYS_SRC_NET_OPERATORS_MAGLEV_OP_H_
+#define LINSYS_SRC_NET_OPERATORS_MAGLEV_OP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/net/headers.h"
+#include "src/net/maglev.h"
+#include "src/net/pipeline.h"
+
+namespace net {
+
+class MaglevLb : public Operator {
+ public:
+  // backend_ips[i] is the rewrite target for Maglev backend index i.
+  MaglevLb(Maglev table, std::vector<std::uint32_t> backend_ips)
+      : table_(std::move(table)), backend_ips_(std::move(backend_ips)) {}
+
+  PacketBatch Process(PacketBatch batch) override {
+    for (PacketBuf& pkt : batch) {
+      const FiveTuple t = pkt.Tuple();
+      const std::size_t backend = table_.Lookup(t.Hash());
+      per_backend_.resize(backend_ips_.size(), 0);
+      per_backend_[backend]++;
+
+      Ipv4Hdr* ip = pkt.ipv4();
+      const std::uint32_t old_dst = ip->dst_addr;
+      const std::uint32_t new_dst = HostToNet32(backend_ips_[backend]);
+      ip->dst_addr = new_dst;
+      ip->header_checksum =
+          ChecksumFixup32(ip->header_checksum, old_dst, new_dst);
+      ++processed_;
+    }
+    return batch;
+  }
+
+  std::string_view name() const override { return "maglev-lb"; }
+
+  std::uint64_t processed() const { return processed_; }
+  const std::vector<std::uint64_t>& per_backend() const {
+    return per_backend_;
+  }
+  Maglev& table() { return table_; }
+
+ private:
+  Maglev table_;
+  std::vector<std::uint32_t> backend_ips_;
+  std::vector<std::uint64_t> per_backend_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace net
+
+#endif  // LINSYS_SRC_NET_OPERATORS_MAGLEV_OP_H_

@@ -1,0 +1,45 @@
+// Null filter: forwards batches untouched — the measurement vehicle for
+// Figure 2 ("a pipeline of null-filters, which forward batches of packets
+// without doing any work on them"). Optional fault injection panics every
+// Nth batch, which is how the recovery experiment "simulat[es] a panic in
+// the null-filter".
+#ifndef LINSYS_SRC_NET_OPERATORS_NULL_FILTER_H_
+#define LINSYS_SRC_NET_OPERATORS_NULL_FILTER_H_
+
+#include <cstdint>
+
+#include "src/net/pipeline.h"
+#include "src/util/panic.h"
+
+namespace net {
+
+class NullFilter : public Operator {
+ public:
+  // fault_every_n == 0 disables fault injection.
+  explicit NullFilter(std::uint64_t fault_every_n = 0)
+      : fault_every_n_(fault_every_n) {}
+
+  PacketBatch Process(PacketBatch batch) override {
+    ++batches_;
+    if (fault_every_n_ != 0 && batches_ % fault_every_n_ == 0) {
+      util::Panic(util::PanicKind::kAssertFailed,
+                  "null-filter injected fault");
+    }
+    packets_ += batch.size();
+    return batch;
+  }
+
+  std::string_view name() const override { return "null-filter"; }
+
+  std::uint64_t batches_seen() const { return batches_; }
+  std::uint64_t packets_seen() const { return packets_; }
+
+ private:
+  std::uint64_t fault_every_n_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace net
+
+#endif  // LINSYS_SRC_NET_OPERATORS_NULL_FILTER_H_

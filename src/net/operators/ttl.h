@@ -1,0 +1,52 @@
+// TTL decrement: the canonical router data-path step. Decrements the IPv4
+// TTL with an RFC 1624 incremental checksum fix-up and drops expired
+// packets. Exercises real per-packet header mutation.
+#ifndef LINSYS_SRC_NET_OPERATORS_TTL_H_
+#define LINSYS_SRC_NET_OPERATORS_TTL_H_
+
+#include <cstdint>
+
+#include "src/net/headers.h"
+#include "src/net/pipeline.h"
+
+namespace net {
+
+class TtlDecrement : public Operator {
+ public:
+  PacketBatch Process(PacketBatch batch) override {
+    batch.Retain([this](PacketBuf& pkt) {
+      Ipv4Hdr* ip = pkt.ipv4();
+      if (ip->ttl <= 1) {
+        ++expired_;
+        return false;  // drop: TTL exceeded
+      }
+      // The TTL shares a 16-bit checksum word with the protocol field;
+      // decrementing TTL changes the word's high byte (big-endian layout).
+      const auto old_word = static_cast<std::uint16_t>(
+          (static_cast<std::uint16_t>(ip->ttl) << 0) |
+          (static_cast<std::uint16_t>(ip->protocol) << 8));
+      ip->ttl -= 1;
+      const auto new_word = static_cast<std::uint16_t>(
+          (static_cast<std::uint16_t>(ip->ttl) << 0) |
+          (static_cast<std::uint16_t>(ip->protocol) << 8));
+      ip->header_checksum =
+          ChecksumFixup16(ip->header_checksum, old_word, new_word);
+      ++forwarded_;
+      return true;
+    });
+    return batch;
+  }
+
+  std::string_view name() const override { return "ttl-decrement"; }
+
+  std::uint64_t expired() const { return expired_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  std::uint64_t expired_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace net
+
+#endif  // LINSYS_SRC_NET_OPERATORS_TTL_H_

@@ -1,0 +1,168 @@
+// PacketBuf: move-only, mempool-backed packet handle.
+//
+// NetBricks "takes advantage of linear types to ensure that only one pipeline
+// stage can access the batch at any time" (§3); PacketBuf is the per-packet
+// version of that discipline. There is no copy constructor — a packet can be
+// moved down the pipeline or dropped, never duplicated, and its buffer goes
+// back to the pool exactly once.
+#ifndef LINSYS_SRC_NET_PACKET_H_
+#define LINSYS_SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "src/net/headers.h"
+#include "src/net/mempool.h"
+#include "src/util/panic.h"
+
+namespace net {
+
+class PacketBuf {
+ public:
+  // Null handle (e.g. after a move or a failed alloc).
+  PacketBuf() = default;
+
+  // Allocates a buffer from `pool`; empty handle if the pool is exhausted.
+  static PacketBuf Alloc(Mempool* pool, std::uint16_t frame_len) {
+    LINSYS_ASSERT(frame_len <= pool->buf_size(),
+                  "frame larger than mempool buffer");
+    std::uint32_t slot = 0;
+    if (!pool->Alloc(&slot)) {
+      return PacketBuf();
+    }
+    return PacketBuf(pool, slot, frame_len);
+  }
+
+  PacketBuf(const PacketBuf&) = delete;
+  PacketBuf& operator=(const PacketBuf&) = delete;
+
+  PacketBuf(PacketBuf&& other) noexcept
+      : pool_(other.pool_), slot_(other.slot_), len_(other.len_) {
+    other.pool_ = nullptr;
+  }
+  PacketBuf& operator=(PacketBuf&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      slot_ = other.slot_;
+      len_ = other.len_;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~PacketBuf() { Release(); }
+
+  bool has_value() const { return pool_ != nullptr; }
+  explicit operator bool() const { return has_value(); }
+
+  std::uint8_t* data() {
+    CheckAlive();
+    return pool_->Data(slot_);
+  }
+  const std::uint8_t* data() const {
+    CheckAlive();
+    return pool_->Data(slot_);
+  }
+  std::uint16_t length() const { return len_; }
+
+  // Typed header views into the frame.
+  EthHdr* eth() { return Header<EthHdr>(kEthOffset); }
+  Ipv4Hdr* ipv4() { return Header<Ipv4Hdr>(kIpv4Offset); }
+  UdpHdr* udp() { return Header<UdpHdr>(kUdpOffset); }
+  const Ipv4Hdr* ipv4() const {
+    return const_cast<PacketBuf*>(this)->Header<Ipv4Hdr>(kIpv4Offset);
+  }
+  const UdpHdr* udp() const {
+    return const_cast<PacketBuf*>(this)->Header<UdpHdr>(kUdpOffset);
+  }
+  std::uint8_t* payload() {
+    CheckAlive();
+    LINSYS_ASSERT(len_ >= kPayloadOffset, "frame too short for payload");
+    return data() + kPayloadOffset;
+  }
+  std::uint16_t payload_length() const {
+    return len_ > kPayloadOffset
+               ? static_cast<std::uint16_t>(len_ - kPayloadOffset)
+               : 0;
+  }
+
+  // Extracts the host-order 5-tuple from the headers.
+  FiveTuple Tuple() const {
+    const Ipv4Hdr* ip = ipv4();
+    const UdpHdr* u = udp();
+    return FiveTuple{NetToHost32(ip->src_addr), NetToHost32(ip->dst_addr),
+                     NetToHost16(u->src_port), NetToHost16(u->dst_port),
+                     ip->protocol};
+  }
+
+  // Explicit early drop (destructor does the same).
+  void Drop() { Release(); }
+
+ private:
+  PacketBuf(Mempool* pool, std::uint32_t slot, std::uint16_t len)
+      : pool_(pool), slot_(slot), len_(len) {}
+
+  template <typename H>
+  H* Header(std::size_t offset) {
+    CheckAlive();
+    LINSYS_ASSERT(offset + sizeof(H) <= len_, "frame too short for header");
+    return reinterpret_cast<H*>(pool_->Data(slot_) + offset);
+  }
+
+  void CheckAlive() const {
+    if (pool_ == nullptr) {
+      util::Panic(util::PanicKind::kUseAfterMove,
+                  "PacketBuf accessed after move/drop");
+    }
+  }
+
+  void Release() {
+    if (pool_ != nullptr) {
+      pool_->Free(slot_);
+      pool_ = nullptr;
+    }
+  }
+
+  Mempool* pool_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint16_t len_ = 0;
+};
+
+// Writes a complete Eth/IPv4/UDP frame for `tuple` into `pkt`, zero-filling
+// the payload and computing the IPv4 checksum. Used by the generator and by
+// tests that need well-formed frames.
+inline void BuildFrame(PacketBuf& pkt, const FiveTuple& tuple,
+                       std::uint8_t ttl = 64) {
+  std::uint8_t* p = pkt.data();
+  std::memset(p, 0, pkt.length());
+
+  EthHdr* eth = pkt.eth();
+  eth->ether_type = HostToNet16(EthHdr::kTypeIpv4);
+  // Locally administered MACs derived from the IPs, purely cosmetic.
+  eth->src[0] = eth->dst[0] = 0x02;
+  std::memcpy(eth->src + 1, &tuple.src_ip, 4);
+  std::memcpy(eth->dst + 1, &tuple.dst_ip, 4);
+
+  Ipv4Hdr* ip = pkt.ipv4();
+  ip->version_ihl = 0x45;
+  ip->total_length =
+      HostToNet16(static_cast<std::uint16_t>(pkt.length() - sizeof(EthHdr)));
+  ip->ttl = ttl;
+  ip->protocol = tuple.proto;
+  ip->src_addr = HostToNet32(tuple.src_ip);
+  ip->dst_addr = HostToNet32(tuple.dst_ip);
+  FixIpv4Checksum(ip);
+
+  UdpHdr* udp = pkt.udp();
+  udp->src_port = HostToNet16(tuple.src_port);
+  udp->dst_port = HostToNet16(tuple.dst_port);
+  udp->length = HostToNet16(
+      static_cast<std::uint16_t>(pkt.length() - kUdpOffset));
+  udp->checksum = 0;
+}
+
+}  // namespace net
+
+#endif  // LINSYS_SRC_NET_PACKET_H_

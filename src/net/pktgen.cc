@@ -1,0 +1,68 @@
+#include "src/net/pktgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/net/packet.h"
+#include "src/util/panic.h"
+
+namespace net {
+
+PktSource::PktSource(Mempool* pool, const PktSourceConfig& config)
+    : pool_(pool), config_(config), rng_(config.seed) {
+  LINSYS_ASSERT(config.flow_count > 0, "flow_count must be positive");
+  LINSYS_ASSERT(config.frame_len >= kPayloadOffset,
+                "frame_len too small for Eth/IPv4/UDP headers");
+
+  flows_.reserve(config.flow_count);
+  for (std::size_t i = 0; i < config.flow_count; ++i) {
+    FiveTuple t;
+    // Clients in 10.0.0.0/8, virtual service IP fixed (Maglev-style VIP),
+    // ephemeral source ports. Randomized but collision-free per index.
+    t.src_ip = 0x0a000000u | (rng_.NextU32() & 0x00ffffffu);
+    t.dst_ip = 0xc0a80001u;  // 192.168.0.1
+    t.src_port = static_cast<std::uint16_t>(1024 + (i % 60000));
+    t.dst_port = 80;
+    t.proto = Ipv4Hdr::kProtoUdp;
+    flows_.push_back(t);
+  }
+
+  if (config.zipf_s > 0.0) {
+    // Normalized cumulative Zipf weights: flow i has weight 1/(i+1)^s.
+    zipf_cdf_.resize(config.flow_count);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < config.flow_count; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), config.zipf_s);
+      zipf_cdf_[i] = acc;
+    }
+    for (double& v : zipf_cdf_) {
+      v /= acc;
+    }
+  }
+}
+
+std::size_t PktSource::PickFlow() {
+  if (zipf_cdf_.empty()) {
+    return static_cast<std::size_t>(rng_.Below(flows_.size()));
+  }
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<std::size_t>(it - zipf_cdf_.begin());
+}
+
+std::size_t PktSource::RxBurst(PacketBatch& batch, std::size_t n) {
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    PacketBuf pkt = PacketBuf::Alloc(pool_, config_.frame_len);
+    if (!pkt.has_value()) {
+      break;  // pool exhausted: deliver a short burst, like a real driver
+    }
+    BuildFrame(pkt, flows_[PickFlow()], config_.ttl);
+    batch.Push(std::move(pkt));
+    ++delivered;
+  }
+  generated_ += delivered;
+  return delivered;
+}
+
+}  // namespace net

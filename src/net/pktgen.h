@@ -1,0 +1,59 @@
+// DPDK simulator: a synthetic traffic source with rte_eth_rx_burst-shaped
+// semantics (DESIGN.md §2 substitution — we have no NIC).
+//
+// A PktSource owns a flow set (synthetic 5-tuples) and fills batches of
+// fully-formed Eth/IPv4/UDP frames from a mempool. Flow selection is uniform
+// or Zipf-distributed; Zipf matters because Maglev-style load balancers and
+// flow tables behave differently under skew, and the paper's Figure-2 sweep
+// feeds a realistic traffic mix.
+#ifndef LINSYS_SRC_NET_PKTGEN_H_
+#define LINSYS_SRC_NET_PKTGEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/batch.h"
+#include "src/net/mempool.h"
+#include "src/util/rng.h"
+
+namespace net {
+
+struct PktSourceConfig {
+  std::size_t flow_count = 1024;
+  std::uint16_t frame_len = 64;      // classic min-size line-rate frame
+  double zipf_s = 0.0;               // 0 = uniform; ~1.0 = web-like skew
+  std::uint64_t seed = 1;
+  std::uint8_t ttl = 64;
+};
+
+class PktSource {
+ public:
+  PktSource(Mempool* pool, const PktSourceConfig& config);
+
+  // Fills `batch` with up to `n` packets (DPDK rx_burst semantics: may
+  // deliver fewer when the pool runs dry). Returns the number delivered.
+  std::size_t RxBurst(PacketBatch& batch, std::size_t n);
+
+  // The flow a given draw index maps to — exposed for tests that need to
+  // predict the traffic mix.
+  const FiveTuple& FlowAt(std::size_t i) const { return flows_[i]; }
+  std::size_t flow_count() const { return flows_.size(); }
+
+  std::uint64_t packets_generated() const { return generated_; }
+
+ private:
+  std::size_t PickFlow();
+
+  Mempool* pool_;
+  PktSourceConfig config_;
+  util::Rng rng_;
+  std::vector<FiveTuple> flows_;
+  // Inverse-CDF table for Zipf sampling (empty when uniform).
+  std::vector<double> zipf_cdf_;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace net
+
+#endif  // LINSYS_SRC_NET_PKTGEN_H_

@@ -1,0 +1,82 @@
+// Receive-side scaling (RSS): the NIC feature the DPDK simulator's users
+// expect — hash each packet's 5-tuple and steer it to one of N worker
+// queues, so one flow always lands on one worker (no cross-core flow state).
+//
+// The handoff uses sfi::Channel, i.e. it is a zero-copy ownership transfer:
+// the dispatcher provably cannot touch a batch after steering it, which is
+// what makes lock-free per-worker flow tables sound (§3's argument applied
+// across threads instead of domains).
+#ifndef LINSYS_SRC_NET_RSS_H_
+#define LINSYS_SRC_NET_RSS_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/lin/own.h"
+#include "src/net/batch.h"
+#include "src/sfi/channel.h"
+#include "src/util/panic.h"
+
+namespace net {
+
+class RssDispatcher {
+ public:
+  // `queue_depth` bounds each worker channel (backpressure, like NIC ring
+  // sizes); 0 = unbounded.
+  explicit RssDispatcher(std::size_t workers, std::size_t queue_depth = 64)
+      : seed_(0x5ca1ab1eULL) {
+    LINSYS_ASSERT(workers > 0, "RSS needs at least one worker");
+    for (std::size_t i = 0; i < workers; ++i) {
+      queues_.push_back(
+          std::make_unique<sfi::Channel<PacketBatch>>(queue_depth));
+    }
+  }
+
+  // Steers every packet of `batch` to its worker queue, grouped into one
+  // sub-batch per worker per call. Consumes the input batch.
+  void Dispatch(PacketBatch batch) {
+    std::vector<PacketBatch> per_worker(queues_.size());
+    for (PacketBuf& pkt : batch) {
+      const std::size_t worker = WorkerFor(pkt);
+      per_worker[worker].Push(std::move(pkt));
+    }
+    for (std::size_t w = 0; w < queues_.size(); ++w) {
+      if (!per_worker[w].empty()) {
+        queues_[w]->Send(
+            lin::Own<PacketBatch>::Make(std::move(per_worker[w])));
+        ++batches_steered_;
+      }
+    }
+  }
+
+  // Which worker a packet's flow maps to — stable per flow.
+  std::size_t WorkerFor(const PacketBuf& pkt) const {
+    return static_cast<std::size_t>(pkt.Tuple().Hash(seed_) %
+                                    queues_.size());
+  }
+
+  // The worker side: blocking receive of the next steered sub-batch.
+  sfi::Channel<PacketBatch>& queue(std::size_t worker) {
+    LINSYS_ASSERT(worker < queues_.size(), "worker index out of range");
+    return *queues_[worker];
+  }
+
+  void Shutdown() {
+    for (auto& queue : queues_) {
+      queue->Close();
+    }
+  }
+
+  std::size_t worker_count() const { return queues_.size(); }
+  std::uint64_t batches_steered() const { return batches_steered_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<sfi::Channel<PacketBatch>>> queues_;
+  std::uint64_t batches_steered_ = 0;
+};
+
+}  // namespace net
+
+#endif  // LINSYS_SRC_NET_RSS_H_

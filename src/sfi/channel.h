@@ -1,0 +1,103 @@
+// Cross-domain channel: zero-copy transfer of uniquely owned objects.
+//
+// This is the Singularity-exchange-heap idea done with linear types alone
+// (§2): Send() consumes a lin::Own<T>, so the sending domain provably cannot
+// observe or mutate the message afterwards — any attempt is a use-after-move
+// panic. No copy, no tagging, no per-dereference validation: the handoff is
+// a pointer move.
+//
+// The channel is MPMC and may block; it is trusted runtime code, so it uses
+// std::mutex/condition_variable directly rather than lin::Mutex (which has
+// no condvar integration by design — domains should not block on each other
+// except at explicit channel boundaries).
+#ifndef LINSYS_SRC_SFI_CHANNEL_H_
+#define LINSYS_SRC_SFI_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/lin/own.h"
+
+namespace sfi {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Transfers ownership into the channel. Blocks while a bounded channel is
+  // full. Returns false (dropping the message) if the channel is closed.
+  bool Send(lin::Own<T> message) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+    });
+    if (closed_) {
+      return false;
+    }
+    queue_.push_back(std::move(message));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until a message or close; nullopt only after close-and-drained.
+  std::optional<lin::Own<T>> Recv() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    lin::Own<T> out = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  // Non-blocking receive.
+  std::optional<lin::Own<T>> TryRecv() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    lin::Own<T> out = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<lin::Own<T>> queue_;
+  std::size_t capacity_;  // 0 = unbounded
+  bool closed_ = false;
+};
+
+}  // namespace sfi
+
+#endif  // LINSYS_SRC_SFI_CHANNEL_H_

@@ -1,0 +1,152 @@
+// Protection domains (§3).
+//
+// A Domain bundles: an identity (kept in thread-local storage while code of
+// the domain runs, as the paper does), a reference table of exported objects,
+// an access-control policy over remote invocations, a lifecycle state, and a
+// user-provided recovery function.
+//
+// Isolation itself comes from the lin:: ownership discipline — a domain can
+// only reach objects it allocated or was explicitly granted (DESIGN.md §2);
+// the Domain class is the *management plane* the paper says is "what is
+// missing for a complete SFI solution": lifecycle, revocation, policy,
+// recovery.
+#ifndef LINSYS_SRC_SFI_DOMAIN_H_
+#define LINSYS_SRC_SFI_DOMAIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "src/sfi/ref_table.h"
+#include "src/sfi/types.h"
+#include "src/util/panic.h"
+#include "src/util/result.h"
+
+namespace sfi {
+
+template <typename T>
+class RRef;
+
+// RAII thread-local domain switch: remote invocations and Execute() enter
+// the target domain's context, restoring the caller's on exit (including
+// unwinds).
+class ScopedDomain {
+ public:
+  explicit ScopedDomain(DomainId id);
+  ~ScopedDomain();
+
+  ScopedDomain(const ScopedDomain&) = delete;
+  ScopedDomain& operator=(const ScopedDomain&) = delete;
+
+  // The domain the calling thread is currently executing in.
+  static DomainId Current();
+
+ private:
+  DomainId prev_;
+};
+
+class Domain {
+ public:
+  // Decides whether `caller` may invoke `method` on objects of this domain.
+  using Policy = std::function<bool(DomainId caller, std::string_view method)>;
+  // Re-initializes the domain from clean state after a fault; typically
+  // re-exports fresh objects so the failure is transparent to clients.
+  using RecoveryFn = std::function<void(Domain&)>;
+
+  Domain(DomainId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  DomainId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  DomainState state() const { return state_.load(std::memory_order_acquire); }
+
+  // Runs `f` inside this domain: the thread-local domain is switched, panics
+  // are caught at this boundary (the paper's "unwind the stack of the calling
+  // thread to the domain entry point"), and a fault marks the domain Failed.
+  template <typename F>
+  auto Execute(F&& f) -> util::Result<std::invoke_result_t<F&&>, CallError> {
+    using R = std::invoke_result_t<F&&>;
+    if (state() != DomainState::kRunning) {
+      return util::Err(CallError::kDomainFailed);
+    }
+    ScopedDomain enter(id_);
+    try {
+      if constexpr (std::is_void_v<R>) {
+        std::forward<F>(f)();
+        stats_.calls_ok++;
+        return util::Result<void, CallError>::Ok();
+      } else {
+        R result = std::forward<F>(f)();
+        stats_.calls_ok++;
+        return util::Result<R, CallError>::Ok(std::move(result));
+      }
+    } catch (const util::PanicError&) {
+      MarkFailed();
+      return util::Err(CallError::kFault);
+    }
+  }
+
+  // Moves `object` into a proxy in this domain's reference table and returns
+  // the remote reference clients use to reach it. Defined in rref.h.
+  template <typename T>
+  RRef<T> Export(T object);
+
+  // Revokes one exported object by slot; outstanding rrefs to it start
+  // returning CallError::kRevoked.
+  bool Revoke(RefTable::Slot slot) { return ref_table_.Remove(slot); }
+
+  void SetPolicy(Policy policy) { policy_ = std::move(policy); }
+  void SetRecovery(RecoveryFn fn) { recovery_ = std::move(fn); }
+
+  // Recovery (§3): clear the reference table (frees everything the domain
+  // owns, expires all rrefs), transition back to Running, then let the
+  // user-provided function rebuild state and re-populate the table.
+  void Recover() {
+    ref_table_.Clear();
+    state_.store(DomainState::kRunning, std::memory_order_release);
+    stats_.recoveries++;
+    if (recovery_) {
+      ScopedDomain enter(id_);
+      recovery_(*this);
+    }
+  }
+
+  // Terminal teardown: clear the table and refuse all future entry.
+  void Retire() {
+    ref_table_.Clear();
+    state_.store(DomainState::kRetired, std::memory_order_release);
+  }
+
+  bool CheckAccess(DomainId caller, std::string_view method) const {
+    return !policy_ || policy_(caller, method);
+  }
+
+  void MarkFailed() {
+    state_.store(DomainState::kFailed, std::memory_order_release);
+    stats_.faults++;
+  }
+
+  RefTable& ref_table() { return ref_table_; }
+  const DomainStats& stats() const { return stats_; }
+  DomainStats& mutable_stats() { return stats_; }
+
+ private:
+  DomainId id_;
+  std::string name_;
+  std::atomic<DomainState> state_{DomainState::kRunning};
+  RefTable ref_table_;
+  Policy policy_;
+  RecoveryFn recovery_;
+  DomainStats stats_;
+};
+
+}  // namespace sfi
+
+#endif  // LINSYS_SRC_SFI_DOMAIN_H_

@@ -1,0 +1,62 @@
+#include "src/sfi/manager.h"
+
+#include <utility>
+
+namespace sfi {
+
+Domain& DomainManager::Create(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Ids start at 1: kRootDomain (0) is the implicit pre-existing context.
+  const DomainId id = static_cast<DomainId>(domains_.size() + 1);
+  domains_.push_back(std::make_unique<Domain>(id, std::move(name)));
+  return *domains_.back();
+}
+
+Domain* DomainManager::Find(DomainId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == kRootDomain || id > domains_.size()) {
+    return nullptr;
+  }
+  return domains_[id - 1].get();
+}
+
+bool DomainManager::Recover(Domain& domain) {
+  if (domain.state() == DomainState::kRetired) {
+    return false;
+  }
+  domain.Recover();
+  return true;
+}
+
+std::size_t DomainManager::RecoverAllFailed() {
+  std::size_t recovered = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& d : domains_) {
+    if (d->state() == DomainState::kFailed) {
+      d->Recover();
+      ++recovered;
+    }
+  }
+  return recovered;
+}
+
+std::size_t DomainManager::domain_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return domains_.size();
+}
+
+DomainStats DomainManager::AggregateStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DomainStats total;
+  for (const auto& d : domains_) {
+    const DomainStats& s = d->stats();
+    total.calls_ok += s.calls_ok;
+    total.calls_revoked += s.calls_revoked;
+    total.calls_denied += s.calls_denied;
+    total.faults += s.faults;
+    total.recoveries += s.recoveries;
+  }
+  return total;
+}
+
+}  // namespace sfi

@@ -1,0 +1,55 @@
+// Reusable access-control policies for cross-domain calls.
+//
+// The paper: proxying "gives the owner of the domain complete control over
+// its interfaces ... they can intercept remote invocations for fine-grained
+// access control". These helpers build the common policies; anything custom
+// is just a Domain::Policy lambda.
+#ifndef LINSYS_SRC_SFI_POLICY_H_
+#define LINSYS_SRC_SFI_POLICY_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/sfi/domain.h"
+#include "src/sfi/types.h"
+
+namespace sfi {
+
+// Everything allowed (the default when no policy is installed).
+inline Domain::Policy AllowAll() {
+  return [](DomainId, std::string_view) { return true; };
+}
+
+// Everything denied — a revocation-by-policy switch.
+inline Domain::Policy DenyAll() {
+  return [](DomainId, std::string_view) { return false; };
+}
+
+// Only the listed caller domains may invoke.
+inline Domain::Policy AllowCallers(std::set<DomainId> allowed) {
+  return [allowed = std::move(allowed)](DomainId caller, std::string_view) {
+    return allowed.count(caller) > 0;
+  };
+}
+
+// Only the listed method names may be invoked (calls made without a method
+// name are denied, so the allow-list is airtight).
+inline Domain::Policy AllowMethods(std::set<std::string, std::less<>> allowed) {
+  return [allowed = std::move(allowed)](DomainId, std::string_view method) {
+    return allowed.find(method) != allowed.end();
+  };
+}
+
+// Both policies must pass.
+inline Domain::Policy Both(Domain::Policy a, Domain::Policy b) {
+  return [a = std::move(a), b = std::move(b)](DomainId caller,
+                                              std::string_view method) {
+    return a(caller, method) && b(caller, method);
+  };
+}
+
+}  // namespace sfi
+
+#endif  // LINSYS_SRC_SFI_POLICY_H_

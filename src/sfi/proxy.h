@@ -1,0 +1,56 @@
+// Proxy objects: the reference-table entries of Figure 1.
+//
+// When a domain exports an object, the object itself moves *into* a proxy
+// owned by the domain's reference table — "the original object reference is
+// stored in the reference table associated with the domain. This reference
+// acts as a proxy for remote invocations." The rref handed back to clients
+// holds only a weak pointer to the proxy, so removing the table entry
+// (revocation, recovery, teardown) invalidates every outstanding rref.
+#ifndef LINSYS_SRC_SFI_PROXY_H_
+#define LINSYS_SRC_SFI_PROXY_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/lin/arc.h"
+
+namespace sfi {
+
+class Domain;
+
+// Type-erased base so one reference table can hold proxies of any type.
+class ProxyBase {
+ public:
+  explicit ProxyBase(Domain* owner) : owner_(owner) {}
+  virtual ~ProxyBase() = default;
+
+  ProxyBase(const ProxyBase&) = delete;
+  ProxyBase& operator=(const ProxyBase&) = delete;
+
+  Domain* owner() const { return owner_; }
+
+ private:
+  Domain* owner_;
+};
+
+template <typename T>
+class Proxy : public ProxyBase {
+ public:
+  Proxy(Domain* owner, T object)
+      : ProxyBase(owner), object_(std::move(object)) {}
+
+  T& object() { return object_; }
+
+ private:
+  T object_;
+};
+
+// The table holds strong handles; rrefs hold weak ones. The unique_ptr layer
+// provides the virtual destructor for type erasure; the Arc layer provides
+// the revocation semantics (strong count drops to zero -> upgrades fail).
+using ProxyHandle = lin::Arc<std::unique_ptr<ProxyBase>>;
+using ProxyWeakHandle = lin::ArcWeak<std::unique_ptr<ProxyBase>>;
+
+}  // namespace sfi
+
+#endif  // LINSYS_SRC_SFI_PROXY_H_

@@ -1,0 +1,68 @@
+// Per-domain reference table (Figure 1).
+//
+// Owns the proxies for every object the domain has exported. Clearing the
+// table is the domain-teardown primitive the paper builds recovery on: "by
+// clearing the reference table one can automatically deallocate all memory
+// and resources owned by the domain" — dropping the strong Arc handles frees
+// the objects and expires every rref's weak handle in one stroke.
+#ifndef LINSYS_SRC_SFI_REF_TABLE_H_
+#define LINSYS_SRC_SFI_REF_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "src/sfi/proxy.h"
+
+namespace sfi {
+
+class RefTable {
+ public:
+  using Slot = std::uint64_t;
+
+  RefTable() = default;
+  RefTable(const RefTable&) = delete;
+  RefTable& operator=(const RefTable&) = delete;
+
+  // Takes ownership of the proxy; returns its slot and a weak handle for the
+  // rref. Mutates under a lock — table maintenance is off the call fast path
+  // (remote invocations touch only the Arc upgrade, never this mutex).
+  std::pair<Slot, ProxyWeakHandle> Insert(std::unique_ptr<ProxyBase> proxy) {
+    auto handle = ProxyHandle::Make(std::move(proxy));
+    ProxyWeakHandle weak(handle);
+    std::lock_guard<std::mutex> lock(mu_);
+    const Slot slot = next_slot_++;
+    entries_.emplace(slot, std::move(handle));
+    return {slot, std::move(weak)};
+  }
+
+  // Revokes a single rref ("revoke a remote reference completely by removing
+  // its proxy from the reference table"). Returns false if already gone.
+  bool Remove(Slot slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.erase(slot) > 0;
+  }
+
+  // Revokes everything: recovery and teardown path.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Slot, ProxyHandle> entries_;
+  Slot next_slot_ = 1;
+};
+
+}  // namespace sfi
+
+#endif  // LINSYS_SRC_SFI_REF_TABLE_H_

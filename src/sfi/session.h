@@ -1,0 +1,308 @@
+// Session-typed channels — the other linear-types capability §2 highlights
+// (Jespersen et al.: "session-typed channels for Rust, which exploits linear
+// types to enable compile-time guarantees of adherence to a specific
+// communication protocol").
+//
+// A protocol is a type built from combinators:
+//
+//   Send<T, Next>   send a T, continue as Next
+//   Recv<T, Next>   receive a T, continue as Next
+//   Select<L, R>    we pick the branch, continue as L or R
+//   Offer<L, R>     the peer picks, we continue as whichever they chose
+//   End             session over
+//
+// Chan<P> is a *linear* endpoint: every operation is rvalue-qualified,
+// consumes the endpoint, and returns a Chan of the continuation protocol —
+// so the C++ type checker statically rejects out-of-order operations
+// (SendValue on a Chan<Recv<...>> does not compile), and the lin::-style
+// consumed flag makes reuse of a spent endpoint a deterministic panic.
+// MakeSession<P>() returns endpoints with dual protocols, so a well-typed
+// pair of peers can never disagree on direction.
+//
+// Transport is a two-queue core shared via lin::Arc; payloads move through
+// a move-only type-erased box (each step's type is statically known, so the
+// extraction cannot fail in well-typed code; it panics if the types are
+// bypassed).
+#ifndef LINSYS_SRC_SFI_SESSION_H_
+#define LINSYS_SRC_SFI_SESSION_H_
+
+#include <concepts>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <variant>
+
+#include "src/lin/arc.h"
+#include "src/util/panic.h"
+
+namespace sfi {
+namespace session {
+
+// ---- Protocol combinators --------------------------------------------------
+
+template <typename T, typename Next>
+struct Send {};
+template <typename T, typename Next>
+struct Recv {};
+template <typename L, typename R>
+struct Select {};
+template <typename L, typename R>
+struct Offer {};
+struct End {};
+
+// Dual<P>: the protocol seen from the other side.
+template <typename P>
+struct DualT;
+template <typename P>
+using Dual = typename DualT<P>::type;
+
+template <>
+struct DualT<End> {
+  using type = End;
+};
+template <typename T, typename Next>
+struct DualT<Send<T, Next>> {
+  using type = Recv<T, Dual<Next>>;
+};
+template <typename T, typename Next>
+struct DualT<Recv<T, Next>> {
+  using type = Send<T, Dual<Next>>;
+};
+template <typename L, typename R>
+struct DualT<Select<L, R>> {
+  using type = Offer<Dual<L>, Dual<R>>;
+};
+template <typename L, typename R>
+struct DualT<Offer<L, R>> {
+  using type = Select<Dual<L>, Dual<R>>;
+};
+
+namespace internal {
+
+// Step extraction: defined only for the matching combinator, so a
+// wrong-state operation fails to compile with "no member named ...".
+template <typename P>
+struct SendStep;
+template <typename T, typename N>
+struct SendStep<Send<T, N>> {
+  using Payload = T;
+  using Next = N;
+};
+
+template <typename P>
+struct RecvStep;
+template <typename T, typename N>
+struct RecvStep<Recv<T, N>> {
+  using Payload = T;
+  using Next = N;
+};
+
+template <typename P>
+struct Branches;
+template <typename L, typename R>
+struct Branches<Select<L, R>> {
+  using Left = L;
+  using Right = R;
+};
+template <typename L, typename R>
+struct Branches<Offer<L, R>> {
+  using Left = L;
+  using Right = R;
+};
+
+// Move-only type-erased payload box (std::any requires copyable payloads,
+// which would forbid sending unique_ptr/lin::Own through a session).
+class MoveBox {
+ public:
+  MoveBox() = default;
+
+  template <typename T>
+  static MoveBox Of(T value) {
+    MoveBox box;
+    box.holder_ = std::make_unique<Holder<T>>(std::move(value));
+    return box;
+  }
+
+  // nullptr on type mismatch.
+  template <typename T>
+  T* Get() {
+    auto* holder = dynamic_cast<Holder<T>*>(holder_.get());
+    return holder != nullptr ? &holder->value : nullptr;
+  }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+  };
+  template <typename T>
+  struct Holder : Base {
+    explicit Holder(T v) : value(std::move(v)) {}
+    T value;
+  };
+
+  std::unique_ptr<Base> holder_;
+};
+
+// Untyped transport shared by the two endpoints.
+struct Core {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<MoveBox> to_a;  // messages headed for side A
+  std::deque<MoveBox> to_b;
+
+  void Push(bool to_side_a, MoveBox value) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      (to_side_a ? to_a : to_b).push_back(std::move(value));
+    }
+    cv.notify_all();
+  }
+
+  MoveBox Pop(bool side_a_queue) {
+    std::unique_lock<std::mutex> lock(mu);
+    auto& queue = side_a_queue ? to_a : to_b;
+    cv.wait(lock, [&queue] { return !queue.empty(); });
+    MoveBox out = std::move(queue.front());
+    queue.pop_front();
+    return out;
+  }
+};
+
+}  // namespace internal
+
+// ---- The linear endpoint ----------------------------------------------------
+
+template <typename P>
+class Chan;
+
+template <typename P>
+std::pair<Chan<P>, Chan<Dual<P>>> MakeSession();
+
+template <typename P>
+class Chan {
+ public:
+  Chan() = default;  // spent endpoint; any operation panics
+
+  Chan(const Chan&) = delete;
+  Chan& operator=(const Chan&) = delete;
+  Chan(Chan&&) noexcept = default;
+  Chan& operator=(Chan&&) noexcept = default;
+
+  bool IsLive() const { return core_.has_value(); }
+
+  // Send<T, Next>: consume the endpoint, transfer the value, continue.
+  // (Template with Q = P so the signature only instantiates on use.)
+  template <typename Q = P>
+  auto SendValue(typename internal::SendStep<Q>::Payload value) &&
+      -> Chan<typename internal::SendStep<Q>::Next> {
+    static_assert(std::same_as<Q, P>, "do not pass explicit template args");
+    CheckLive();
+    core_.SharedMut().Push(!side_a_,
+                           internal::MoveBox::Of(std::move(value)));
+    return Continue<typename internal::SendStep<Q>::Next>();
+  }
+
+  // Recv<T, Next>: blocks for the peer's value.
+  template <typename Q = P>
+  auto RecvValue() && -> std::pair<typename internal::RecvStep<Q>::Payload,
+                                   Chan<typename internal::RecvStep<Q>::Next>> {
+    static_assert(std::same_as<Q, P>, "do not pass explicit template args");
+    using T = typename internal::RecvStep<Q>::Payload;
+    CheckLive();
+    internal::MoveBox raw = core_.SharedMut().Pop(side_a_);
+    T* value = raw.Get<T>();
+    if (value == nullptr) {
+      util::Panic(util::PanicKind::kAssertFailed,
+                  "session: payload type mismatch (protocol violated)");
+    }
+    auto next = Continue<typename internal::RecvStep<Q>::Next>();
+    return {std::move(*value), std::move(next)};
+  }
+
+  // Select<L, R>: we choose the branch; the tag crosses the channel.
+  template <typename Q = P>
+  auto SelectLeft() && -> Chan<typename internal::Branches<Q>::Left> {
+    static_assert(std::same_as<Q, P>, "do not pass explicit template args");
+    CheckLive();
+    core_.SharedMut().Push(!side_a_, internal::MoveBox::Of(true));
+    return Continue<typename internal::Branches<Q>::Left>();
+  }
+  template <typename Q = P>
+  auto SelectRight() && -> Chan<typename internal::Branches<Q>::Right> {
+    static_assert(std::same_as<Q, P>, "do not pass explicit template args");
+    CheckLive();
+    core_.SharedMut().Push(!side_a_, internal::MoveBox::Of(false));
+    return Continue<typename internal::Branches<Q>::Right>();
+  }
+
+  // Offer<L, R>: the peer chose; we continue as whichever arrived.
+  template <typename Q = P>
+  auto OfferBranch() && -> std::variant<
+      Chan<typename internal::Branches<Q>::Left>,
+      Chan<typename internal::Branches<Q>::Right>> {
+    static_assert(std::same_as<Q, P>, "do not pass explicit template args");
+    using LeftChan = Chan<typename internal::Branches<Q>::Left>;
+    using RightChan = Chan<typename internal::Branches<Q>::Right>;
+    CheckLive();
+    internal::MoveBox raw = core_.SharedMut().Pop(side_a_);
+    const bool* left = raw.Get<bool>();
+    if (left == nullptr) {
+      util::Panic(util::PanicKind::kAssertFailed,
+                  "session: expected a branch tag");
+    }
+    if (*left) {
+      return std::variant<LeftChan, RightChan>(
+          std::in_place_index<0>,
+          Continue<typename internal::Branches<Q>::Left>());
+    }
+    return std::variant<LeftChan, RightChan>(
+        std::in_place_index<1>,
+        Continue<typename internal::Branches<Q>::Right>());
+  }
+
+  // End: closing releases the endpoint. Only compiles on Chan<End>.
+  void Close() &&
+    requires std::same_as<P, End>
+  {
+    CheckLive();
+    core_ = lin::Arc<internal::Core>();
+  }
+
+ private:
+  template <typename>
+  friend class Chan;
+  template <typename Q>
+  friend std::pair<Chan<Q>, Chan<Dual<Q>>> MakeSession();
+
+  Chan(lin::Arc<internal::Core> core, bool side_a)
+      : core_(std::move(core)), side_a_(side_a) {}
+
+  void CheckLive() const {
+    if (!core_.has_value()) {
+      util::Panic(util::PanicKind::kUseAfterMove,
+                  "session: endpoint already consumed");
+    }
+  }
+
+  template <typename Next>
+  Chan<Next> Continue() {
+    return Chan<Next>(std::move(core_), side_a_);
+  }
+
+  lin::Arc<internal::Core> core_;
+  bool side_a_ = false;
+};
+
+// Creates a connected endpoint pair with dual protocols.
+template <typename P>
+std::pair<Chan<P>, Chan<Dual<P>>> MakeSession() {
+  auto core = lin::Arc<internal::Core>::Make();
+  return {Chan<P>(core, /*side_a=*/true), Chan<Dual<P>>(core, false)};
+}
+
+}  // namespace session
+}  // namespace sfi
+
+#endif  // LINSYS_SRC_SFI_SESSION_H_

@@ -1,0 +1,99 @@
+// Bump-pointer arena: the "shared heap" substrate from Figure 1.
+//
+// All protection domains allocate from one arena (they share the heap; the
+// *ownership discipline*, not the allocator, provides isolation). The arena
+// also backs the packet mempool so packet buffers are contiguous, making the
+// cache behaviour of batch sweeps realistic.
+#ifndef LINSYS_SRC_UTIL_ARENA_H_
+#define LINSYS_SRC_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "src/util/panic.h"
+
+namespace util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_size = 1 << 20)
+      : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw aligned allocation. Memory lives until Reset() or destruction.
+  void* Allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    LINSYS_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                  "alignment must be a power of two");
+    std::uintptr_t p = (cursor_ + align - 1) & ~(align - 1);
+    if (p + bytes > limit_) {
+      Grow(bytes + align);
+      p = (cursor_ + align - 1) & ~(align - 1);
+    }
+    cursor_ = p + bytes;
+    allocated_bytes_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Typed construction. The arena never runs destructors: only use for
+  // trivially destructible payloads or pair with manual destruction.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::New requires trivially destructible T");
+    void* p = Allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  // Drops all allocations but keeps the blocks for reuse.
+  void Reset() {
+    cursor_ = 0;
+    limit_ = 0;
+    next_block_ = 0;
+    allocated_bytes_ = 0;
+    if (!blocks_.empty()) {
+      ActivateBlock(0);
+    }
+  }
+
+  std::size_t allocated_bytes() const { return allocated_bytes_; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void ActivateBlock(std::size_t index) {
+    cursor_ = reinterpret_cast<std::uintptr_t>(blocks_[index].data.get());
+    limit_ = cursor_ + blocks_[index].size;
+    next_block_ = index + 1;
+  }
+
+  void Grow(std::size_t min_bytes) {
+    // Reuse a retained block if one is big enough, else allocate a new one.
+    if (next_block_ < blocks_.size() && blocks_[next_block_].size >= min_bytes) {
+      ActivateBlock(next_block_);
+      return;
+    }
+    const std::size_t size = min_bytes > block_size_ ? min_bytes : block_size_;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    ActivateBlock(blocks_.size() - 1);
+  }
+
+  std::size_t block_size_;
+  std::vector<Block> blocks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t next_block_ = 0;
+  std::size_t allocated_bytes_ = 0;
+};
+
+}  // namespace util
+
+#endif  // LINSYS_SRC_UTIL_ARENA_H_

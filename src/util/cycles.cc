@@ -1,0 +1,24 @@
+#include "src/util/cycles.h"
+
+#include <algorithm>
+#include <array>
+
+namespace util {
+
+std::uint64_t TimerOverheadCycles() {
+  static const std::uint64_t overhead = [] {
+    // Median of many back-to-back empty measurements; median is robust to
+    // the occasional interrupt landing inside the probe.
+    std::array<std::uint64_t, 1001> samples{};
+    for (auto& s : samples) {
+      const std::uint64_t begin = CycleStart();
+      s = CycleEnd() - begin;
+    }
+    std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                     samples.end());
+    return samples[samples.size() / 2];
+  }();
+  return overhead;
+}
+
+}  // namespace util

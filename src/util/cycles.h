@@ -1,0 +1,69 @@
+// Cycle-accurate timing, matching the paper's measurement method (Section 3
+// reports CPU cycles measured around batch processing).
+//
+// On x86-64 we use rdtsc/rdtscp with the conventional serialization pattern
+// (cpuid/rdtsc before, rdtscp/cpuid after); elsewhere we fall back to
+// steady_clock nanoseconds so the code stays portable (cycle numbers then are
+// "ns" rather than cycles; all benches report relative shapes anyway).
+#ifndef LINSYS_SRC_UTIL_CYCLES_H_
+#define LINSYS_SRC_UTIL_CYCLES_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define LINSYS_HAVE_RDTSC 1
+#else
+#include <chrono>
+#define LINSYS_HAVE_RDTSC 0
+#endif
+
+namespace util {
+
+// Timestamp taken at the *start* of a measured region. Partially serializing:
+// later instructions cannot start before the read completes.
+inline std::uint64_t CycleStart() {
+#if LINSYS_HAVE_RDTSC
+  unsigned aux = 0;
+  __rdtscp(&aux);  // drain earlier work
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+// Timestamp taken at the *end* of a measured region. rdtscp waits for all
+// earlier instructions to retire before reading the counter.
+inline std::uint64_t CycleEnd() {
+#if LINSYS_HAVE_RDTSC
+  unsigned aux = 0;
+  return __rdtscp(&aux);
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+// RAII region timer: adds the elapsed cycles of its scope to *sink.
+class ScopedCycles {
+ public:
+  explicit ScopedCycles(std::uint64_t* sink)
+      : sink_(sink), start_(CycleStart()) {}
+  ~ScopedCycles() { *sink_ += CycleEnd() - start_; }
+
+  ScopedCycles(const ScopedCycles&) = delete;
+  ScopedCycles& operator=(const ScopedCycles&) = delete;
+
+ private:
+  std::uint64_t* sink_;
+  std::uint64_t start_;
+};
+
+// Measured cost of an empty CycleStart/CycleEnd pair, for subtracting the
+// measurement overhead itself from short regions. Computed once, cached.
+std::uint64_t TimerOverheadCycles();
+
+}  // namespace util
+
+#endif  // LINSYS_SRC_UTIL_CYCLES_H_

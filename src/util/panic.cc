@@ -1,0 +1,41 @@
+#include "src/util/panic.h"
+
+#include <atomic>
+
+namespace util {
+namespace {
+
+std::atomic<std::uint64_t> g_panic_count{0};
+
+}  // namespace
+
+std::string_view PanicKindName(PanicKind kind) {
+  switch (kind) {
+    case PanicKind::kExplicit:
+      return "explicit";
+    case PanicKind::kUseAfterMove:
+      return "use-after-move";
+    case PanicKind::kBorrowConflict:
+      return "borrow-conflict";
+    case PanicKind::kBoundsCheck:
+      return "bounds-check";
+    case PanicKind::kAssertFailed:
+      return "assert-failed";
+    case PanicKind::kRevokedRef:
+      return "revoked-ref";
+    case PanicKind::kPoisoned:
+      return "poisoned";
+  }
+  return "unknown";
+}
+
+void Panic(PanicKind kind, std::string message) {
+  g_panic_count.fetch_add(1, std::memory_order_relaxed);
+  throw PanicError(kind, std::move(message));
+}
+
+std::uint64_t PanicCount() {
+  return g_panic_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace util

@@ -1,0 +1,70 @@
+// Panic machinery shared by the whole project.
+//
+// Rust panics unwind to a catch point (`catch_unwind`); our C++ analog is a
+// dedicated exception type that trusted runtime code (and only trusted
+// runtime code) is allowed to catch. SFI fault recovery (src/sfi/recovery.h)
+// and the lin:: ownership runtime both funnel violations through here, so a
+// use-after-move inside a protection domain is recoverable exactly like a
+// Rust panic inside a domain is in the paper (Section 3).
+#ifndef LINSYS_SRC_UTIL_PANIC_H_
+#define LINSYS_SRC_UTIL_PANIC_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace util {
+
+// Reason codes let recovery code and tests distinguish violation classes
+// without parsing message strings.
+enum class PanicKind : std::uint8_t {
+  kExplicit,        // user called util::Panic()
+  kUseAfterMove,    // lin::Own consumed-handle access
+  kBorrowConflict,  // lin:: aliasing-xor-mutation violation
+  kBoundsCheck,     // array/batch index out of range
+  kAssertFailed,    // LINSYS_ASSERT
+  kRevokedRef,      // sfi:: rref whose proxy was removed
+  kPoisoned,        // lock/domain poisoned by an earlier panic
+};
+
+// Human-readable name for a PanicKind (stable, used in logs and tests).
+std::string_view PanicKindName(PanicKind kind);
+
+// The unwind payload. Thrown by Panic(); caught only by the domain runtime
+// (sfi::Domain::Execute) and by tests.
+class PanicError : public std::runtime_error {
+ public:
+  PanicError(PanicKind kind, std::string message)
+      : std::runtime_error(std::move(message)), kind_(kind) {}
+
+  PanicKind kind() const { return kind_; }
+
+ private:
+  PanicKind kind_;
+};
+
+// Raise a panic. Never returns.
+[[noreturn]] void Panic(PanicKind kind, std::string message);
+[[noreturn]] inline void Panic(std::string message) {
+  Panic(PanicKind::kExplicit, std::move(message));
+}
+
+// Total panics raised since process start (used by recovery stats/tests).
+std::uint64_t PanicCount();
+
+}  // namespace util
+
+// Assertion that panics (recoverable) instead of aborting. Active in all
+// build types: the paper's recovery story depends on assertion violations
+// being catchable faults, not process aborts.
+#define LINSYS_ASSERT(cond, msg)                              \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::util::Panic(::util::PanicKind::kAssertFailed,         \
+                    std::string("assertion failed: ") + msg); \
+    }                                                         \
+  } while (0)
+
+#endif  // LINSYS_SRC_UTIL_PANIC_H_

@@ -1,0 +1,93 @@
+// util::Result<T, E> — a minimal std::expected stand-in (GCC 12 / C++20 has
+// no <expected> yet).
+//
+// The SFI call path returns Result rather than throwing: the paper's remote
+// invocations "return an error code to the caller" after a fault, and a
+// Result return keeps the fast path free of exception machinery.
+#ifndef LINSYS_SRC_UTIL_RESULT_H_
+#define LINSYS_SRC_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "src/util/panic.h"
+
+namespace util {
+
+// Tag wrapper so Result<T, E> works even when T and E are the same type.
+template <typename E>
+struct ErrValue {
+  E error;
+};
+
+template <typename E>
+ErrValue<E> Err(E e) {
+  return ErrValue<E>{std::move(e)};
+}
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Result(ErrValue<E> err)
+      : v_(std::in_place_index<1>, std::move(err.error)) {}
+
+  static Result Ok(T value) { return Result(std::move(value)); }
+
+  bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  // Accessors panic (recoverably) on wrong-arm access instead of UB.
+  T& value() & {
+    LINSYS_ASSERT(ok(), "Result::value() on error result");
+    return std::get<0>(v_);
+  }
+  const T& value() const& {
+    LINSYS_ASSERT(ok(), "Result::value() on error result");
+    return std::get<0>(v_);
+  }
+  T&& value() && {
+    LINSYS_ASSERT(ok(), "Result::value() on error result");
+    return std::get<0>(std::move(v_));
+  }
+
+  const E& error() const {
+    LINSYS_ASSERT(!ok(), "Result::error() on ok result");
+    return std::get<1>(v_);
+  }
+
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<0>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> v_;
+};
+
+// void specialization: success carries nothing.
+struct OkUnit {};
+
+template <typename E>
+class [[nodiscard]] Result<void, E> {
+ public:
+  Result() : v_(std::in_place_index<0>, OkUnit{}) {}
+  Result(ErrValue<E> err)
+      : v_(std::in_place_index<1>, std::move(err.error)) {}
+
+  static Result Ok() { return Result(); }
+
+  bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const E& error() const {
+    LINSYS_ASSERT(!ok(), "Result::error() on ok result");
+    return std::get<1>(v_);
+  }
+
+ private:
+  std::variant<OkUnit, E> v_;
+};
+
+}  // namespace util
+
+#endif  // LINSYS_SRC_UTIL_RESULT_H_

@@ -1,0 +1,93 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/panic.h"
+
+namespace util {
+
+void Samples::EnsureSorted() const {
+  if (!sorted_) {
+    sorted_values_ = values_;
+    std::sort(sorted_values_.begin(), sorted_values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::Mean() const {
+  LINSYS_ASSERT(!values_.empty(), "Mean() of empty sample set");
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::Min() const {
+  LINSYS_ASSERT(!values_.empty(), "Min() of empty sample set");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::Max() const {
+  LINSYS_ASSERT(!values_.empty(), "Max() of empty sample set");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::Percentile(double p) const {
+  LINSYS_ASSERT(!values_.empty(), "Percentile() of empty sample set");
+  LINSYS_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+  EnsureSorted();
+  if (sorted_values_.size() == 1) {
+    return sorted_values_[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_values_[lo] * (1.0 - frac) + sorted_values_[hi] * frac;
+}
+
+double Samples::Stddev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : values_) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::TrimmedMean(double trim_pct) const {
+  LINSYS_ASSERT(!values_.empty(), "TrimmedMean() of empty sample set");
+  LINSYS_ASSERT(trim_pct >= 0.0 && trim_pct < 50.0, "trim percentage invalid");
+  EnsureSorted();
+  const auto n = sorted_values_.size();
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(n) * trim_pct / 100.0);
+  if (n <= 2 * cut) {
+    return Median();
+  }
+  double sum = 0.0;
+  for (std::size_t i = cut; i < n - cut; ++i) {
+    sum += sorted_values_[i];
+  }
+  return sum / static_cast<double>(n - 2 * cut);
+}
+
+std::string Samples::Summary() const {
+  if (values_.empty()) {
+    return "(no samples)";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean=%.1f trimmed=%.1f p50=%.1f p99=%.1f min=%.1f max=%.1f n=%zu",
+                Mean(), TrimmedMean(), Median(), Percentile(99.0), Min(), Max(),
+                values_.size());
+  return buf;
+}
+
+}  // namespace util

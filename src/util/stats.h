@@ -1,0 +1,60 @@
+// Small robust-statistics helper used by every benchmark harness.
+//
+// The paper reports averages of cycle counts; on a noisy simulator host we
+// additionally keep median and percentiles so bench output can show that the
+// shape is stable, not a fluke of one run.
+#ifndef LINSYS_SRC_UTIL_STATS_H_
+#define LINSYS_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace util {
+
+// Accumulates samples; summary queries sort lazily.
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::size_t reserve) { values_.reserve(reserve); }
+
+  void Add(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  void Clear() {
+    values_.clear();
+    sorted_ = false;
+  }
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  // p in [0,100]; nearest-rank percentile. Panics (LINSYS_ASSERT) on empty.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  // Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double Stddev() const;
+  // Mean of the middle (100 - 2*trim_pct)% of samples — discards symmetric
+  // tails, our default estimator for cycle counts.
+  double TrimmedMean(double trim_pct = 5.0) const;
+
+  // "mean=... p50=... p99=... n=..." one-liner for bench logs.
+  std::string Summary() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace util
+
+#endif  // LINSYS_SRC_UTIL_STATS_H_

@@ -1,0 +1,105 @@
+// Primary/backup replication built on snapshots (§5 automation): replicas
+// converge at mutation boundaries, failed mutations never propagate, and
+// failover promotes consistent state — including alias structure.
+#include "src/ckpt/replicate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/ckpt/trie.h"
+#include "src/util/panic.h"
+
+namespace ckpt {
+namespace {
+
+struct Ledger {
+  std::int64_t total = 0;
+  std::vector<std::string> entries;
+  LINSYS_CHECKPOINT_FIELDS(total, entries)
+  bool operator==(const Ledger&) const = default;
+};
+
+TEST(Replicate, ReplicasStartIdentical) {
+  ReplicatedState<Ledger> rs(Ledger{10, {"seed"}}, /*backup_count=*/3);
+  EXPECT_EQ(rs.replica_count(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rs.replica(i), rs.primary());
+  }
+}
+
+TEST(Replicate, ApplyPropagatesToAllReplicas) {
+  ReplicatedState<Ledger> rs(Ledger{}, 2);
+  rs.Apply([](Ledger& l) {
+    l.total += 5;
+    l.entries.push_back("deposit 5");
+  });
+  rs.Apply([](Ledger& l) { l.total -= 2; });
+  EXPECT_EQ(rs.version(), 2u);
+  EXPECT_EQ(rs.primary().total, 3);
+  for (std::size_t i = 0; i < rs.replica_count(); ++i) {
+    EXPECT_EQ(rs.replica(i), rs.primary()) << "replica " << i;
+  }
+}
+
+TEST(Replicate, FailedMutationPropagatesNothing) {
+  ReplicatedState<Ledger> rs(Ledger{100, {}}, 2);
+  rs.Apply([](Ledger& l) { l.total = 50; });
+  EXPECT_THROW(rs.Apply([](Ledger& l) {
+    l.total = -1;
+    l.entries.push_back("half-done");
+    util::Panic("validation failed mid-mutation");
+  }),
+               util::PanicError);
+  EXPECT_EQ(rs.version(), 1u);
+  EXPECT_EQ(rs.primary().total, 50) << "primary rolled back";
+  for (std::size_t i = 0; i < rs.replica_count(); ++i) {
+    EXPECT_EQ(rs.replica(i).total, 50) << "replica saw nothing";
+    EXPECT_TRUE(rs.replica(i).entries.empty());
+  }
+}
+
+TEST(Replicate, FailoverPromotesConsistentState) {
+  ReplicatedState<Ledger> rs(Ledger{}, 2);
+  rs.Apply([](Ledger& l) { l.total = 7; });
+  rs.Failover(1);
+  EXPECT_EQ(rs.primary().total, 7);
+  // Work continues on the new primary and still replicates.
+  rs.Apply([](Ledger& l) { l.total += 1; });
+  EXPECT_EQ(rs.primary().total, 8);
+  for (std::size_t i = 0; i < rs.replica_count(); ++i) {
+    EXPECT_EQ(rs.replica(i).total, 8);
+  }
+}
+
+TEST(Replicate, OutOfRangeReplicaPanics) {
+  ReplicatedState<Ledger> rs(Ledger{}, 1);
+  EXPECT_THROW((void)rs.replica(5), util::PanicError);
+  EXPECT_THROW(rs.Failover(5), util::PanicError);
+}
+
+TEST(Replicate, AliasStructureReplicates) {
+  RuleTrie trie;
+  FwRule r;
+  r.id = 1;
+  RulePtr shared = RulePtr::Make(r);
+  trie.Insert(0x0a000000, 16, shared);
+  trie.Insert(0x0b000000, 16, shared);
+
+  ReplicatedState<RuleTrie> rs(std::move(trie), 2);
+  rs.Apply([](RuleTrie& t) {
+    FwRule extra;
+    extra.id = 2;
+    t.Insert(0x0c000000, 16, RulePtr::Make(extra));
+  });
+  for (std::size_t i = 0; i < rs.replica_count(); ++i) {
+    EXPECT_EQ(rs.replica(i).RuleSlotCount(), 3u);
+    EXPECT_EQ(rs.replica(i).DistinctRuleCount(), 2u)
+        << "replica " << i << " must preserve the shared rule";
+    EXPECT_TRUE(RuleTrie::Equivalent(rs.primary(), rs.replica(i)));
+  }
+}
+
+}  // namespace
+}  // namespace ckpt

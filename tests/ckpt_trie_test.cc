@@ -1,0 +1,202 @@
+// The Figure-3 experiment as a test: checkpointing a firewall rule trie
+// whose leaves share rules. The linear-mark checkpoint must keep exactly one
+// copy per distinct rule and reconstruct the aliasing; the naive traversal
+// must exhibit the duplication pathology the paper diagrams.
+#include "src/ckpt/trie.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/lin/arc.h"
+#include "src/lin/mutex.h"
+#include "src/util/rng.h"
+
+namespace ckpt {
+namespace {
+
+RulePtr MakeRule(std::uint64_t id, bool allow = true) {
+  FwRule r;
+  r.id = id;
+  r.allow = allow;
+  return RulePtr::Make(r);
+}
+
+TEST(RuleTrie, InsertAndLongestPrefixMatch) {
+  RuleTrie trie;
+  trie.Insert(0x0a000000, 8, MakeRule(1, /*allow=*/true));   // 10/8
+  trie.Insert(0x0a010000, 16, MakeRule(2, /*allow=*/false)); // 10.1/16
+  const FwRule* wide = trie.Lookup(0x0a020304);
+  ASSERT_NE(wide, nullptr);
+  EXPECT_EQ(wide->id, 1u);
+  const FwRule* narrow = trie.Lookup(0x0a010304);
+  ASSERT_NE(narrow, nullptr);
+  EXPECT_EQ(narrow->id, 2u) << "longest prefix must win";
+  EXPECT_EQ(trie.Lookup(0x0b000001), nullptr);
+}
+
+TEST(RuleTrie, ZeroLengthPrefixIsDefaultRule) {
+  RuleTrie trie;
+  trie.Insert(0, 0, MakeRule(99));
+  const FwRule* hit = trie.Lookup(0xffffffff);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, 99u);
+}
+
+TEST(RuleTrie, SharedRuleCountedOnce) {
+  RuleTrie trie;
+  RulePtr shared = MakeRule(7);
+  trie.Insert(0x0a000000, 16, shared);
+  trie.Insert(0x0b000000, 16, shared);
+  trie.Insert(0x0c000000, 16, MakeRule(8));
+  EXPECT_EQ(trie.RuleSlotCount(), 3u);
+  EXPECT_EQ(trie.DistinctRuleCount(), 2u);
+}
+
+TEST(RuleTrie, HitCountOnUniqueRule) {
+  RuleTrie trie;
+  trie.Insert(0x0a000000, 8, MakeRule(1));
+  (void)trie.Lookup(0x0a000001, /*count_hit=*/true);
+  (void)trie.Lookup(0x0a000002, /*count_hit=*/true);
+  const FwRule* r = trie.Lookup(0x0a000003);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->hit_count, 2u);
+}
+
+// Figure 3: checkpoint with sharing (a) vs naive duplication (b).
+TEST(Figure3, LinearMarkKeepsOneCopyPerRule) {
+  RuleTrie trie;
+  RulePtr rule1 = MakeRule(1);
+  RulePtr rule2 = MakeRule(2);
+  // rule1 referenced from two leaves, as in the figure.
+  trie.Insert(0x0a000000, 16, rule1);
+  trie.Insert(0x0b000000, 16, rule1);
+  trie.Insert(0x0c000000, 16, rule2);
+
+  CheckpointStats stats;
+  Snapshot snap = Checkpoint(trie, DedupMode::kLinearMark, &stats);
+  EXPECT_EQ(stats.payload_copies, 2u) << "rule 1 once, rule 2 once";
+  EXPECT_EQ(stats.back_refs, 1u) << "second leaf of rule 1";
+
+  RuleTrie restored = Restore<RuleTrie>(snap);
+  EXPECT_EQ(restored.RuleSlotCount(), 3u);
+  EXPECT_EQ(restored.DistinctRuleCount(), 2u)
+      << "restore must reconstruct Figure 3a, not 3b";
+  EXPECT_TRUE(RuleTrie::Equivalent(trie, restored));
+}
+
+TEST(Figure3, NaiveTraversalCreatesRule1Prime) {
+  RuleTrie trie;
+  RulePtr rule1 = MakeRule(1);
+  trie.Insert(0x0a000000, 16, rule1);
+  trie.Insert(0x0b000000, 16, rule1);
+  trie.Insert(0x0c000000, 16, MakeRule(2));
+
+  CheckpointStats stats;
+  Snapshot snap = Checkpoint(trie, DedupMode::kNone, &stats);
+  EXPECT_EQ(stats.payload_copies, 3u)
+      << "rule 1 copied twice (rule 1 and rule 1'), rule 2 once";
+
+  RuleTrie restored = Restore<RuleTrie>(snap);
+  EXPECT_EQ(restored.RuleSlotCount(), 3u);
+  EXPECT_EQ(restored.DistinctRuleCount(), 3u)
+      << "Figure 3b: the shared rule became two objects";
+  EXPECT_FALSE(RuleTrie::Equivalent(trie, restored))
+      << "sharing pattern differs, so the tries are not equivalent";
+}
+
+TEST(Figure3, AddressSetMatchesLinearSemanticsOnTries) {
+  RuleTrie trie;
+  RulePtr shared = MakeRule(5);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    trie.Insert(0x0a000000 + (i << 16), 16, shared);
+  }
+  CheckpointStats linear_stats, set_stats;
+  Snapshot s1 = Checkpoint(trie, DedupMode::kLinearMark, &linear_stats);
+  Snapshot s2 = Checkpoint(trie, DedupMode::kAddressSet, &set_stats);
+  EXPECT_EQ(linear_stats.payload_copies, set_stats.payload_copies);
+  EXPECT_EQ(linear_stats.back_refs, set_stats.back_refs);
+  EXPECT_TRUE(RuleTrie::Equivalent(Restore<RuleTrie>(s1),
+                                   Restore<RuleTrie>(s2)));
+}
+
+// Randomized property: round trip preserves equivalence for arbitrary
+// tries with arbitrary sharing patterns.
+class TrieRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieRoundTrip, EquivalentAfterRestore) {
+  util::Rng rng(GetParam());
+  RuleTrie trie;
+  std::vector<RulePtr> pool;
+  const std::size_t rules = 1 + rng.Below(20);
+  for (std::size_t i = 0; i < rules; ++i) {
+    pool.push_back(MakeRule(i, rng.Chance(0.5)));
+  }
+  const std::size_t inserts = 1 + rng.Below(100);
+  for (std::size_t i = 0; i < inserts; ++i) {
+    const auto prefix = rng.NextU32();
+    const auto len = static_cast<std::uint8_t>(rng.Below(33));
+    trie.Insert(prefix, len, pool[rng.Below(pool.size())]);
+  }
+
+  RuleTrie restored = Restore<RuleTrie>(Checkpoint(trie));
+  EXPECT_TRUE(RuleTrie::Equivalent(trie, restored));
+  // And lookups agree on random addresses.
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t addr = rng.NextU32();
+    const FwRule* a = trie.Lookup(addr);
+    const FwRule* b = restored.Lookup(addr);
+    if (a == nullptr) {
+      EXPECT_EQ(b, nullptr);
+    } else {
+      ASSERT_NE(b, nullptr);
+      EXPECT_EQ(a->id, b->id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 1234));
+
+// E9: checkpoint while mutator threads update Arc<Mutex> shared state.
+// Every per-object snapshot must be internally consistent.
+TEST(ConcurrentCkpt, MutatorsDuringCheckpoint) {
+  struct Stats {
+    std::vector<int> values;  // invariant: values.size() == writes
+    std::uint64_t writes = 0;
+    LINSYS_CHECKPOINT_FIELDS(values, writes)
+  };
+  using SharedStats = lin::Arc<lin::Mutex<Stats>>;
+  struct System {
+    SharedStats a;
+    SharedStats b;  // aliases `a` — both views of one object
+    LINSYS_CHECKPOINT_FIELDS(a, b)
+  };
+
+  auto shared = SharedStats::Make(Stats{});
+  System sys{shared, shared};
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto guard = shared.SharedMut().Lock();
+      guard->values.push_back(i++);
+      guard->writes++;
+    }
+  });
+
+  for (int round = 0; round < 50; ++round) {
+    Snapshot snap = Checkpoint(sys);
+    System restored = Restore<System>(snap);
+    EXPECT_TRUE(restored.a.SameObject(restored.b));
+    auto guard = restored.a.SharedMut().Lock();
+    EXPECT_EQ(guard->values.size(), guard->writes)
+        << "lock-during-copy keeps each object internally consistent";
+  }
+  stop = true;
+  mutator.join();
+}
+
+}  // namespace
+}  // namespace ckpt

@@ -1,0 +1,129 @@
+// Undo-log transactions over Checkpointable state (§5 "automation" beyond
+// checkpointing): commit keeps, abort restores, panics roll back, and the
+// aliasing structure survives rollback like any other restore.
+#include "src/ckpt/txn.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/ckpt/trie.h"
+#include "src/util/panic.h"
+
+namespace ckpt {
+namespace {
+
+struct Account {
+  std::int64_t balance = 0;
+  std::vector<std::string> log;
+  LINSYS_CHECKPOINT_FIELDS(balance, log)
+};
+
+TEST(Transaction, CommitKeepsMutations) {
+  Account acct{100, {}};
+  {
+    Transaction<Account> txn(&acct);
+    acct.balance -= 30;
+    acct.log.push_back("withdraw 30");
+    txn.Commit();
+  }
+  EXPECT_EQ(acct.balance, 70);
+  ASSERT_EQ(acct.log.size(), 1u);
+}
+
+TEST(Transaction, AbortRestoresState) {
+  Account acct{100, {"initial"}};
+  {
+    Transaction<Account> txn(&acct);
+    acct.balance = -999;
+    acct.log.clear();
+    txn.Abort();
+  }
+  EXPECT_EQ(acct.balance, 100);
+  ASSERT_EQ(acct.log.size(), 1u);
+  EXPECT_EQ(acct.log[0], "initial");
+}
+
+TEST(Transaction, ScopeExitWithoutCommitAborts) {
+  Account acct{50, {}};
+  {
+    Transaction<Account> txn(&acct);
+    acct.balance = 0;
+    // no Commit
+  }
+  EXPECT_EQ(acct.balance, 50);
+}
+
+TEST(Transaction, PanicUnwindRollsBack) {
+  Account acct{100, {}};
+  try {
+    Transaction<Account> txn(&acct);
+    acct.balance -= 60;
+    LINSYS_ASSERT(acct.balance >= 50, "balance floor violated");
+    txn.Commit();
+  } catch (const util::PanicError&) {
+  }
+  EXPECT_EQ(acct.balance, 100) << "failed transaction must leave no trace";
+}
+
+TEST(Transaction, DoubleFinishPanics) {
+  Account acct{1, {}};
+  Transaction<Account> txn(&acct);
+  txn.Commit();
+  EXPECT_FALSE(txn.active());
+  EXPECT_THROW(txn.Abort(), util::PanicError);
+}
+
+TEST(Transaction, SequentialTransactionsCompose) {
+  Account acct{0, {}};
+  for (int i = 1; i <= 5; ++i) {
+    Transaction<Account> txn(&acct);
+    acct.balance += i;
+    if (i % 2 == 0) {
+      txn.Abort();  // even deposits rejected
+    } else {
+      txn.Commit();
+    }
+  }
+  EXPECT_EQ(acct.balance, 1 + 3 + 5);
+}
+
+TEST(Atomically, CommitsOnReturnRollsBackOnPanic) {
+  Account acct{10, {}};
+  EXPECT_TRUE(Atomically(&acct, [](Account& a) { a.balance *= 2; }));
+  EXPECT_EQ(acct.balance, 20);
+
+  EXPECT_THROW(Atomically(&acct,
+                          [](Account& a) {
+                            a.balance = 12345;
+                            util::Panic("validation failed");
+                          }),
+               util::PanicError);
+  EXPECT_EQ(acct.balance, 20);
+}
+
+TEST(Transaction, AliasedTrieRollsBackWithSharingIntact) {
+  RuleTrie trie;
+  FwRule r;
+  r.id = 7;
+  RulePtr shared = RulePtr::Make(r);
+  trie.Insert(0x0a000000, 16, shared);
+  trie.Insert(0x0b000000, 16, shared);
+  ASSERT_EQ(trie.DistinctRuleCount(), 1u);
+
+  {
+    Transaction<RuleTrie> txn(&trie);
+    FwRule extra;
+    extra.id = 8;
+    trie.Insert(0x0c000000, 16, RulePtr::Make(extra));
+    ASSERT_EQ(trie.RuleSlotCount(), 3u);
+    txn.Abort();
+  }
+  EXPECT_EQ(trie.RuleSlotCount(), 2u) << "insert rolled back";
+  EXPECT_EQ(trie.DistinctRuleCount(), 1u)
+      << "sharing pattern restored, not split";
+}
+
+}  // namespace
+}  // namespace ckpt

@@ -1,0 +1,117 @@
+// Lattice laws for the IFC label domain — the soundness of the whole §4
+// analysis rests on these, so they are checked as properties over random
+// labels, not just examples.
+#include "src/ifc/an/label.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/panic.h"
+#include "src/util/rng.h"
+
+namespace ifc {
+namespace {
+
+Label RandomLabel(util::Rng& rng) {
+  Label l;
+  l.tags = rng.Next() & 0xffff;  // 16 principals is plenty
+  l.params = rng.Next() & 0xff;
+  return l;
+}
+
+class LabelLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LabelLaws, JoinSemilattice) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const Label a = RandomLabel(rng);
+    const Label b = RandomLabel(rng);
+    const Label c = RandomLabel(rng);
+    // Idempotent, commutative, associative.
+    EXPECT_EQ(a.Join(a), a);
+    EXPECT_EQ(a.Join(b), b.Join(a));
+    EXPECT_EQ(a.Join(b).Join(c), a.Join(b.Join(c)));
+    // Bottom is the identity.
+    EXPECT_EQ(a.Join(Label::Bottom()), a);
+  }
+}
+
+TEST_P(LabelLaws, FlowsToIsAPartialOrder) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const Label a = RandomLabel(rng);
+    const Label b = RandomLabel(rng);
+    const Label c = RandomLabel(rng);
+    EXPECT_TRUE(a.FlowsTo(a)) << "reflexive";
+    if (a.FlowsTo(b) && b.FlowsTo(a)) {
+      EXPECT_EQ(a, b) << "antisymmetric";
+    }
+    if (a.FlowsTo(b) && b.FlowsTo(c)) {
+      EXPECT_TRUE(a.FlowsTo(c)) << "transitive";
+    }
+  }
+}
+
+TEST_P(LabelLaws, JoinIsLeastUpperBound) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const Label a = RandomLabel(rng);
+    const Label b = RandomLabel(rng);
+    const Label j = a.Join(b);
+    EXPECT_TRUE(a.FlowsTo(j));
+    EXPECT_TRUE(b.FlowsTo(j));
+    // Least: any other upper bound is above the join.
+    const Label u = j.Join(RandomLabel(rng));
+    if (a.FlowsTo(u) && b.FlowsTo(u)) {
+      EXPECT_TRUE(j.FlowsTo(u));
+    }
+  }
+}
+
+TEST_P(LabelLaws, BottomFlowsEverywhere) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(Label::Bottom().FlowsTo(RandomLabel(rng)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelLaws, ::testing::Values(1, 7, 42, 99));
+
+TEST(TagTable, InternIsStable) {
+  TagTable table;
+  const int alice = table.Intern("alice");
+  const int bob = table.Intern("bob");
+  EXPECT_NE(alice, bob);
+  EXPECT_EQ(table.Intern("alice"), alice) << "re-intern returns same bit";
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(TagTable, LabelOfJoinsTags) {
+  TagTable table;
+  Label l = table.LabelOf({"a", "b", "a"});
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.LabelOf({"a"}).FlowsTo(l));
+  EXPECT_TRUE(table.LabelOf({"b"}).FlowsTo(l));
+  EXPECT_FALSE(l.FlowsTo(table.LabelOf({"a"})));
+}
+
+TEST(TagTable, RenderIsReadable) {
+  TagTable table;
+  EXPECT_EQ(table.Render(Label::Bottom()), "{}");
+  Label l = table.LabelOf({"alice", "bob"});
+  EXPECT_EQ(table.Render(l), "{alice, bob}");
+  Label p = Label::OfParam(3);
+  EXPECT_EQ(table.Render(p), "{param#3}");
+}
+
+TEST(TagTable, OverflowPanics) {
+  TagTable table;
+  for (int i = 0; i < 64; ++i) {
+    table.Intern("p" + std::to_string(i));
+  }
+  EXPECT_THROW(table.Intern("one-too-many"), util::PanicError);
+}
+
+}  // namespace
+}  // namespace ifc

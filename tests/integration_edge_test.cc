@@ -1,0 +1,167 @@
+// Cross-module edge cases that none of the per-module suites cover:
+// revocation racing pipelines, policy on isolated stages, IFC summary-mode
+// assertions, deep RIL programs, checkpoint of empty/degenerate shapes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/ckpt/trie.h"
+#include "src/ifc/an/intervals.h"
+#include "src/ifc/checker.h"
+#include "src/net/operators/null_filter.h"
+#include "src/net/pipeline.h"
+#include "src/net/pktgen.h"
+#include "src/sfi/policy.h"
+#include "src/util/panic.h"
+
+namespace {
+
+net::PacketBatch MakeBatch(net::Mempool& pool, std::size_t n) {
+  net::PktSourceConfig cfg;
+  cfg.flow_count = 8;
+  cfg.seed = 1;
+  net::PktSource src(&pool, cfg);
+  net::PacketBatch batch(n);
+  src.RxBurst(batch, n);
+  return batch;
+}
+
+TEST(EdgeSfi, RevokedStageFailsPipelineWithRevokedError) {
+  net::Mempool pool(64, 2048);
+  sfi::DomainManager mgr;
+  net::IsolatedPipeline pipe(&mgr);
+  pipe.AddStage("a", [] { return std::make_unique<net::NullFilter>(); });
+  pipe.AddStage("b", [] { return std::make_unique<net::NullFilter>(); });
+  ASSERT_TRUE(pipe.Run(MakeBatch(pool, 4)).ok());
+
+  // The owner of stage b revokes everything it exported.
+  pipe.domain(1).ref_table().Clear();
+  auto result = pipe.Run(MakeBatch(pool, 4));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), sfi::CallError::kRevoked);
+  EXPECT_EQ(pool.in_use(), 0u) << "batch reclaimed on the error path";
+  EXPECT_EQ(pipe.domain(1).state(), sfi::DomainState::kRunning)
+      << "revocation is not a fault";
+
+  // Recovery (which re-exports) brings the stage back.
+  pipe.domain(1).Recover();
+  EXPECT_TRUE(pipe.Run(MakeBatch(pool, 4)).ok());
+}
+
+TEST(EdgeSfi, PolicyDeniedStage) {
+  net::Mempool pool(64, 2048);
+  sfi::DomainManager mgr;
+  net::IsolatedPipeline pipe(&mgr);
+  pipe.AddStage("locked", [] { return std::make_unique<net::NullFilter>(); });
+  pipe.domain(0).SetPolicy(sfi::AllowMethods({"status"}));
+  auto result = pipe.Run(MakeBatch(pool, 4));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), sfi::CallError::kAccessDenied)
+      << "pipeline calls use method name 'process'";
+}
+
+TEST(EdgeIfc, AssertObligationsInSummaryMode) {
+  // assert_label inside a callee, checked per call site under summaries.
+  constexpr std::string_view src = R"(
+    fn audited(x: int) -> int {
+      assert_label(x, {low});
+      return x;
+    }
+    fn main() {
+      #[label(low)]
+      let fine = 1;
+      let a = audited(fine);
+      #[label(high)]
+      let spicy = 2;
+      let b = audited(spicy);
+    }
+  )";
+  ifc::AnalysisResult sums = ifc::AnalyzeSource(src, ifc::Mode::kSummaries);
+  EXPECT_FALSE(sums.ifc_ok);
+  std::size_t violations = 0;
+  for (const auto& d : sums.diags.all()) {
+    violations += d.phase == ril::Phase::kIfc;
+  }
+  EXPECT_EQ(violations, 1u) << sums.diags.ToString();
+  ifc::AnalysisResult whole =
+      ifc::AnalyzeSource(src, ifc::Mode::kWholeProgram);
+  EXPECT_FALSE(whole.ifc_ok);
+}
+
+TEST(EdgeIfc, EmitUnderSecretLoopInSummaries) {
+  constexpr std::string_view src = R"(
+    fn tick() { emit(stdout, 1); }
+    fn main() {
+      #[label(s)]
+      let secret = 3;
+      let mut i = 0;
+      while i < secret {
+        tick();
+        i = i + 1;
+      }
+    }
+  )";
+  EXPECT_FALSE(ifc::AnalyzeSource(src, ifc::Mode::kWholeProgram).ifc_ok)
+      << "loop trip count depends on the secret";
+  EXPECT_FALSE(ifc::AnalyzeSource(src, ifc::Mode::kSummaries).ifc_ok);
+}
+
+TEST(EdgeIfc, DeeplyNestedControlFlowTerminates) {
+  // 12 nested whiles with interleaved label joins: fixpoints must nest.
+  std::string src = "fn main() {\n#[label(t)] let s = 1;\nlet mut x = 0;\n";
+  for (int i = 0; i < 12; ++i) {
+    src += "let mut i" + std::to_string(i) + " = 0;\n";
+    src += "while i" + std::to_string(i) + " < 2 {\n";
+  }
+  src += "x = s;\n";
+  for (int i = 11; i >= 0; --i) {
+    src += "i" + std::to_string(i) + " = i" + std::to_string(i) + " + 1;\n}\n";
+  }
+  src += "emit(stdout, x);\n}\n";
+  ifc::AnalysisResult result = ifc::AnalyzeSource(src);
+  EXPECT_TRUE(result.type_ok) << result.diags.ToString();
+  EXPECT_FALSE(result.ifc_ok) << "x carries the secret out of the loops";
+}
+
+TEST(EdgeCkpt, EmptyTrieRoundTrips) {
+  ckpt::RuleTrie empty;
+  ckpt::RuleTrie restored = ckpt::Restore<ckpt::RuleTrie>(
+      ckpt::Checkpoint(empty));
+  EXPECT_EQ(restored.RuleSlotCount(), 0u);
+  EXPECT_TRUE(ckpt::RuleTrie::Equivalent(empty, restored));
+}
+
+TEST(EdgeCkpt, MaximumDepthPrefixes) {
+  ckpt::RuleTrie trie;
+  ckpt::FwRule r;
+  r.id = 1;
+  // /32 prefixes: 33-node chains.
+  trie.Insert(0xffffffff, 32, ckpt::RulePtr::Make(r));
+  trie.Insert(0x00000000, 32, ckpt::RulePtr::Make(r));
+  EXPECT_EQ(trie.Lookup(0xffffffff)->id, 1u);
+  EXPECT_EQ(trie.Lookup(0xfffffffe), nullptr);
+  ckpt::RuleTrie restored =
+      ckpt::Restore<ckpt::RuleTrie>(ckpt::Checkpoint(trie));
+  EXPECT_EQ(restored.Lookup(0x00000000)->id, 1u);
+}
+
+TEST(EdgeRange, EmptyMainAndUnreachableCode) {
+  ifc::AnalysisResult r = ifc::AnalyzeSource(R"(
+    fn main() {
+      let x = 1;
+      if x == 1 {
+        return;
+      }
+      // Unreachable given x == 1, but the analyzer must not crash on it
+      // (it refines the else path to bottom and checks vacuously).
+      let boom = check_range(x, 5, 5);
+    }
+  )");
+  ASSERT_TRUE(r.type_ok) << r.diags.ToString();
+  ril::Diagnostics diags;
+  EXPECT_TRUE(ifc::VerifyRanges(r.program, &diags)) << diags.ToString();
+}
+
+}  // namespace

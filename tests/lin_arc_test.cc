@@ -1,0 +1,137 @@
+#include "src/lin/arc.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/util/panic.h"
+
+namespace lin {
+namespace {
+
+TEST(Arc, MakeCopyMove) {
+  auto a = Arc<std::string>::Make("shared");
+  Arc<std::string> b = a;
+  Arc<std::string> c = std::move(b);
+  EXPECT_EQ(*c, "shared");
+  EXPECT_EQ(a.StrongCount(), 2u);
+  EXPECT_FALSE(b.has_value());
+  EXPECT_TRUE(a.SameObject(c));
+}
+
+TEST(Arc, DestroysPayloadOnce) {
+  static std::atomic<int> live{0};
+  struct Counted {
+    Counted() { ++live; }
+    ~Counted() { --live; }
+  };
+  {
+    auto a = Arc<Counted>::Make();
+    auto b = a;
+    auto w = ArcWeak<Counted>(a);
+    EXPECT_EQ(live.load(), 1);
+  }
+  EXPECT_EQ(live.load(), 0);
+}
+
+TEST(ArcWeak, UpgradeLifecycle) {
+  ArcWeak<int> w;
+  {
+    auto a = Arc<int>::Make(11);
+    w = ArcWeak<int>(a);
+    auto up = w.Upgrade();
+    ASSERT_TRUE(up.has_value());
+    EXPECT_EQ(*up, 11);
+  }
+  EXPECT_TRUE(w.Expired());
+  EXPECT_FALSE(w.Upgrade().has_value());
+}
+
+TEST(Arc, GetMutOnlyWhenTrulyUnique) {
+  auto a = Arc<int>::Make(1);
+  EXPECT_NE(a.GetMutIfUnique(), nullptr);
+  auto w = ArcWeak<int>(a);
+  EXPECT_EQ(a.GetMutIfUnique(), nullptr) << "a weak handle blocks GetMut";
+}
+
+// Hammer copy/drop from many threads: counts must balance and the payload
+// must be destroyed exactly once (ASAN/TSAN builds would catch UB here).
+TEST(Arc, ConcurrentCloneDropStress) {
+  static std::atomic<int> live{0};
+  struct Counted {
+    Counted() { ++live; }
+    ~Counted() { --live; }
+  };
+  {
+    auto root = Arc<Counted>::Make();
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&root] {
+        for (int i = 0; i < 20000; ++i) {
+          Arc<Counted> local = root;
+          ArcWeak<Counted> w(local);
+          Arc<Counted> up = w.Upgrade();
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    EXPECT_EQ(root.StrongCount(), 1u);
+    EXPECT_EQ(live.load(), 1);
+  }
+  EXPECT_EQ(live.load(), 0);
+}
+
+// Threads race weak-upgrades against the last strong drop; every successful
+// upgrade must observe a live payload.
+TEST(ArcWeak, UpgradeRacesLastDrop) {
+  for (int round = 0; round < 200; ++round) {
+    auto strong = Arc<std::uint64_t>::Make(0xfeedfaceULL);
+    ArcWeak<std::uint64_t> weak(strong);
+    std::thread dropper([&strong] { strong = Arc<std::uint64_t>(); });
+    std::thread upgrader([&weak] {
+      auto up = weak.Upgrade();
+      if (up.has_value()) {
+        EXPECT_EQ(*up, 0xfeedfaceULL);
+      }
+    });
+    dropper.join();
+    upgrader.join();
+    EXPECT_TRUE(weak.Expired());
+  }
+}
+
+TEST(Arc, MarkVisitedConcurrentExactlyOneWinner) {
+  auto a = Arc<int>::Make(1);
+  for (std::uint64_t epoch = 1; epoch <= 50; ++epoch) {
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&a, &winners, epoch] {
+        if (a.MarkVisited(epoch)) {
+          ++winners;
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    EXPECT_EQ(winners.load(), 1) << "epoch " << epoch;
+  }
+}
+
+TEST(Arc, EmptyHandlePanicsOnAccess) {
+  Arc<int> empty;
+  EXPECT_THROW((void)*empty, util::PanicError);
+  EXPECT_EQ(empty.StrongCount(), 0u);
+}
+
+}  // namespace
+}  // namespace lin

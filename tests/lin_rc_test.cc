@@ -1,0 +1,147 @@
+#include "src/lin/rc.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "src/util/panic.h"
+
+namespace lin {
+namespace {
+
+TEST(Rc, MakeAndRead) {
+  auto r = Rc<std::string>::Make("shared");
+  EXPECT_EQ(*r, "shared");
+  EXPECT_EQ(r->size(), 6u);
+  EXPECT_EQ(r.StrongCount(), 1u);
+}
+
+TEST(Rc, CopyIncrementsCount) {
+  auto a = Rc<int>::Make(7);
+  Rc<int> b = a;
+  Rc<int> c = b;
+  EXPECT_EQ(a.StrongCount(), 3u);
+  EXPECT_TRUE(a.SameObject(c));
+  EXPECT_EQ(*c, 7);
+}
+
+TEST(Rc, DropDecrementsAndFrees) {
+  static int live = 0;
+  struct Counted {
+    Counted() { ++live; }
+    ~Counted() { --live; }
+  };
+  {
+    auto a = Rc<Counted>::Make();
+    {
+      Rc<Counted> b = a;
+      EXPECT_EQ(live, 1);
+    }
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(Rc, MoveDoesNotChangeCount) {
+  auto a = Rc<int>::Make(1);
+  Rc<int> b = a;
+  Rc<int> c = std::move(a);
+  EXPECT_EQ(c.StrongCount(), 2u);
+  EXPECT_FALSE(a.has_value());
+  EXPECT_THROW((void)*a, util::PanicError);
+}
+
+TEST(Rc, SelfAssignmentSafe) {
+  auto a = Rc<int>::Make(9);
+  a = *&a;
+  EXPECT_EQ(*a, 9);
+  EXPECT_EQ(a.StrongCount(), 1u);
+}
+
+TEST(Rc, GetMutOnlyWhenUnique) {
+  auto a = Rc<int>::Make(1);
+  ASSERT_NE(a.GetMutIfUnique(), nullptr);
+  *a.GetMutIfUnique() = 2;
+  Rc<int> b = a;
+  EXPECT_EQ(a.GetMutIfUnique(), nullptr) << "aliased: mutation must refuse";
+  b = Rc<int>();
+  EXPECT_EQ(b.has_value(), false);
+  ASSERT_NE(a.GetMutIfUnique(), nullptr) << "unique again";
+  EXPECT_EQ(*a, 2);
+}
+
+TEST(Rc, GetMutRefusedWhileWeakExists) {
+  auto a = Rc<int>::Make(1);
+  RcWeak<int> w(a);
+  EXPECT_EQ(a.GetMutIfUnique(), nullptr);
+}
+
+TEST(RcWeak, UpgradeWhileAlive) {
+  auto a = Rc<int>::Make(5);
+  RcWeak<int> w(a);
+  Rc<int> up = w.Upgrade();
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(*up, 5);
+  EXPECT_EQ(a.StrongCount(), 2u);
+}
+
+TEST(RcWeak, UpgradeAfterDeathFails) {
+  RcWeak<std::string> w;
+  {
+    auto a = Rc<std::string>::Make("gone");
+    w = RcWeak<std::string>(a);
+    EXPECT_FALSE(w.Expired());
+  }
+  EXPECT_TRUE(w.Expired());
+  EXPECT_FALSE(w.Upgrade().has_value());
+}
+
+TEST(RcWeak, PayloadDestroyedWhenStrongGoneDespiteWeak) {
+  static int live = 0;
+  struct Counted {
+    Counted() { ++live; }
+    ~Counted() { --live; }
+  };
+  RcWeak<Counted> w;
+  {
+    auto a = Rc<Counted>::Make();
+    w = RcWeak<Counted>(a);
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0) << "weak ref must not keep the payload alive";
+  EXPECT_FALSE(w.Upgrade().has_value());
+}
+
+TEST(RcWeak, CopyAndMoveSemantics) {
+  auto a = Rc<int>::Make(3);
+  RcWeak<int> w1(a);
+  RcWeak<int> w2 = w1;
+  RcWeak<int> w3 = std::move(w1);
+  EXPECT_EQ(*w2.Upgrade(), 3);
+  EXPECT_EQ(*w3.Upgrade(), 3);
+  EXPECT_EQ(a.WeakCount(), 2u);
+}
+
+// The §5 checkpoint hook: first visit per epoch wins, repeats lose, and a new
+// epoch needs no flag-clearing pass.
+TEST(Rc, MarkVisitedOncePerEpoch) {
+  auto a = Rc<int>::Make(1);
+  Rc<int> alias = a;
+  EXPECT_TRUE(a.MarkVisited(1));
+  EXPECT_FALSE(alias.MarkVisited(1)) << "alias sees the same mark";
+  EXPECT_FALSE(a.MarkVisited(1));
+  EXPECT_TRUE(a.MarkVisited(2)) << "new epoch, no clearing needed";
+  EXPECT_EQ(a.mark(), 2u);
+}
+
+TEST(Rc, EmptyHandleQueriesAreSafe) {
+  Rc<int> empty;
+  EXPECT_EQ(empty.StrongCount(), 0u);
+  EXPECT_EQ(empty.WeakCount(), 0u);
+  EXPECT_FALSE(empty.has_value());
+  EXPECT_THROW((void)empty.mark(), util::PanicError);
+}
+
+}  // namespace
+}  // namespace lin

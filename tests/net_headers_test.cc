@@ -1,0 +1,121 @@
+#include "src/net/headers.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/net/mempool.h"
+#include "src/net/packet.h"
+#include "src/util/rng.h"
+
+namespace net {
+namespace {
+
+TEST(Endian, RoundTrips) {
+  EXPECT_EQ(HostToNet16(0x1234), 0x3412);
+  EXPECT_EQ(NetToHost16(HostToNet16(0xabcd)), 0xabcd);
+  EXPECT_EQ(HostToNet32(0x12345678u), 0x78563412u);
+  EXPECT_EQ(NetToHost32(HostToNet32(0xdeadbeefu)), 0xdeadbeefu);
+}
+
+TEST(Checksum, RfcExampleVerifies) {
+  // A checksum computed over a header must verify to zero when summed back
+  // (standard receiver check: checksum over header including checksum field
+  // yields 0).
+  Ipv4Hdr ip{};
+  ip.version_ihl = 0x45;
+  ip.total_length = HostToNet16(100);
+  ip.ttl = 64;
+  ip.protocol = Ipv4Hdr::kProtoUdp;
+  ip.src_addr = HostToNet32(0x0a000001);
+  ip.dst_addr = HostToNet32(0xc0a80001);
+  FixIpv4Checksum(&ip);
+  EXPECT_EQ(InternetChecksum(&ip, sizeof(ip)), 0);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  const std::uint8_t data[3] = {0x01, 0x02, 0x03};
+  // Must not read past the buffer and must fold the trailing byte.
+  const std::uint16_t c = InternetChecksum(data, 3);
+  EXPECT_NE(c, 0);
+}
+
+TEST(Checksum, IncrementalFixup16MatchesRecompute) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    Ipv4Hdr ip{};
+    ip.version_ihl = 0x45;
+    ip.ttl = static_cast<std::uint8_t>(2 + rng.Below(250));
+    ip.protocol = Ipv4Hdr::kProtoUdp;
+    ip.src_addr = rng.NextU32();
+    ip.dst_addr = rng.NextU32();
+    FixIpv4Checksum(&ip);
+
+    // Mutate the TTL/protocol word via the incremental method.
+    std::uint16_t old_word;
+    std::memcpy(&old_word, &ip.ttl, 2);
+    ip.ttl -= 1;
+    std::uint16_t new_word;
+    std::memcpy(&new_word, &ip.ttl, 2);
+    ip.header_checksum =
+        ChecksumFixup16(ip.header_checksum, old_word, new_word);
+
+    EXPECT_EQ(InternetChecksum(&ip, sizeof(ip)), 0) << "trial " << trial;
+  }
+}
+
+TEST(Checksum, IncrementalFixup32MatchesRecompute) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    Ipv4Hdr ip{};
+    ip.version_ihl = 0x45;
+    ip.ttl = 64;
+    ip.protocol = Ipv4Hdr::kProtoUdp;
+    ip.src_addr = rng.NextU32();
+    ip.dst_addr = rng.NextU32();
+    FixIpv4Checksum(&ip);
+
+    const std::uint32_t old_dst = ip.dst_addr;
+    const std::uint32_t new_dst = rng.NextU32();
+    ip.dst_addr = new_dst;
+    ip.header_checksum =
+        ChecksumFixup32(ip.header_checksum, old_dst, new_dst);
+
+    EXPECT_EQ(InternetChecksum(&ip, sizeof(ip)), 0) << "trial " << trial;
+  }
+}
+
+TEST(FiveTuple, HashDistinguishesFields) {
+  FiveTuple base{1, 2, 3, 4, 17};
+  FiveTuple diff_src = base;
+  diff_src.src_ip = 99;
+  FiveTuple diff_port = base;
+  diff_port.dst_port = 99;
+  EXPECT_NE(base.Hash(), diff_src.Hash());
+  EXPECT_NE(base.Hash(), diff_port.Hash());
+  EXPECT_EQ(base.Hash(), FiveTuple(base).Hash());
+}
+
+TEST(FiveTuple, SeedChangesHash) {
+  FiveTuple t{1, 2, 3, 4, 17};
+  EXPECT_NE(t.Hash(1), t.Hash(2));
+}
+
+TEST(BuildFrame, ProducesValidParsableFrame) {
+  Mempool pool(4, 2048);
+  PacketBuf pkt = PacketBuf::Alloc(&pool, 128);
+  ASSERT_TRUE(pkt.has_value());
+  const FiveTuple want{0x0a000001, 0xc0a80001, 5555, 80,
+                       Ipv4Hdr::kProtoUdp};
+  BuildFrame(pkt, want, 17);
+
+  EXPECT_EQ(NetToHost16(pkt.eth()->ether_type), EthHdr::kTypeIpv4);
+  EXPECT_EQ(pkt.ipv4()->ttl, 17);
+  EXPECT_EQ(InternetChecksum(pkt.ipv4(), sizeof(Ipv4Hdr)), 0)
+      << "generated frames carry valid IPv4 checksums";
+  EXPECT_EQ(pkt.Tuple(), want) << "parse(B build(t)) == t";
+  EXPECT_EQ(pkt.payload_length(), 128 - kPayloadOffset);
+}
+
+}  // namespace
+}  // namespace net

@@ -1,0 +1,142 @@
+// Property tests for the Maglev consistent-hashing table: full coverage,
+// near-perfect balance, lookup determinism, and minimal disruption across
+// membership changes — the invariants the NSDI '16 paper proves.
+#include "src/net/maglev.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/panic.h"
+#include "src/util/rng.h"
+
+namespace net {
+namespace {
+
+std::vector<std::string> MakeBackends(int n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    names.push_back("backend-" + std::to_string(i));
+  }
+  return names;
+}
+
+TEST(Maglev, EveryTableSlotAssigned) {
+  Maglev m(MakeBackends(5), 1009);
+  for (std::uint32_t b : m.table()) {
+    EXPECT_LT(b, 5u);
+  }
+}
+
+TEST(Maglev, SingleBackendOwnsEverything) {
+  Maglev m(MakeBackends(1), 101);
+  for (std::uint32_t b : m.table()) {
+    EXPECT_EQ(b, 0u);
+  }
+}
+
+TEST(Maglev, LookupIsDeterministic) {
+  Maglev a(MakeBackends(7), 1009);
+  Maglev b(MakeBackends(7), 1009);
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t h = rng.Next();
+    EXPECT_EQ(a.Lookup(h), b.Lookup(h));
+  }
+}
+
+TEST(Maglev, RejectsBadConfigs) {
+  EXPECT_THROW(Maglev(MakeBackends(3), 1000), util::PanicError)
+      << "non-prime table";
+  EXPECT_THROW(Maglev({}, 1009), util::PanicError) << "no backends";
+  EXPECT_THROW(Maglev(MakeBackends(50), 1009), util::PanicError)
+      << "table below 100x backends";
+}
+
+// The Maglev paper's headline property: slot counts differ by <1% of the
+// mean with M >= 100*N.
+class MaglevBalance : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaglevBalance, SlotsNearlyEven) {
+  const int n = GetParam();
+  Maglev m(MakeBackends(n), 65537);
+  const auto histogram = m.SlotHistogram();
+  const double mean = 65537.0 / n;
+  const auto [lo, hi] =
+      std::minmax_element(histogram.begin(), histogram.end());
+  EXPECT_GT(*lo, mean * 0.90) << "worst under-loaded backend";
+  EXPECT_LT(*hi, mean * 1.10) << "worst over-loaded backend";
+}
+
+INSTANTIATE_TEST_SUITE_P(BackendCounts, MaglevBalance,
+                         ::testing::Values(2, 3, 5, 10, 50, 100));
+
+// Removing one backend: flows on surviving backends should mostly stay put.
+TEST(Maglev, MinimalDisruptionOnRemoval) {
+  Maglev m(MakeBackends(10), 65537);
+  const std::vector<std::uint32_t> before = m.table();
+  ASSERT_TRUE(m.RemoveBackend("backend-3"));
+  const std::vector<std::uint32_t>& after = m.table();
+
+  std::size_t moved_surviving = 0;
+  std::size_t was_on_removed = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] == 3) {
+      ++was_on_removed;
+      continue;
+    }
+    // Backend indices above the removed one shift down by one.
+    const std::uint32_t expected =
+        before[i] > 3 ? before[i] - 1 : before[i];
+    if (after[i] != expected) {
+      ++moved_surviving;
+    }
+  }
+  // ~1/10th of slots belonged to the removed backend and must move; the
+  // rest should be nearly untouched (the paper reports a few percent).
+  EXPECT_NEAR(static_cast<double>(was_on_removed), 6553.7, 655.0);
+  EXPECT_LT(moved_surviving, before.size() / 10)
+      << "surviving flows should rarely be reshuffled";
+}
+
+TEST(Maglev, AddBackendTakesFairShare) {
+  Maglev m(MakeBackends(9), 65537);
+  m.AddBackend("backend-new");
+  const auto histogram = m.SlotHistogram();
+  ASSERT_EQ(histogram.size(), 10u);
+  EXPECT_NEAR(static_cast<double>(histogram[9]), 6553.7, 655.0)
+      << "new backend should receive ~1/N of the table";
+}
+
+TEST(Maglev, RemoveUnknownBackendIsNoop) {
+  Maglev m(MakeBackends(3), 1009);
+  const auto before = m.table();
+  EXPECT_FALSE(m.RemoveBackend("nope"));
+  EXPECT_EQ(m.table(), before);
+}
+
+TEST(Maglev, RemoveLastBackendPanics) {
+  Maglev m(MakeBackends(1), 101);
+  EXPECT_THROW((void)m.RemoveBackend("backend-0"), util::PanicError);
+}
+
+TEST(Maglev, FlowStickiness) {
+  // The same flow hash always lands on the same backend between lookups —
+  // connection affinity, the property load balancers exist for.
+  Maglev m(MakeBackends(4), 1009);
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t h = rng.Next();
+    const std::size_t first = m.Lookup(h);
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_EQ(m.Lookup(h), first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net

@@ -1,0 +1,156 @@
+// Mempool + PacketBuf: buffer conservation is the key invariant — every
+// buffer allocated is freed exactly once, no matter how packets move, drop,
+// or unwind through panics.
+#include "src/net/mempool.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/net/batch.h"
+#include "src/net/packet.h"
+#include "src/util/panic.h"
+
+namespace net {
+namespace {
+
+TEST(Mempool, AllocUntilExhaustion) {
+  Mempool pool(4, 256);
+  std::uint32_t slot;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(pool.Alloc(&slot));
+  }
+  EXPECT_FALSE(pool.Alloc(&slot)) << "5th alloc from a 4-buffer pool";
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.in_use(), 4u);
+}
+
+TEST(Mempool, FreeMakesSlotReusable) {
+  Mempool pool(1, 256);
+  std::uint32_t slot;
+  ASSERT_TRUE(pool.Alloc(&slot));
+  pool.Free(slot);
+  std::uint32_t again;
+  ASSERT_TRUE(pool.Alloc(&again));
+  EXPECT_EQ(again, slot);
+}
+
+TEST(Mempool, SlotsAreDisjointBuffers) {
+  Mempool pool(8, 64);
+  std::uint32_t a, b;
+  ASSERT_TRUE(pool.Alloc(&a));
+  ASSERT_TRUE(pool.Alloc(&b));
+  EXPECT_NE(pool.Data(a), pool.Data(b));
+  EXPECT_GE(static_cast<std::size_t>(
+                std::abs(pool.Data(a) - pool.Data(b))),
+            64u);
+}
+
+TEST(Mempool, ForeignSlotFreePanics) {
+  Mempool pool(2, 64);
+  EXPECT_THROW(pool.Free(7), util::PanicError);
+}
+
+TEST(PacketBuf, ReturnsBufferOnDestruction) {
+  Mempool pool(2, 256);
+  {
+    PacketBuf pkt = PacketBuf::Alloc(&pool, 64);
+    ASSERT_TRUE(pkt.has_value());
+    EXPECT_EQ(pool.in_use(), 1u);
+  }
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(PacketBuf, MoveTransfersExactlyOneOwner) {
+  Mempool pool(2, 256);
+  PacketBuf a = PacketBuf::Alloc(&pool, 64);
+  PacketBuf b = std::move(a);
+  EXPECT_FALSE(a.has_value());
+  EXPECT_TRUE(b.has_value());
+  EXPECT_EQ(pool.in_use(), 1u) << "a move is not a second allocation";
+  EXPECT_THROW((void)a.data(), util::PanicError) << "use-after-move";
+  b.Drop();
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_THROW((void)b.data(), util::PanicError) << "use-after-drop";
+}
+
+TEST(PacketBuf, AllocFailureYieldsEmptyHandle) {
+  Mempool pool(1, 256);
+  PacketBuf a = PacketBuf::Alloc(&pool, 64);
+  PacketBuf b = PacketBuf::Alloc(&pool, 64);
+  EXPECT_TRUE(a.has_value());
+  EXPECT_FALSE(b.has_value());
+}
+
+TEST(PacketBuf, OversizeFramePanics) {
+  Mempool pool(1, 128);
+  EXPECT_THROW((void)PacketBuf::Alloc(&pool, 256), util::PanicError);
+}
+
+TEST(PacketBuf, HeaderAccessOnTinyFramePanics) {
+  Mempool pool(1, 256);
+  PacketBuf pkt = PacketBuf::Alloc(&pool, 10);  // shorter than Eth+IPv4
+  EXPECT_THROW((void)pkt.ipv4(), util::PanicError);
+}
+
+TEST(Batch, RetainDropsAndPreservesOrder) {
+  Mempool pool(8, 256);
+  PacketBatch batch;
+  for (int i = 0; i < 8; ++i) {
+    PacketBuf pkt = PacketBuf::Alloc(&pool, 64);
+    BuildFrame(pkt, FiveTuple{static_cast<std::uint32_t>(i), 2, 3, 4, 17});
+    batch.Push(std::move(pkt));
+  }
+  // Keep even src_ip packets.
+  batch.Retain([](PacketBuf& p) { return p.Tuple().src_ip % 2 == 0; });
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(pool.in_use(), 4u) << "dropped packets returned their buffers";
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].Tuple().src_ip, i * 2) << "order preserved";
+  }
+}
+
+TEST(Batch, RetainAllAndNone) {
+  Mempool pool(4, 256);
+  PacketBatch batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.Push(PacketBuf::Alloc(&pool, 64));
+  }
+  batch.Retain([](PacketBuf&) { return true; });
+  EXPECT_EQ(batch.size(), 4u);
+  batch.Retain([](PacketBuf&) { return false; });
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(Batch, OutOfRangeIndexPanics) {
+  PacketBatch batch;
+  EXPECT_THROW((void)batch[0], util::PanicError);
+}
+
+TEST(Batch, BuffersReclaimedWhenUnwindDestroysBatch) {
+  Mempool pool(4, 256);
+  try {
+    PacketBatch batch;
+    for (int i = 0; i < 4; ++i) {
+      batch.Push(PacketBuf::Alloc(&pool, 64));
+    }
+    util::Panic("stage fault mid-batch");
+  } catch (const util::PanicError&) {
+  }
+  EXPECT_EQ(pool.in_use(), 0u)
+      << "a faulting stage must not leak packet buffers";
+}
+
+TEST(Batch, MoveIsOwnershipTransfer) {
+  Mempool pool(2, 256);
+  PacketBatch a;
+  a.Push(PacketBuf::Alloc(&pool, 64));
+  PacketBatch b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+}  // namespace
+}  // namespace net

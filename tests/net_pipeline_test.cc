@@ -1,0 +1,233 @@
+// Pipeline tests: direct (NetBricks baseline) vs isolated (our SFI) — same
+// packet-processing results, different fault behaviour.
+#include "src/net/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/net/headers.h"
+#include "src/net/mempool.h"
+#include "src/net/operators/firewall.h"
+#include "src/net/operators/maglev_op.h"
+#include "src/net/operators/nat.h"
+#include "src/net/operators/null_filter.h"
+#include "src/net/operators/ttl.h"
+#include "src/net/pktgen.h"
+#include "src/util/panic.h"
+
+namespace net {
+namespace {
+
+PacketBatch MakeBatch(Mempool& pool, std::size_t n, std::uint8_t ttl = 64) {
+  PacketBatch batch;
+  for (std::size_t i = 0; i < n; ++i) {
+    PacketBuf pkt = PacketBuf::Alloc(&pool, 64);
+    BuildFrame(pkt,
+               FiveTuple{0x0a000000u + static_cast<std::uint32_t>(i),
+                         0xc0a80001u, static_cast<std::uint16_t>(1000 + i),
+                         80, Ipv4Hdr::kProtoUdp},
+               ttl);
+    batch.Push(std::move(pkt));
+  }
+  return batch;
+}
+
+TEST(Pipeline, NullFiltersForwardEverything) {
+  Mempool pool(64, 2048);
+  Pipeline pipe;
+  for (int i = 0; i < 5; ++i) {
+    pipe.AddStage(std::make_unique<NullFilter>());
+  }
+  PacketBatch out = pipe.Run(MakeBatch(pool, 32));
+  EXPECT_EQ(out.size(), 32u);
+  for (std::size_t i = 0; i < pipe.length(); ++i) {
+    auto& nf = static_cast<NullFilter&>(pipe.stage(i));
+    EXPECT_EQ(nf.packets_seen(), 32u);
+  }
+}
+
+TEST(Pipeline, TtlStageDropsExpired) {
+  Mempool pool(64, 2048);
+  Pipeline pipe;
+  pipe.AddStage(std::make_unique<TtlDecrement>());
+  PacketBatch out = pipe.Run(MakeBatch(pool, 8, /*ttl=*/1));
+  EXPECT_EQ(out.size(), 0u) << "TTL 1 expires at the first router hop";
+  out = pipe.Run(MakeBatch(pool, 8, /*ttl=*/2));
+  EXPECT_EQ(out.size(), 8u);
+  for (PacketBuf& pkt : out) {
+    EXPECT_EQ(pkt.ipv4()->ttl, 1);
+    EXPECT_EQ(InternetChecksum(pkt.ipv4(), sizeof(Ipv4Hdr)), 0)
+        << "incremental checksum stays valid";
+  }
+}
+
+TEST(Pipeline, FirewallFiltersBySourcePrefix) {
+  Mempool pool(64, 2048);
+  Pipeline pipe;
+  FirewallRule block_low;
+  block_low.src_prefix = 0x0a000000;
+  block_low.src_prefix_len = 30;  // blocks .0 - .3
+  block_low.allow = false;
+  pipe.AddStage(std::make_unique<FirewallNf>(
+      std::vector<FirewallRule>{block_low}, /*default_allow=*/true));
+  PacketBatch out = pipe.Run(MakeBatch(pool, 8));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Pipeline, NatRewritesSourceStably) {
+  Mempool pool(64, 2048);
+  Pipeline pipe;
+  pipe.AddStage(std::make_unique<NatRewrite>(0x05050505));
+  PacketBatch out = pipe.Run(MakeBatch(pool, 4));
+  std::uint16_t first_port = 0;
+  for (PacketBuf& pkt : out) {
+    EXPECT_EQ(NetToHost32(pkt.ipv4()->src_addr), 0x05050505u);
+    EXPECT_EQ(InternetChecksum(pkt.ipv4(), sizeof(Ipv4Hdr)), 0);
+    if (first_port == 0) {
+      first_port = NetToHost16(pkt.udp()->src_port);
+    }
+  }
+  // Same flows again: NAT must reuse the same port mapping.
+  PacketBatch again = pipe.Run(MakeBatch(pool, 4));
+  EXPECT_EQ(NetToHost16(again[0].udp()->src_port), first_port);
+}
+
+TEST(Pipeline, MaglevStageSpreadsFlows) {
+  Mempool pool(4096, 2048);
+  Maglev table({"b0", "b1", "b2", "b3"}, 1009);
+  std::vector<std::uint32_t> ips{0xc0a80101, 0xc0a80102, 0xc0a80103,
+                                 0xc0a80104};
+  Pipeline pipe;
+  pipe.AddStage(std::make_unique<MaglevLb>(std::move(table), ips));
+
+  PktSourceConfig cfg;
+  cfg.flow_count = 512;
+  cfg.seed = 3;
+  PktSource src(&pool, cfg);
+  PacketBatch batch;
+  src.RxBurst(batch, 2000);
+  PacketBatch out = pipe.Run(std::move(batch));
+
+  auto& lb = static_cast<MaglevLb&>(pipe.stage(0));
+  EXPECT_EQ(lb.processed(), 2000u);
+  for (std::uint64_t count : lb.per_backend()) {
+    EXPECT_NEAR(static_cast<double>(count), 500.0, 200.0)
+        << "flows roughly balanced across backends";
+  }
+  for (PacketBuf& pkt : out) {
+    const std::uint32_t dst = NetToHost32(pkt.ipv4()->dst_addr);
+    EXPECT_TRUE(dst >= 0xc0a80101 && dst <= 0xc0a80104);
+    EXPECT_EQ(InternetChecksum(pkt.ipv4(), sizeof(Ipv4Hdr)), 0);
+  }
+}
+
+TEST(Pipeline, DirectPipelineHasNoFaultContainment) {
+  Mempool pool(64, 2048);
+  Pipeline pipe;
+  pipe.AddStage(std::make_unique<NullFilter>(/*fault_every_n=*/1));
+  EXPECT_THROW((void)pipe.Run(MakeBatch(pool, 4)), util::PanicError)
+      << "NetBricks baseline: the panic reaches the caller";
+  EXPECT_EQ(pool.in_use(), 0u) << "but RAII still reclaims the buffers";
+}
+
+TEST(IsolatedPipeline, ForwardsLikeDirect) {
+  Mempool pool(64, 2048);
+  sfi::DomainManager mgr;
+  IsolatedPipeline pipe(&mgr);
+  for (int i = 0; i < 5; ++i) {
+    pipe.AddStage("null-" + std::to_string(i),
+                  [] { return std::make_unique<NullFilter>(); });
+  }
+  auto out = pipe.Run(MakeBatch(pool, 32));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().size(), 32u);
+  EXPECT_EQ(mgr.domain_count(), 5u);
+}
+
+TEST(IsolatedPipeline, MixedRealNfPipelineMatchesDirect) {
+  Mempool pool(256, 2048);
+  // Direct.
+  Pipeline direct;
+  direct.AddStage(std::make_unique<TtlDecrement>());
+  direct.AddStage(std::make_unique<NatRewrite>(0x05050505));
+  // Isolated, same stages.
+  sfi::DomainManager mgr;
+  IsolatedPipeline isolated(&mgr);
+  isolated.AddStage("ttl", [] { return std::make_unique<TtlDecrement>(); });
+  isolated.AddStage("nat",
+                    [] { return std::make_unique<NatRewrite>(0x05050505); });
+
+  PacketBatch direct_out = direct.Run(MakeBatch(pool, 16));
+  auto isolated_out = isolated.Run(MakeBatch(pool, 16));
+  ASSERT_TRUE(isolated_out.ok());
+  ASSERT_EQ(isolated_out.value().size(), direct_out.size());
+  for (std::size_t i = 0; i < direct_out.size(); ++i) {
+    EXPECT_EQ(direct_out[i].Tuple(), isolated_out.value()[i].Tuple())
+        << "isolation must not change processing results";
+  }
+}
+
+TEST(IsolatedPipeline, FaultIsContainedAndReported) {
+  Mempool pool(64, 2048);
+  sfi::DomainManager mgr;
+  IsolatedPipeline pipe(&mgr);
+  pipe.AddStage("ok", [] { return std::make_unique<NullFilter>(); });
+  pipe.AddStage("faulty",
+                [] { return std::make_unique<NullFilter>(/*fault=*/1); });
+  pipe.AddStage("after", [] { return std::make_unique<NullFilter>(); });
+
+  auto result = pipe.Run(MakeBatch(pool, 8));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error(), sfi::CallError::kFault);
+  EXPECT_EQ(pool.in_use(), 0u) << "in-flight batch reclaimed during unwind";
+  EXPECT_EQ(pipe.domain(0).state(), sfi::DomainState::kRunning);
+  EXPECT_EQ(pipe.domain(1).state(), sfi::DomainState::kFailed)
+      << "only the faulty stage's domain fails";
+  EXPECT_EQ(pipe.domain(2).state(), sfi::DomainState::kRunning);
+}
+
+TEST(IsolatedPipeline, RecoveryMakesPipelineUsableAgain) {
+  Mempool pool(64, 2048);
+  sfi::DomainManager mgr;
+  IsolatedPipeline pipe(&mgr);
+  pipe.AddStage("faulty", [] {
+    return std::make_unique<NullFilter>(/*fault_every_n=*/3);
+  });
+
+  int faults = 0;
+  int delivered = 0;
+  for (int round = 0; round < 20; ++round) {
+    auto result = pipe.Run(MakeBatch(pool, 4));
+    if (result.ok()) {
+      ++delivered;
+    } else {
+      ++faults;
+      EXPECT_EQ(pipe.RecoverFailedStages(), 1u);
+    }
+  }
+  EXPECT_GT(faults, 0);
+  EXPECT_GT(delivered, 0);
+  EXPECT_EQ(delivered + faults, 20);
+  // After the final recovery the pipeline still works.
+  auto final_run = pipe.Run(MakeBatch(pool, 4));
+  if (!final_run.ok()) {
+    pipe.RecoverFailedStages();
+    final_run = pipe.Run(MakeBatch(pool, 4));
+  }
+  EXPECT_TRUE(final_run.ok());
+}
+
+TEST(IsolatedPipeline, StatsCountInvocations) {
+  Mempool pool(64, 2048);
+  sfi::DomainManager mgr;
+  IsolatedPipeline pipe(&mgr);
+  pipe.AddStage("nf", [] { return std::make_unique<NullFilter>(); });
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(pipe.Run(MakeBatch(pool, 2)).ok());
+  }
+  EXPECT_EQ(mgr.AggregateStats().calls_ok, 7u);
+}
+
+}  // namespace
+}  // namespace net

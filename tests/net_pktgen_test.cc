@@ -1,0 +1,124 @@
+#include "src/net/pktgen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/net/headers.h"
+#include "src/net/mempool.h"
+#include "src/util/panic.h"
+
+namespace net {
+namespace {
+
+PktSourceConfig SmallConfig() {
+  PktSourceConfig cfg;
+  cfg.flow_count = 16;
+  cfg.frame_len = 64;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(PktSource, DeliversRequestedBurst) {
+  Mempool pool(64, 2048);
+  PktSource src(&pool, SmallConfig());
+  PacketBatch batch;
+  EXPECT_EQ(src.RxBurst(batch, 32), 32u);
+  EXPECT_EQ(batch.size(), 32u);
+  EXPECT_EQ(src.packets_generated(), 32u);
+}
+
+TEST(PktSource, ShortBurstWhenPoolDry) {
+  Mempool pool(8, 2048);
+  PktSource src(&pool, SmallConfig());
+  PacketBatch batch;
+  EXPECT_EQ(src.RxBurst(batch, 32), 8u) << "rx_burst semantics: deliver fewer";
+  EXPECT_EQ(batch.size(), 8u);
+}
+
+TEST(PktSource, FramesAreWellFormed) {
+  Mempool pool(64, 2048);
+  PktSource src(&pool, SmallConfig());
+  PacketBatch batch;
+  src.RxBurst(batch, 16);
+  for (PacketBuf& pkt : batch) {
+    EXPECT_EQ(InternetChecksum(pkt.ipv4(), sizeof(Ipv4Hdr)), 0);
+    const FiveTuple t = pkt.Tuple();
+    EXPECT_EQ(t.dst_ip, 0xc0a80001u) << "all flows hit the VIP";
+    EXPECT_EQ(t.dst_port, 80);
+    EXPECT_EQ(t.proto, Ipv4Hdr::kProtoUdp);
+    EXPECT_EQ((t.src_ip >> 24), 0x0au) << "clients in 10/8";
+  }
+}
+
+TEST(PktSource, DeterministicForSeed) {
+  Mempool pool_a(64, 2048);
+  Mempool pool_b(64, 2048);
+  PktSource a(&pool_a, SmallConfig());
+  PktSource b(&pool_b, SmallConfig());
+  PacketBatch batch_a, batch_b;
+  a.RxBurst(batch_a, 32);
+  b.RxBurst(batch_b, 32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(batch_a[i].Tuple(), batch_b[i].Tuple());
+  }
+}
+
+TEST(PktSource, UniformTrafficCoversFlows) {
+  Mempool pool(4096, 2048);
+  PktSourceConfig cfg = SmallConfig();
+  cfg.flow_count = 8;
+  PktSource src(&pool, cfg);
+  std::map<std::uint32_t, int> seen;
+  PacketBatch batch;
+  src.RxBurst(batch, 2000);
+  for (PacketBuf& pkt : batch) {
+    seen[pkt.Tuple().src_ip]++;
+  }
+  EXPECT_EQ(seen.size(), 8u) << "every flow appears";
+  for (const auto& [ip, count] : seen) {
+    EXPECT_NEAR(count, 250, 100) << "roughly uniform";
+  }
+}
+
+TEST(PktSource, ZipfTrafficIsSkewed) {
+  Mempool pool(4096, 2048);
+  PktSourceConfig cfg = SmallConfig();
+  cfg.flow_count = 64;
+  cfg.zipf_s = 1.1;
+  PktSource src(&pool, cfg);
+  std::map<std::uint32_t, int> seen;
+  PacketBatch batch;
+  src.RxBurst(batch, 4000);
+  for (PacketBuf& pkt : batch) {
+    seen[pkt.Tuple().src_ip]++;
+  }
+  const int hottest = seen[src.FlowAt(0).src_ip];
+  EXPECT_GT(hottest, 4000 / 64 * 4)
+      << "rank-1 flow must be far above the uniform share";
+}
+
+TEST(PktSource, CustomTtlAndFrameLen) {
+  Mempool pool(8, 2048);
+  PktSourceConfig cfg = SmallConfig();
+  cfg.ttl = 3;
+  cfg.frame_len = 512;
+  PktSource src(&pool, cfg);
+  PacketBatch batch;
+  src.RxBurst(batch, 1);
+  EXPECT_EQ(batch[0].ipv4()->ttl, 3);
+  EXPECT_EQ(batch[0].length(), 512);
+}
+
+TEST(PktSource, RejectsDegenerateConfigs) {
+  Mempool pool(8, 2048);
+  PktSourceConfig no_flows = SmallConfig();
+  no_flows.flow_count = 0;
+  EXPECT_THROW(PktSource(&pool, no_flows), util::PanicError);
+  PktSourceConfig tiny = SmallConfig();
+  tiny.frame_len = 10;
+  EXPECT_THROW(PktSource(&pool, tiny), util::PanicError);
+}
+
+}  // namespace
+}  // namespace net

@@ -1,0 +1,303 @@
+// The static ownership checker — each test is a program rustc would accept
+// (must pass) or reject (must fail with the matching diagnostic), including
+// the paper's §2 and §4 listings.
+#include "src/ifc/ril/ownership.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ifc/ril/parser.h"
+#include "src/ifc/ril/types.h"
+
+namespace ril {
+namespace {
+
+Diagnostics OwnershipCheck(std::string_view src) {
+  Diagnostics diags;
+  Program p = Parser::Parse(src, &diags);
+  EXPECT_FALSE(diags.HasErrors()) << diags.ToString();
+  TypeChecker types(&p, &diags);
+  EXPECT_TRUE(types.Check()) << diags.ToString();
+  OwnershipChecker checker(&p, &diags);
+  checker.Check();
+  return diags;
+}
+
+// The paper's §2 listing: take(v1) consumes; borrow(&v2) preserves.
+TEST(Ownership, PaperSection2Listing) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn take(v: vec) { }
+    fn borrow(v: &vec) { }
+    fn main() {
+      let v1 = vec![1, 2, 3];
+      let v2 = vec![1, 2, 3];
+      take(v1);
+      emit(stdout, v1);   // Error: binding v1 was consumed by take()
+      borrow(&v2);
+      emit(stdout, v2);   // OK: binding v2 is preserved by borrow()
+    }
+  )");
+  ASSERT_TRUE(d.HasErrors());
+  EXPECT_EQ(d.count(), 1u) << d.ToString();
+  EXPECT_TRUE(d.Contains(Phase::kOwnership, "use of moved value 'v1'"));
+  EXPECT_EQ(d.all()[0].line, 8) << "the error is on the emit of v1";
+}
+
+TEST(Ownership, CleanProgramPasses) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn consume(v: vec) -> int { return len(&v); }
+    fn main() {
+      let a = vec![1];
+      let n = consume(a);
+      let b = vec![2];
+      emit(stdout, b);
+      emit(stdout, n);
+    }
+  )");
+  EXPECT_FALSE(d.HasErrors()) << d.ToString();
+}
+
+TEST(Ownership, LetInitMoves) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn main() {
+      let a = vec![1];
+      let b = a;
+      emit(stdout, a);
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kOwnership, "use of moved value 'a'"));
+}
+
+TEST(Ownership, CopyTypesNeverMove) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn take_int(x: int) { }
+    fn main() {
+      let x = 5;
+      take_int(x);
+      take_int(x);
+      let y = x;
+      emit(stdout, x);
+    }
+  )");
+  EXPECT_FALSE(d.HasErrors()) << d.ToString();
+}
+
+TEST(Ownership, ReassignmentRevivesBinding) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn take(v: vec) { }
+    fn main() {
+      let mut a = vec![1];
+      take(a);
+      a = vec![2];
+      emit(stdout, a);
+    }
+  )");
+  EXPECT_FALSE(d.HasErrors()) << d.ToString();
+}
+
+TEST(Ownership, AppendConsumesSource) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn main() {
+      let mut a = vec![1];
+      let b = vec![2];
+      append(&mut a, b);
+      emit(stdout, b);
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kOwnership, "use of moved value 'b'"));
+}
+
+TEST(Ownership, MoveOutOfFieldRejected) {
+  Diagnostics d = OwnershipCheck(R"(
+    struct Buffer { data: vec }
+    fn main() {
+      let buf = Buffer { data: vec![1] };
+      let stolen = buf.data;
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kOwnership, "cannot move out of field"));
+}
+
+TEST(Ownership, ReadingFieldIsNotAMove) {
+  Diagnostics d = OwnershipCheck(R"(
+    struct Buffer { data: vec }
+    fn main() {
+      let buf = Buffer { data: vec![1] };
+      emit(stdout, buf.data);
+      let n = len(&buf.data);
+      let copy = clone(&buf.data);
+      emit(stdout, buf.data);
+    }
+  )");
+  EXPECT_FALSE(d.HasErrors()) << d.ToString();
+}
+
+TEST(Ownership, MovedInOneBranchIsMovedAfter) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn take(v: vec) { }
+    fn main() {
+      let a = vec![1];
+      let c = true;
+      if c { take(a); } else { }
+      emit(stdout, a);
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kOwnership, "use of moved value 'a'"));
+}
+
+TEST(Ownership, MovedInBothBranchesSingleError) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn take(v: vec) { }
+    fn main() {
+      let a = vec![1];
+      let c = true;
+      if c { take(a); } else { take(a); }
+      emit(stdout, a);
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kOwnership, "use of moved value 'a'"));
+}
+
+TEST(Ownership, BranchLocalMovesDoNotConflict) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn take(v: vec) { }
+    fn main() {
+      let a = vec![1];
+      let c = true;
+      if c { take(a); } else { take(a); }
+    }
+  )");
+  EXPECT_FALSE(d.HasErrors())
+      << "each path moves once; no path uses after move: " << d.ToString();
+}
+
+TEST(Ownership, MoveInsideLoopCaughtOnSecondIteration) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn take(v: vec) { }
+    fn main() {
+      let a = vec![1];
+      let mut i = 0;
+      while i < 3 {
+        take(a);
+        i = i + 1;
+      }
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kOwnership, "use of moved value 'a'"))
+      << "iteration 2 uses the value moved in iteration 1";
+}
+
+TEST(Ownership, LoopWithReinitIsFine) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn take(v: vec) { }
+    fn main() {
+      let mut a = vec![1];
+      let mut i = 0;
+      while i < 3 {
+        take(a);
+        a = vec![9];
+        i = i + 1;
+      }
+      emit(stdout, a);
+    }
+  )");
+  EXPECT_FALSE(d.HasErrors()) << d.ToString();
+}
+
+TEST(Ownership, CallConflictMoveWhileBorrowed) {
+  Diagnostics d = OwnershipCheck(R"(
+    struct Buffer { data: vec }
+    fn weird(b: &mut Buffer, v: Buffer) { }
+    fn main() {
+      let mut buf = Buffer { data: vec![] };
+      weird(&mut buf, buf);
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kOwnership, "moved into call"));
+}
+
+TEST(Ownership, CallConflictTwoMutBorrows) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn two(a: &mut vec, b: &mut vec) { }
+    fn main() {
+      let mut v = vec![1];
+      two(&mut v, &mut v);
+    }
+  )");
+  EXPECT_TRUE(
+      d.Contains(Phase::kOwnership, "mutably borrowed more than once"));
+}
+
+TEST(Ownership, CallConflictMutAndShared) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn mix(a: &mut vec, b: &vec) { }
+    fn main() {
+      let mut v = vec![1];
+      mix(&mut v, &v);
+    }
+  )");
+  EXPECT_TRUE(
+      d.Contains(Phase::kOwnership, "borrowed both mutably and immutably"));
+}
+
+TEST(Ownership, DisjointArgumentsAreFine) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn mix(a: &mut vec, b: &vec) { }
+    fn main() {
+      let mut v = vec![1];
+      let w = vec![2];
+      mix(&mut v, &w);
+    }
+  )");
+  EXPECT_FALSE(d.HasErrors()) << d.ToString();
+}
+
+TEST(Ownership, TwoSharedBorrowsAreFine) {
+  Diagnostics d = OwnershipCheck(R"(
+    // Reference params are re-borrowed explicitly (&a), a RIL restriction.
+    fn both(a: &vec, b: &vec) -> int { return len(&a) + len(&b); }
+    fn main() {
+      let v = vec![1];
+      let n = both(&v, &v);
+    }
+  )");
+  EXPECT_FALSE(d.HasErrors()) << d.ToString();
+}
+
+TEST(Ownership, BareValueStatementMoves) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn main() {
+      let a = vec![1];
+      a;
+      emit(stdout, a);
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kOwnership, "use of moved value 'a'"));
+}
+
+TEST(Ownership, ReturnMovesValue) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn pick(a: vec) -> vec {
+      return a;
+    }
+    fn main() {
+      let v = pick(vec![1]);
+      emit(stdout, v);
+    }
+  )");
+  EXPECT_FALSE(d.HasErrors()) << d.ToString();
+}
+
+TEST(Ownership, UseOfMovedViaBorrowRejected) {
+  Diagnostics d = OwnershipCheck(R"(
+    fn take(v: vec) { }
+    fn main() {
+      let v = vec![1];
+      take(v);
+      let n = len(&v);
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kOwnership, "use of moved value 'v'"));
+}
+
+}  // namespace
+}  // namespace ril

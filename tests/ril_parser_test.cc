@@ -1,0 +1,207 @@
+#include "src/ifc/ril/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ifc/ril/lexer.h"
+
+namespace ril {
+namespace {
+
+Program ParseOk(std::string_view src) {
+  Diagnostics diags;
+  Program p = Parser::Parse(src, &diags);
+  EXPECT_FALSE(diags.HasErrors()) << diags.ToString();
+  return p;
+}
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  Diagnostics diags;
+  Lexer lexer("fn let mut == != <= >= && || -> vec! #[label", &diags);
+  auto tokens = lexer.Tokenize();
+  ASSERT_FALSE(diags.HasErrors());
+  ASSERT_EQ(tokens.size(), 13u);  // 12 tokens + EOF
+  EXPECT_EQ(tokens[0].kind, TokKind::kFn);
+  EXPECT_EQ(tokens[3].kind, TokKind::kEq);
+  EXPECT_EQ(tokens[4].kind, TokKind::kNe);
+  EXPECT_EQ(tokens[9].kind, TokKind::kArrow);
+  EXPECT_EQ(tokens[10].kind, TokKind::kVecBang);
+  EXPECT_EQ(tokens[11].kind, TokKind::kLabelAttr);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  Diagnostics diags;
+  Lexer lexer("fn main\n  let x", &diags);
+  auto tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].col, 1);
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].col, 3);
+}
+
+TEST(Lexer, SkipsComments) {
+  Diagnostics diags;
+  Lexer lexer("let // the whole rest is a comment != &&\nmut", &diags);
+  auto tokens = lexer.Tokenize();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokKind::kLet);
+  EXPECT_EQ(tokens[1].kind, TokKind::kMut);
+}
+
+TEST(Lexer, ReportsStrayCharacters) {
+  Diagnostics diags;
+  Lexer lexer("let @ x", &diags);
+  (void)lexer.Tokenize();
+  EXPECT_TRUE(diags.Contains(Phase::kLex, "unexpected character"));
+}
+
+TEST(Parser, StructSinkAndFn) {
+  Program p = ParseOk(R"(
+    sink alice_out: {alice};
+    struct Buffer { data: vec, count: int }
+    fn main() { }
+  )");
+  ASSERT_EQ(p.structs.size(), 1u);
+  EXPECT_EQ(p.structs[0].name, "Buffer");
+  ASSERT_EQ(p.structs[0].fields.size(), 2u);
+  EXPECT_EQ(p.structs[0].fields[0].second.base, BaseType::kVec);
+  EXPECT_EQ(p.structs[0].fields[1].second.base, BaseType::kInt);
+  ASSERT_EQ(p.sinks.size(), 1u);
+  EXPECT_EQ(p.sinks[0].tags, std::vector<std::string>{"alice"});
+  ASSERT_EQ(p.functions.size(), 1u);
+  EXPECT_NE(p.FindFunction("main"), nullptr);
+}
+
+TEST(Parser, FnSignatureWithRefsAndReturn) {
+  Program p = ParseOk("fn f(a: &mut Buffer, b: &vec, c: int) -> vec { } "
+                      "struct Buffer { data: vec }");
+  const FnDecl* f = p.FindFunction("f");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->params.size(), 3u);
+  EXPECT_EQ(f->params[0].type.ref, RefKind::kMut);
+  EXPECT_EQ(f->params[0].type.struct_name, "Buffer");
+  EXPECT_EQ(f->params[1].type.ref, RefKind::kShared);
+  EXPECT_EQ(f->params[2].type.ref, RefKind::kNone);
+  EXPECT_EQ(f->return_type.base, BaseType::kVec);
+}
+
+TEST(Parser, LabelAttributeOnLet) {
+  Program p = ParseOk(R"(
+    fn main() {
+      #[label(secret, alice)]
+      let sec = vec![4, 5, 6];
+    }
+  )");
+  const auto* let = p.functions[0].body.stmts[0]->As<LetStmt>();
+  ASSERT_NE(let, nullptr);
+  EXPECT_TRUE(let->has_label_attr);
+  EXPECT_EQ(let->label_tags, (std::vector<std::string>{"secret", "alice"}));
+}
+
+TEST(Parser, PrecedenceShape) {
+  Program p = ParseOk("fn main() { let x = 1 + 2 * 3 == 7 && true; }");
+  const auto* let = p.functions[0].body.stmts[0]->As<LetStmt>();
+  // Top node must be &&.
+  const auto* andexpr = let->init->As<BinaryExpr>();
+  ASSERT_NE(andexpr, nullptr);
+  EXPECT_EQ(andexpr->op, TokKind::kAndAnd);
+  const auto* eq = andexpr->lhs->As<BinaryExpr>();
+  ASSERT_NE(eq, nullptr);
+  EXPECT_EQ(eq->op, TokKind::kEq);
+  const auto* plus = eq->lhs->As<BinaryExpr>();
+  ASSERT_NE(plus, nullptr);
+  EXPECT_EQ(plus->op, TokKind::kPlus);
+  const auto* times = plus->rhs->As<BinaryExpr>();
+  ASSERT_NE(times, nullptr);
+  EXPECT_EQ(times->op, TokKind::kStar);
+}
+
+TEST(Parser, StructLiteralVsBlockDisambiguation) {
+  Program p = ParseOk(R"(
+    struct Point { x: int }
+    fn main() {
+      let cond = true;
+      if cond { let y = 1; }
+      let p = Point { x: 2 };
+    }
+  )");
+  ASSERT_EQ(p.functions[0].body.stmts.size(), 3u);
+  EXPECT_NE(p.functions[0].body.stmts[1]->As<IfStmt>(), nullptr);
+  const auto* let = p.functions[0].body.stmts[2]->As<LetStmt>();
+  ASSERT_NE(let, nullptr);
+  EXPECT_TRUE(let->init->Is<StructLit>());
+}
+
+TEST(Parser, ElseIfChains) {
+  Program p = ParseOk(R"(
+    fn main() {
+      let x = 1;
+      if x == 1 { } else if x == 2 { } else { }
+    }
+  )");
+  const auto* outer = p.functions[0].body.stmts[1]->As<IfStmt>();
+  ASSERT_NE(outer, nullptr);
+  ASSERT_TRUE(outer->else_block.has_value());
+  const auto* inner = outer->else_block->stmts[0]->As<IfStmt>();
+  ASSERT_NE(inner, nullptr);
+  EXPECT_TRUE(inner->else_block.has_value());
+}
+
+TEST(Parser, EmitAndAssertStatements) {
+  Program p = ParseOk(R"(
+    sink log: {};
+    fn main() {
+      let v = vec![1];
+      emit(log, v);
+      assert_label(v, {alice, bob});
+    }
+  )");
+  const auto* emit = p.functions[0].body.stmts[1]->As<EmitStmt>();
+  ASSERT_NE(emit, nullptr);
+  EXPECT_EQ(emit->sink, "log");
+  const auto* assert_stmt =
+      p.functions[0].body.stmts[2]->As<AssertLabelStmt>();
+  ASSERT_NE(assert_stmt, nullptr);
+  EXPECT_EQ(assert_stmt->tags, (std::vector<std::string>{"alice", "bob"}));
+}
+
+TEST(Parser, BorrowArguments) {
+  Program p = ParseOk(R"(
+    fn main() {
+      let mut v = vec![1];
+      push(&mut v, 2);
+      let n = len(&v);
+    }
+  )");
+  const auto* push_stmt = p.functions[0].body.stmts[1]->As<ExprStmt>();
+  const auto* call = push_stmt->expr->As<CallExpr>();
+  ASSERT_NE(call, nullptr);
+  const auto* borrow = call->args[0]->As<BorrowExpr>();
+  ASSERT_NE(borrow, nullptr);
+  EXPECT_TRUE(borrow->is_mut);
+}
+
+TEST(Parser, ErrorsCarryPositions) {
+  Diagnostics diags;
+  (void)Parser::Parse("fn main() { let = 3; }", &diags);
+  ASSERT_TRUE(diags.HasErrors());
+  EXPECT_EQ(diags.all()[0].line, 1);
+  EXPECT_GT(diags.all()[0].col, 1);
+}
+
+TEST(Parser, RecoversAtItemBoundary) {
+  Diagnostics diags;
+  Program p = Parser::Parse(
+      "fn broken( { } fn good() { let x = 1; }", &diags);
+  EXPECT_TRUE(diags.HasErrors());
+  EXPECT_NE(p.FindFunction("good"), nullptr)
+      << "parser must recover and parse the next item";
+}
+
+TEST(Parser, FieldAccessBaseMustBeVariable) {
+  Diagnostics diags;
+  (void)Parser::Parse("fn f() { let x = g().field; }", &diags);
+  EXPECT_TRUE(diags.Contains(Phase::kParse, "field access base"));
+}
+
+}  // namespace
+}  // namespace ril

@@ -1,0 +1,210 @@
+#include "src/ifc/ril/types.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ifc/ril/parser.h"
+
+namespace ril {
+namespace {
+
+// Returns diagnostics from running parse + type check on `src`.
+Diagnostics TypeCheck(std::string_view src) {
+  Diagnostics diags;
+  Program p = Parser::Parse(src, &diags);
+  EXPECT_FALSE(diags.HasErrors()) << "parse must succeed: "
+                                  << diags.ToString();
+  TypeChecker checker(&p, &diags);
+  checker.Check();
+  return diags;
+}
+
+TEST(Types, WellTypedProgramPasses) {
+  Diagnostics d = TypeCheck(R"(
+    sink out: {alice};
+    struct Buffer { data: vec, count: int }
+    fn bump(buf: &mut Buffer, v: vec) -> int {
+      append(&mut buf.data, v);
+      buf.count = buf.count + 1;
+      return buf.count;
+    }
+    fn main() {
+      let mut buf = Buffer { data: vec![], count: 0 };
+      let n = bump(&mut buf, vec![1, 2]);
+      emit(out, n);
+    }
+  )");
+  EXPECT_FALSE(d.HasErrors()) << d.ToString();
+}
+
+TEST(Types, ArithmeticNeedsInts) {
+  Diagnostics d = TypeCheck("fn main() { let x = true + 1; }");
+  EXPECT_TRUE(d.Contains(Phase::kType, "arithmetic needs int"));
+}
+
+TEST(Types, ConditionMustBeBool) {
+  Diagnostics d = TypeCheck("fn main() { if 1 { } }");
+  EXPECT_TRUE(d.Contains(Phase::kType, "condition must be bool"));
+  Diagnostics w = TypeCheck("fn main() { while 0 { } }");
+  EXPECT_TRUE(w.Contains(Phase::kType, "condition must be bool"));
+}
+
+TEST(Types, UnknownVariableAndFunction) {
+  Diagnostics d = TypeCheck("fn main() { let x = y; }");
+  EXPECT_TRUE(d.Contains(Phase::kType, "unknown variable 'y'"));
+  Diagnostics f = TypeCheck("fn main() { nope(); }");
+  EXPECT_TRUE(f.Contains(Phase::kType, "unknown function 'nope'"));
+}
+
+TEST(Types, ArityAndArgumentTypes) {
+  Diagnostics d = TypeCheck(R"(
+    fn f(a: int) { }
+    fn main() { f(1, 2); }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kType, "takes 1 argument"));
+  Diagnostics t = TypeCheck(R"(
+    fn f(a: int) { }
+    fn main() { f(true); }
+  )");
+  EXPECT_TRUE(t.Contains(Phase::kType, "needs int"));
+}
+
+TEST(Types, BorrowKindMustMatchParam) {
+  Diagnostics d = TypeCheck(R"(
+    fn f(v: &mut vec) { }
+    fn main() {
+      let mut v = vec![1];
+      f(&v);
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kType, "needs &mut vec"));
+}
+
+TEST(Types, MutBorrowOfImmutableRejected) {
+  Diagnostics d = TypeCheck(R"(
+    fn main() {
+      let v = vec![1];
+      push(&mut v, 2);
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kType, "cannot take &mut of an immutable"));
+}
+
+TEST(Types, AssignmentToImmutableRejected) {
+  Diagnostics d = TypeCheck("fn main() { let x = 1; x = 2; }");
+  EXPECT_TRUE(d.Contains(Phase::kType, "assignment to immutable"));
+}
+
+TEST(Types, AssignmentThroughMutParamAllowed) {
+  Diagnostics d = TypeCheck(R"(
+    struct Counter { n: int }
+    fn bump(c: &mut Counter) { c.n = c.n + 1; }
+    fn main() { let mut c = Counter { n: 0 }; bump(&mut c); }
+  )");
+  EXPECT_FALSE(d.HasErrors()) << d.ToString();
+}
+
+TEST(Types, StructLiteralFieldChecks) {
+  Diagnostics missing = TypeCheck(R"(
+    struct P { x: int, y: int }
+    fn main() { let p = P { x: 1 }; }
+  )");
+  EXPECT_TRUE(missing.Contains(Phase::kType, "every field"));
+
+  Diagnostics unknown = TypeCheck(R"(
+    struct P { x: int }
+    fn main() { let p = P { z: 1 }; }
+  )");
+  EXPECT_TRUE(unknown.Contains(Phase::kType, "no field 'z'"));
+
+  Diagnostics wrong = TypeCheck(R"(
+    struct P { x: int }
+    fn main() { let p = P { x: vec![1] }; }
+  )");
+  EXPECT_TRUE(wrong.Contains(Phase::kType, "needs int"));
+}
+
+TEST(Types, FieldAccessChecks) {
+  Diagnostics d = TypeCheck(R"(
+    struct P { x: int }
+    fn main() { let p = P { x: 1 }; let y = p.zzz; }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kType, "no field 'zzz'"));
+  Diagnostics nonstruct = TypeCheck("fn main() { let v = 3; let y = v.f; }");
+  EXPECT_TRUE(nonstruct.Contains(Phase::kType, "field access on non-struct"));
+}
+
+TEST(Types, IndexingChecks) {
+  Diagnostics d = TypeCheck("fn main() { let x = 3; let y = x[0]; }");
+  EXPECT_TRUE(d.Contains(Phase::kType, "indexing needs a vec"));
+  Diagnostics idx = TypeCheck(
+      "fn main() { let v = vec![1]; let y = v[true]; }");
+  EXPECT_TRUE(idx.Contains(Phase::kType, "index must be int"));
+}
+
+TEST(Types, NoReferenceLets) {
+  Diagnostics d = TypeCheck(R"(
+    fn main() {
+      let v = vec![1];
+      let r = &v;
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kType, "references cannot be stored"));
+}
+
+TEST(Types, NoShadowing) {
+  Diagnostics d = TypeCheck(R"(
+    fn main() {
+      let x = 1;
+      if true { let x = 2; }
+    }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kType, "shadows an existing binding"));
+}
+
+TEST(Types, ReturnTypeMismatch) {
+  Diagnostics d = TypeCheck("fn f() -> int { return true; } fn main() { }");
+  EXPECT_TRUE(d.Contains(Phase::kType, "return type mismatch"));
+}
+
+TEST(Types, BuiltinSignatures) {
+  Diagnostics push_val = TypeCheck(
+      "fn main() { let mut v = vec![]; push(&mut v, vec![1]); }");
+  EXPECT_TRUE(push_val.Contains(Phase::kType, "push value must be int"));
+
+  Diagnostics append_ref = TypeCheck(R"(
+    fn main() {
+      let mut a = vec![];
+      let b = vec![1];
+      append(&mut a, &b);
+    }
+  )");
+  EXPECT_TRUE(append_ref.Contains(Phase::kType, "owned vec"));
+
+  Diagnostics len_ok = TypeCheck(
+      "fn main() { let v = vec![1]; let n = len(&v); let m = n + 1; }");
+  EXPECT_FALSE(len_ok.HasErrors()) << len_ok.ToString();
+}
+
+TEST(Types, BuiltinShadowingRejected) {
+  Diagnostics d = TypeCheck("fn clone() { } fn main() { }");
+  EXPECT_TRUE(d.Contains(Phase::kType, "shadows a builtin"));
+}
+
+TEST(Types, NestedStructRejected) {
+  Diagnostics d = TypeCheck(R"(
+    struct Inner { x: int }
+    struct Outer { inner: Inner }
+    fn main() { }
+  )");
+  EXPECT_TRUE(d.Contains(Phase::kType, "one level deep"));
+}
+
+TEST(Types, UnknownSink) {
+  Diagnostics d = TypeCheck("fn main() { emit(nowhere, 1); }");
+  EXPECT_TRUE(d.Contains(Phase::kType, "unknown sink"));
+  Diagnostics stdout_ok = TypeCheck("fn main() { emit(stdout, 1); }");
+  EXPECT_FALSE(stdout_ok.HasErrors()) << "stdout is implicit";
+}
+
+}  // namespace
+}  // namespace ril

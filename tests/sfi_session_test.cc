@@ -1,0 +1,156 @@
+// Session-typed channels: protocol adherence is enforced by the C++ type
+// system (wrong-order operations do not compile — verified by negative
+// compile-time traits below), and endpoint linearity dynamically.
+#include "src/sfi/session.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <variant>
+
+#include "src/util/panic.h"
+
+namespace sfi {
+namespace session {
+namespace {
+
+TEST(Session, PingPong) {
+  using Proto = Send<int, Recv<std::string, End>>;
+  auto [client, server] = MakeSession<Proto>();
+
+  std::thread peer([s = std::move(server)]() mutable {
+    auto [n, s2] = std::move(s).RecvValue();
+    EXPECT_EQ(n, 41);
+    auto s3 = std::move(s2).SendValue(std::to_string(n + 1));
+    std::move(s3).Close();
+  });
+
+  auto c2 = std::move(client).SendValue(41);
+  auto [reply, c3] = std::move(c2).RecvValue();
+  EXPECT_EQ(reply, "42");
+  std::move(c3).Close();
+  peer.join();
+}
+
+TEST(Session, DualityIsInvolutive) {
+  using P = Send<int, Offer<Recv<bool, End>, End>>;
+  static_assert(std::is_same_v<Dual<Dual<P>>, P>);
+  static_assert(std::is_same_v<Dual<End>, End>);
+  static_assert(
+      std::is_same_v<Dual<Send<int, End>>, Recv<int, End>>);
+  static_assert(std::is_same_v<Dual<Select<End, Send<int, End>>>,
+                               Offer<End, Recv<int, End>>>);
+}
+
+// Negative compile-time checks: the wrong operation is not callable.
+template <typename C>
+concept CanSendInt = requires(C c) { std::move(c).SendValue(1); };
+template <typename C>
+concept CanRecv = requires(C c) { std::move(c).RecvValue(); };
+template <typename C>
+concept CanClose = requires(C c) { std::move(c).Close(); };
+template <typename C>
+concept CanSelect = requires(C c) { std::move(c).SelectLeft(); };
+
+TEST(Session, ProtocolViolationsDoNotCompile) {
+  using SendProto = Chan<Send<int, End>>;
+  using RecvProto = Chan<Recv<int, End>>;
+  using EndProto = Chan<End>;
+  static_assert(CanSendInt<SendProto>);
+  static_assert(!CanRecv<SendProto>, "send-state cannot recv");
+  static_assert(!CanClose<SendProto>, "unfinished session cannot close");
+  static_assert(CanRecv<RecvProto>);
+  static_assert(!CanSendInt<RecvProto>, "recv-state cannot send");
+  static_assert(CanClose<EndProto>);
+  static_assert(!CanSendInt<EndProto>);
+  static_assert(!CanSelect<SendProto>);
+}
+
+TEST(Session, BranchingProtocol) {
+  // Client: pick add or negate; server serves both.
+  using Proto =
+      Select<Send<int, Recv<int, End>>,  // left: add 10
+             Send<int, Recv<int, End>>>; // right: negate
+  auto run_server = [](Chan<Dual<Proto>> s) {
+    auto branch = std::move(s).OfferBranch();
+    if (branch.index() == 0) {
+      auto [n, s2] = std::move(std::get<0>(branch)).RecvValue();
+      std::move(std::move(s2).SendValue(n + 10)).Close();
+    } else {
+      auto [n, s2] = std::move(std::get<1>(branch)).RecvValue();
+      std::move(std::move(s2).SendValue(-n)).Close();
+    }
+  };
+
+  {
+    auto [client, server] = MakeSession<Proto>();
+    std::thread peer(run_server, std::move(server));
+    auto c = std::move(client).SelectLeft();
+    auto [result, c3] = std::move(std::move(c).SendValue(5)).RecvValue();
+    EXPECT_EQ(result, 15);
+    std::move(c3).Close();
+    peer.join();
+  }
+  {
+    auto [client, server] = MakeSession<Proto>();
+    std::thread peer(run_server, std::move(server));
+    auto c = std::move(client).SelectRight();
+    auto [result, c3] = std::move(std::move(c).SendValue(5)).RecvValue();
+    EXPECT_EQ(result, -5);
+    std::move(c3).Close();
+    peer.join();
+  }
+}
+
+TEST(Session, LongPipeline) {
+  // A longer protocol exercising continuation chaining.
+  using Proto = Send<int, Send<int, Recv<int, Send<int, Recv<int, End>>>>>;
+  auto [client, server] = MakeSession<Proto>();
+  std::thread peer([s = std::move(server)]() mutable {
+    auto [a, s1] = std::move(s).RecvValue();
+    auto [b, s2] = std::move(s1).RecvValue();
+    auto s3 = std::move(s2).SendValue(a + b);
+    auto [c, s4] = std::move(s3).RecvValue();
+    std::move(std::move(s4).SendValue(a * b * c)).Close();
+  });
+  auto c1 = std::move(client).SendValue(3);
+  auto c2 = std::move(c1).SendValue(4);
+  auto [sum, c3] = std::move(c2).RecvValue();
+  EXPECT_EQ(sum, 7);
+  auto c4 = std::move(c3).SendValue(2);
+  auto [prod, c5] = std::move(c4).RecvValue();
+  EXPECT_EQ(prod, 24);
+  std::move(c5).Close();
+  peer.join();
+}
+
+TEST(Session, SpentEndpointPanics) {
+  using Proto = Send<int, End>;
+  auto [client, server] = MakeSession<Proto>();
+  auto done = std::move(client).SendValue(1);
+  // `client` is a moved-from husk now; using it is a linearity violation.
+  EXPECT_THROW((void)std::move(client).SendValue(2), util::PanicError);
+  std::move(done).Close();
+  // Drain the peer side so the core is not leaked with a pending message.
+  auto [v, s2] = std::move(server).RecvValue();
+  EXPECT_EQ(v, 1);
+  std::move(s2).Close();
+}
+
+TEST(Session, MoveOnlyPayloadsTransfer) {
+  using Proto = Send<std::unique_ptr<std::string>, End>;
+  auto [client, server] = MakeSession<Proto>();
+  auto payload = std::make_unique<std::string>("zero-copy");
+  auto done = std::move(client).SendValue(std::move(payload));
+  EXPECT_EQ(payload, nullptr) << "ownership crossed the channel";
+  auto [received, s2] = std::move(server).RecvValue();
+  EXPECT_EQ(*received, "zero-copy");
+  std::move(done).Close();
+  std::move(s2).Close();
+}
+
+}  // namespace
+}  // namespace session
+}  // namespace sfi

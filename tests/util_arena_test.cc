@@ -1,0 +1,75 @@
+#include "src/util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+
+namespace util {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndWritable) {
+  Arena arena(1024);
+  std::set<void*> seen;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(16);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate allocation";
+    std::memset(p, i, 16);
+  }
+  EXPECT_GE(arena.allocated_bytes(), 1600u);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u, 4096u}) {
+    arena.Allocate(1);  // deliberately misalign the cursor
+    void* p = arena.Allocate(8, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "alignment " << align;
+  }
+}
+
+TEST(Arena, GrowsPastBlockSize) {
+  Arena arena(64);
+  void* small = arena.Allocate(32);
+  void* huge = arena.Allocate(1 << 16);  // bigger than a block
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(huge, nullptr);
+  std::memset(huge, 0xab, 1 << 16);
+  EXPECT_GE(arena.block_count(), 2u);
+}
+
+TEST(Arena, ResetReusesBlocks) {
+  Arena arena(1 << 12);
+  for (int i = 0; i < 64; ++i) {
+    arena.Allocate(256);
+  }
+  const std::size_t blocks = arena.block_count();
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  for (int i = 0; i < 64; ++i) {
+    arena.Allocate(256);
+  }
+  EXPECT_EQ(arena.block_count(), blocks) << "Reset() should not reallocate";
+}
+
+TEST(Arena, TypedNew) {
+  struct Point {
+    int x;
+    int y;
+  };
+  Arena arena;
+  Point* p = arena.New<Point>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(Arena, BadAlignmentPanics) {
+  Arena arena;
+  EXPECT_THROW(arena.Allocate(8, 3), PanicError);
+  EXPECT_THROW(arena.Allocate(8, 0), PanicError);
+}
+
+}  // namespace
+}  // namespace util

@@ -1,0 +1,77 @@
+#include "src/util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/util/panic.h"
+
+namespace util {
+namespace {
+
+enum class Error { kNope, kBroken };
+
+TEST(Result, OkCarriesValue) {
+  Result<int, Error> r = Result<int, Error>::Ok(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(Result, ErrCarriesError) {
+  Result<int, Error> r = Err(Error::kBroken);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Error::kBroken);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(Result, WrongArmAccessPanics) {
+  Result<int, Error> ok = Result<int, Error>::Ok(1);
+  EXPECT_THROW((void)ok.error(), PanicError);
+  Result<int, Error> err = Err(Error::kNope);
+  EXPECT_THROW((void)err.value(), PanicError);
+}
+
+TEST(Result, MoveOutOfValue) {
+  Result<std::unique_ptr<int>, Error> r =
+      Result<std::unique_ptr<int>, Error>::Ok(std::make_unique<int>(7));
+  std::unique_ptr<int> taken = std::move(r).value();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(Result, SameTypeForValueAndError) {
+  // The ErrValue tag disambiguates T == E.
+  Result<std::string, std::string> ok =
+      Result<std::string, std::string>::Ok("value");
+  Result<std::string, std::string> err = Err(std::string("error"));
+  EXPECT_TRUE(ok.ok());
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(ok.value(), "value");
+  EXPECT_EQ(err.error(), "error");
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void, Error> ok = Result<void, Error>::Ok();
+  EXPECT_TRUE(ok.ok());
+  Result<void, Error> err = Err(Error::kNope);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), Error::kNope);
+  EXPECT_THROW((void)ok.error(), PanicError);
+}
+
+TEST(Result, ImplicitConstructionFromValue) {
+  auto f = [](bool good) -> Result<int, Error> {
+    if (good) {
+      return 5;  // implicit Ok
+    }
+    return Err(Error::kBroken);
+  };
+  EXPECT_EQ(f(true).value(), 5);
+  EXPECT_EQ(f(false).error(), Error::kBroken);
+}
+
+}  // namespace
+}  // namespace util

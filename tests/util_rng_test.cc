@@ -1,0 +1,95 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+namespace util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    equal += a.Next() == b.Next();
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsWellMixed) {
+  Rng r(0);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 100; ++i) {
+    acc |= r.Next();
+  }
+  EXPECT_EQ(acc, ~0ULL) << "every bit position should fire within 100 draws";
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 255ULL, 1000000007ULL}) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_LT(r.Below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.Below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(42);
+  std::array<int, 8> buckets{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) {
+    buckets[r.Below(8)]++;
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 8, kDraws / 8 / 5) << "bucket skew > 20%";
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Chance(0.0));
+    EXPECT_TRUE(r.Chance(1.0));
+  }
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng r(77);
+  const std::uint64_t first = r.Next();
+  r.Next();
+  r.Seed(77);
+  EXPECT_EQ(r.Next(), first);
+}
+
+}  // namespace
+}  // namespace util

@@ -1,0 +1,132 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/panic.h"
+
+namespace util {
+namespace {
+
+TEST(Samples, MeanMinMaxOfKnownValues) {
+  Samples s;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(Samples, MedianOddAndEven) {
+  Samples odd;
+  for (double v : {5.0, 1.0, 3.0}) {
+    odd.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(odd.Median(), 3.0);
+
+  Samples even;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    even.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(even.Median(), 2.5);
+}
+
+TEST(Samples, PercentileEndpoints) {
+  Samples s;
+  for (int i = 0; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 50.0);
+  EXPECT_NEAR(s.Percentile(99.0), 99.0, 1e-9);
+}
+
+TEST(Samples, PercentileSingleSample) {
+  Samples s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(77.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 42.0);
+}
+
+TEST(Samples, TrimmedMeanDiscardsOutliers) {
+  Samples s;
+  for (int i = 0; i < 98; ++i) {
+    s.Add(10.0);
+  }
+  s.Add(100000.0);
+  s.Add(-100000.0);
+  EXPECT_DOUBLE_EQ(s.TrimmedMean(5.0), 10.0);
+  EXPECT_NE(s.Mean(), 10.0);
+}
+
+TEST(Samples, StddevKnownValue) {
+  Samples s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(s.Stddev(), 2.138, 1e-3);
+}
+
+TEST(Samples, StddevDegenerateCases) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.Stddev(), 0.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 0.0);
+}
+
+TEST(Samples, EmptyPanicsInsteadOfUb) {
+  Samples s;
+  EXPECT_THROW(s.Mean(), PanicError);
+  EXPECT_THROW(s.Percentile(50.0), PanicError);
+  EXPECT_THROW(s.TrimmedMean(), PanicError);
+}
+
+TEST(Samples, AddAfterQueryResorts) {
+  Samples s;
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 10.0);
+  s.Add(0.0);
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 10.0);
+  s.Add(30.0);
+  s.Add(40.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 20.0);
+}
+
+TEST(Samples, ClearResets) {
+  Samples s;
+  s.Add(1.0);
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+}
+
+TEST(Samples, SummaryMentionsCount) {
+  Samples s;
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_NE(s.Summary().find("n=2"), std::string::npos);
+  Samples empty;
+  EXPECT_EQ(empty.Summary(), "(no samples)");
+}
+
+TEST(Panic, CountsAndKinds) {
+  const std::uint64_t before = PanicCount();
+  try {
+    Panic(PanicKind::kBoundsCheck, "oob");
+  } catch (const PanicError& e) {
+    EXPECT_EQ(e.kind(), PanicKind::kBoundsCheck);
+    EXPECT_STREQ(e.what(), "oob");
+  }
+  EXPECT_EQ(PanicCount(), before + 1);
+  EXPECT_EQ(PanicKindName(PanicKind::kUseAfterMove), "use-after-move");
+  EXPECT_EQ(PanicKindName(PanicKind::kRevokedRef), "revoked-ref");
+}
+
+}  // namespace
+}  // namespace util
