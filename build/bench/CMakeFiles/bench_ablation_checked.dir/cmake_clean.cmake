@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_checked.dir/ablation_ownership.cc.o"
+  "CMakeFiles/bench_ablation_checked.dir/ablation_ownership.cc.o.d"
+  "bench_ablation_checked"
+  "bench_ablation_checked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_checked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ckpt.dir/bench_ckpt.cc.o"
+  "CMakeFiles/bench_ckpt.dir/bench_ckpt.cc.o.d"
+  "bench_ckpt"
+  "bench_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_isolation.dir/bench_fig2_isolation.cc.o"
+  "CMakeFiles/bench_fig2_isolation.dir/bench_fig2_isolation.cc.o.d"
+  "bench_fig2_isolation"
+  "bench_fig2_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

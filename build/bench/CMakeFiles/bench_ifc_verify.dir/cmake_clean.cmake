@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ifc_verify.dir/bench_ifc_verify.cc.o"
+  "CMakeFiles/bench_ifc_verify.dir/bench_ifc_verify.cc.o.d"
+  "bench_ifc_verify"
+  "bench_ifc_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ifc_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sfi_baselines.dir/bench_sfi_baselines.cc.o"
+  "CMakeFiles/bench_sfi_baselines.dir/bench_sfi_baselines.cc.o.d"
+  "bench_sfi_baselines"
+  "bench_sfi_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfi_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

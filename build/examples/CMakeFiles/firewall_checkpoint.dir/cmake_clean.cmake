@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_checkpoint.dir/firewall_checkpoint.cpp.o"
+  "CMakeFiles/firewall_checkpoint.dir/firewall_checkpoint.cpp.o.d"
+  "firewall_checkpoint"
+  "firewall_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

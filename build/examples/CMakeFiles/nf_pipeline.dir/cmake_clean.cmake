@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_pipeline.dir/nf_pipeline.cpp.o"
+  "CMakeFiles/nf_pipeline.dir/nf_pipeline.cpp.o.d"
+  "nf_pipeline"
+  "nf_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rollback_middlebox.cpp" "examples/CMakeFiles/rollback_middlebox.dir/rollback_middlebox.cpp.o" "gcc" "examples/CMakeFiles/rollback_middlebox.dir/rollback_middlebox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/linsys_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/linsys_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfi/CMakeFiles/linsys_sfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/linsys_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

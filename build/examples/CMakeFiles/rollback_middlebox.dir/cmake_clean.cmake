@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_middlebox.dir/rollback_middlebox.cpp.o"
+  "CMakeFiles/rollback_middlebox.dir/rollback_middlebox.cpp.o.d"
+  "rollback_middlebox"
+  "rollback_middlebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

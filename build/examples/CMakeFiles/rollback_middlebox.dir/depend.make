@@ -1,0 +1,2 @@
+# Empty dependencies file for rollback_middlebox.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linsys_ckpt.dir/trie.cc.o"
+  "CMakeFiles/linsys_ckpt.dir/trie.cc.o.d"
+  "liblinsys_ckpt.a"
+  "liblinsys_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linsys_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

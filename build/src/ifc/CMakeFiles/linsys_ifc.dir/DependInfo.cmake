@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ifc/an/abstract.cc" "src/ifc/CMakeFiles/linsys_ifc.dir/an/abstract.cc.o" "gcc" "src/ifc/CMakeFiles/linsys_ifc.dir/an/abstract.cc.o.d"
+  "/root/repo/src/ifc/an/intervals.cc" "src/ifc/CMakeFiles/linsys_ifc.dir/an/intervals.cc.o" "gcc" "src/ifc/CMakeFiles/linsys_ifc.dir/an/intervals.cc.o.d"
+  "/root/repo/src/ifc/checker.cc" "src/ifc/CMakeFiles/linsys_ifc.dir/checker.cc.o" "gcc" "src/ifc/CMakeFiles/linsys_ifc.dir/checker.cc.o.d"
+  "/root/repo/src/ifc/ril/interp.cc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/interp.cc.o" "gcc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/interp.cc.o.d"
+  "/root/repo/src/ifc/ril/lexer.cc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/lexer.cc.o" "gcc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/lexer.cc.o.d"
+  "/root/repo/src/ifc/ril/ownership.cc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/ownership.cc.o" "gcc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/ownership.cc.o.d"
+  "/root/repo/src/ifc/ril/parser.cc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/parser.cc.o" "gcc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/parser.cc.o.d"
+  "/root/repo/src/ifc/ril/printer.cc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/printer.cc.o" "gcc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/printer.cc.o.d"
+  "/root/repo/src/ifc/ril/types.cc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/types.cc.o" "gcc" "src/ifc/CMakeFiles/linsys_ifc.dir/ril/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/linsys_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

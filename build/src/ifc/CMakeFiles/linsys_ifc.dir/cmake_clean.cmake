@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linsys_ifc.dir/an/abstract.cc.o"
+  "CMakeFiles/linsys_ifc.dir/an/abstract.cc.o.d"
+  "CMakeFiles/linsys_ifc.dir/an/intervals.cc.o"
+  "CMakeFiles/linsys_ifc.dir/an/intervals.cc.o.d"
+  "CMakeFiles/linsys_ifc.dir/checker.cc.o"
+  "CMakeFiles/linsys_ifc.dir/checker.cc.o.d"
+  "CMakeFiles/linsys_ifc.dir/ril/interp.cc.o"
+  "CMakeFiles/linsys_ifc.dir/ril/interp.cc.o.d"
+  "CMakeFiles/linsys_ifc.dir/ril/lexer.cc.o"
+  "CMakeFiles/linsys_ifc.dir/ril/lexer.cc.o.d"
+  "CMakeFiles/linsys_ifc.dir/ril/ownership.cc.o"
+  "CMakeFiles/linsys_ifc.dir/ril/ownership.cc.o.d"
+  "CMakeFiles/linsys_ifc.dir/ril/parser.cc.o"
+  "CMakeFiles/linsys_ifc.dir/ril/parser.cc.o.d"
+  "CMakeFiles/linsys_ifc.dir/ril/printer.cc.o"
+  "CMakeFiles/linsys_ifc.dir/ril/printer.cc.o.d"
+  "CMakeFiles/linsys_ifc.dir/ril/types.cc.o"
+  "CMakeFiles/linsys_ifc.dir/ril/types.cc.o.d"
+  "liblinsys_ifc.a"
+  "liblinsys_ifc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linsys_ifc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

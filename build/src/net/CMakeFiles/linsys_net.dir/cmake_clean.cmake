@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linsys_net.dir/maglev.cc.o"
+  "CMakeFiles/linsys_net.dir/maglev.cc.o.d"
+  "CMakeFiles/linsys_net.dir/pktgen.cc.o"
+  "CMakeFiles/linsys_net.dir/pktgen.cc.o.d"
+  "liblinsys_net.a"
+  "liblinsys_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linsys_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

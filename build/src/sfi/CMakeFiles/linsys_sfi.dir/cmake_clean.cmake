@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linsys_sfi.dir/domain.cc.o"
+  "CMakeFiles/linsys_sfi.dir/domain.cc.o.d"
+  "CMakeFiles/linsys_sfi.dir/manager.cc.o"
+  "CMakeFiles/linsys_sfi.dir/manager.cc.o.d"
+  "liblinsys_sfi.a"
+  "liblinsys_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linsys_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

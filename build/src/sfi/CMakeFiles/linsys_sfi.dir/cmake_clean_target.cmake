@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblinsys_sfi.a"
+)

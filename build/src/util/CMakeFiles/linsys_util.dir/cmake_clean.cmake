@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linsys_util.dir/cycles.cc.o"
+  "CMakeFiles/linsys_util.dir/cycles.cc.o.d"
+  "CMakeFiles/linsys_util.dir/panic.cc.o"
+  "CMakeFiles/linsys_util.dir/panic.cc.o.d"
+  "CMakeFiles/linsys_util.dir/stats.cc.o"
+  "CMakeFiles/linsys_util.dir/stats.cc.o.d"
+  "liblinsys_util.a"
+  "liblinsys_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linsys_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sfi_test.dir/baseline_sfi_test.cc.o"
+  "CMakeFiles/baseline_sfi_test.dir/baseline_sfi_test.cc.o.d"
+  "baseline_sfi_test"
+  "baseline_sfi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sfi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_integration_test.dir/ckpt_integration_test.cc.o"
+  "CMakeFiles/ckpt_integration_test.dir/ckpt_integration_test.cc.o.d"
+  "ckpt_integration_test"
+  "ckpt_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_replicate_test.dir/ckpt_replicate_test.cc.o"
+  "CMakeFiles/ckpt_replicate_test.dir/ckpt_replicate_test.cc.o.d"
+  "ckpt_replicate_test"
+  "ckpt_replicate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_replicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

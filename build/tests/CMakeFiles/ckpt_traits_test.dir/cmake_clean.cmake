@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_traits_test.dir/ckpt_traits_test.cc.o"
+  "CMakeFiles/ckpt_traits_test.dir/ckpt_traits_test.cc.o.d"
+  "ckpt_traits_test"
+  "ckpt_traits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_traits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

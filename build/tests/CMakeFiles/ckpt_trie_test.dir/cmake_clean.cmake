@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_trie_test.dir/ckpt_trie_test.cc.o"
+  "CMakeFiles/ckpt_trie_test.dir/ckpt_trie_test.cc.o.d"
+  "ckpt_trie_test"
+  "ckpt_trie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

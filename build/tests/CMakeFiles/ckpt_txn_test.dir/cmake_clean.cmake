@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_txn_test.dir/ckpt_txn_test.cc.o"
+  "CMakeFiles/ckpt_txn_test.dir/ckpt_txn_test.cc.o.d"
+  "ckpt_txn_test"
+  "ckpt_txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

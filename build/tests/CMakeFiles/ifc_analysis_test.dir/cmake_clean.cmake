@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifc_analysis_test.dir/ifc_analysis_test.cc.o"
+  "CMakeFiles/ifc_analysis_test.dir/ifc_analysis_test.cc.o.d"
+  "ifc_analysis_test"
+  "ifc_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifc_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

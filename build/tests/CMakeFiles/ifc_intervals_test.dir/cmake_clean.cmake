@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifc_intervals_test.dir/ifc_intervals_test.cc.o"
+  "CMakeFiles/ifc_intervals_test.dir/ifc_intervals_test.cc.o.d"
+  "ifc_intervals_test"
+  "ifc_intervals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifc_intervals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

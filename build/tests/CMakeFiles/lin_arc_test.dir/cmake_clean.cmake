@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lin_arc_test.dir/lin_arc_test.cc.o"
+  "CMakeFiles/lin_arc_test.dir/lin_arc_test.cc.o.d"
+  "lin_arc_test"
+  "lin_arc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lin_arc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lin_mutex_test.dir/lin_mutex_test.cc.o"
+  "CMakeFiles/lin_mutex_test.dir/lin_mutex_test.cc.o.d"
+  "lin_mutex_test"
+  "lin_mutex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lin_mutex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lin_own_test.dir/lin_own_test.cc.o"
+  "CMakeFiles/lin_own_test.dir/lin_own_test.cc.o.d"
+  "lin_own_test"
+  "lin_own_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lin_own_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lin_rc_test.dir/lin_rc_test.cc.o"
+  "CMakeFiles/lin_rc_test.dir/lin_rc_test.cc.o.d"
+  "lin_rc_test"
+  "lin_rc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lin_rc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

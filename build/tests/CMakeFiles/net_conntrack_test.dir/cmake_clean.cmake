@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_conntrack_test.dir/net_conntrack_test.cc.o"
+  "CMakeFiles/net_conntrack_test.dir/net_conntrack_test.cc.o.d"
+  "net_conntrack_test"
+  "net_conntrack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_conntrack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_maglev_test.dir/net_maglev_test.cc.o"
+  "CMakeFiles/net_maglev_test.dir/net_maglev_test.cc.o.d"
+  "net_maglev_test"
+  "net_maglev_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_maglev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_mempool_test.dir/net_mempool_test.cc.o"
+  "CMakeFiles/net_mempool_test.dir/net_mempool_test.cc.o.d"
+  "net_mempool_test"
+  "net_mempool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_mempool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

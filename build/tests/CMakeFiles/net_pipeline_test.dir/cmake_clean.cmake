@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_pipeline_test.dir/net_pipeline_test.cc.o"
+  "CMakeFiles/net_pipeline_test.dir/net_pipeline_test.cc.o.d"
+  "net_pipeline_test"
+  "net_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_pktgen_test.dir/net_pktgen_test.cc.o"
+  "CMakeFiles/net_pktgen_test.dir/net_pktgen_test.cc.o.d"
+  "net_pktgen_test"
+  "net_pktgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_pktgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_rss_test.dir/net_rss_test.cc.o"
+  "CMakeFiles/net_rss_test.dir/net_rss_test.cc.o.d"
+  "net_rss_test"
+  "net_rss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_rss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

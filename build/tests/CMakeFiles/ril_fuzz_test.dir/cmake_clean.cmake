@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_fuzz_test.dir/ril_fuzz_test.cc.o"
+  "CMakeFiles/ril_fuzz_test.dir/ril_fuzz_test.cc.o.d"
+  "ril_fuzz_test"
+  "ril_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_interp_test.dir/ril_interp_test.cc.o"
+  "CMakeFiles/ril_interp_test.dir/ril_interp_test.cc.o.d"
+  "ril_interp_test"
+  "ril_interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_ownership_test.dir/ril_ownership_test.cc.o"
+  "CMakeFiles/ril_ownership_test.dir/ril_ownership_test.cc.o.d"
+  "ril_ownership_test"
+  "ril_ownership_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_ownership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

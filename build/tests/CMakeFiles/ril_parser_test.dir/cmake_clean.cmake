@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_parser_test.dir/ril_parser_test.cc.o"
+  "CMakeFiles/ril_parser_test.dir/ril_parser_test.cc.o.d"
+  "ril_parser_test"
+  "ril_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

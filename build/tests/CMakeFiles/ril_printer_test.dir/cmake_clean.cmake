@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_printer_test.dir/ril_printer_test.cc.o"
+  "CMakeFiles/ril_printer_test.dir/ril_printer_test.cc.o.d"
+  "ril_printer_test"
+  "ril_printer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ril_types_test.dir/ril_types_test.cc.o"
+  "CMakeFiles/ril_types_test.dir/ril_types_test.cc.o.d"
+  "ril_types_test"
+  "ril_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ril_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

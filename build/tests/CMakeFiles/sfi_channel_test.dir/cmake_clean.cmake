@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_channel_test.dir/sfi_channel_test.cc.o"
+  "CMakeFiles/sfi_channel_test.dir/sfi_channel_test.cc.o.d"
+  "sfi_channel_test"
+  "sfi_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_domain_test.dir/sfi_domain_test.cc.o"
+  "CMakeFiles/sfi_domain_test.dir/sfi_domain_test.cc.o.d"
+  "sfi_domain_test"
+  "sfi_domain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_rref_test.dir/sfi_rref_test.cc.o"
+  "CMakeFiles/sfi_rref_test.dir/sfi_rref_test.cc.o.d"
+  "sfi_rref_test"
+  "sfi_rref_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_rref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfi_session_test.dir/sfi_session_test.cc.o"
+  "CMakeFiles/sfi_session_test.dir/sfi_session_test.cc.o.d"
+  "sfi_session_test"
+  "sfi_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfi_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_arena_test.dir/util_arena_test.cc.o"
+  "CMakeFiles/util_arena_test.dir/util_arena_test.cc.o.d"
+  "util_arena_test"
+  "util_arena_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_arena_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

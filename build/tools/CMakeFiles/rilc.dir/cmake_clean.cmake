@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rilc.dir/rilc.cc.o"
+  "CMakeFiles/rilc.dir/rilc.cc.o.d"
+  "rilc"
+  "rilc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rilc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
