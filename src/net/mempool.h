@@ -5,14 +5,32 @@
 // a buffer is *linear*: PacketBuf (packet.h) is a move-only handle that
 // returns its slot on destruction, so a buffer can never be referenced after
 // free or freed twice — the property DPDK documents but cannot enforce.
+//
+// Threading contract — SINGLE OWNER. Unlike rte_mempool (whose default ring
+// backend is multi-producer/multi-consumer), this pool is deliberately not
+// thread-safe: Alloc and Free mutate the freelist without synchronization.
+// Exactly one thread may allocate from and free into a given pool. Packet
+// handles may *transit* other threads (e.g. a steered batch crossing an
+// sfi::Channel), but every path that ends a buffer's life — drop, Retain,
+// unwinding — must run on the owning thread. net::Runtime enforces this
+// structurally by giving each worker its own pool and steering flow
+// descriptors, not buffers, across threads; worker-side allocation means
+// cross-thread Free cannot be expressed. In checked builds
+// (LINSYS_CHECKED=ON) the pool additionally binds itself to the first thread
+// that calls Alloc/Free and panics on any use from another thread, and a
+// free-slot bitmap turns double-frees into deterministic panics instead of
+// silent freelist corruption.
 #ifndef LINSYS_SRC_NET_MEMPOOL_H_
 #define LINSYS_SRC_NET_MEMPOOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
+#include "src/lin/config.h"
 #include "src/util/panic.h"
 
 namespace net {
@@ -30,6 +48,9 @@ class Mempool {
     for (std::size_t i = capacity; i > 0; --i) {
       free_list_.push_back(static_cast<std::uint32_t>(i - 1));
     }
+#if LINSYS_CHECKED_OWNERSHIP
+    is_free_.assign(capacity, true);
+#endif
   }
 
   Mempool(const Mempool&) = delete;
@@ -38,17 +59,30 @@ class Mempool {
   // Pops a slot; returns false when exhausted (caller decides drop policy,
   // as with rte_pktmbuf_alloc).
   bool Alloc(std::uint32_t* slot) {
+    CheckOwnerThread();
     if (free_list_.empty()) {
       return false;
     }
     *slot = free_list_.back();
     free_list_.pop_back();
+#if LINSYS_CHECKED_OWNERSHIP
+    is_free_[*slot] = false;
+#endif
     return true;
   }
 
   void Free(std::uint32_t slot) {
+    CheckOwnerThread();
     LINSYS_ASSERT(slot < capacity_, "Mempool::Free of foreign slot");
+#if LINSYS_CHECKED_OWNERSHIP
+    LINSYS_ASSERT(!is_free_[slot],
+                  "Mempool::Free double-free: slot is already on the "
+                  "freelist");
+    is_free_[slot] = true;
+#endif
     free_list_.push_back(slot);
+    LINSYS_ASSERT(free_list_.size() <= capacity_,
+                  "Mempool freelist grew past capacity (double-free)");
   }
 
   std::uint8_t* Data(std::uint32_t slot) {
@@ -64,10 +98,36 @@ class Mempool {
   std::size_t in_use() const { return capacity_ - free_list_.size(); }
 
  private:
+  // Checked builds bind the pool to the first thread that touches the
+  // freelist; any other thread panics. This is the runtime teeth behind the
+  // single-owner contract above — Runtime's structure makes violations
+  // impossible, but hand-rolled users get a deterministic panic instead of
+  // a corrupted freelist.
+  void CheckOwnerThread() {
+#if LINSYS_CHECKED_OWNERSHIP
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // "no thread yet"
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed)) {
+      return;  // first touch binds ownership
+    }
+    if (expected != self) {
+      util::Panic(util::PanicKind::kAssertFailed,
+                  "Mempool touched from a non-owner thread: pools are "
+                  "single-owner (see header contract); give each worker "
+                  "its own pool");
+    }
+#endif
+  }
+
   std::size_t buf_size_;
   std::size_t capacity_;
   std::unique_ptr<std::uint8_t[]> slab_;
   std::vector<std::uint32_t> free_list_;
+#if LINSYS_CHECKED_OWNERSHIP
+  std::vector<bool> is_free_;
+  std::atomic<std::thread::id> owner_{};
+#endif
 };
 
 }  // namespace net

@@ -8,14 +8,13 @@
 
 namespace net {
 
-PktSource::PktSource(Mempool* pool, const PktSourceConfig& config)
-    : pool_(pool), config_(config), rng_(config.seed) {
-  LINSYS_ASSERT(config.flow_count > 0, "flow_count must be positive");
-  LINSYS_ASSERT(config.frame_len >= kPayloadOffset,
-                "frame_len too small for Eth/IPv4/UDP headers");
+FlowSampler::FlowSampler(std::size_t flow_count, double zipf_s,
+                         std::uint64_t seed)
+    : rng_(seed) {
+  LINSYS_ASSERT(flow_count > 0, "flow_count must be positive");
 
-  flows_.reserve(config.flow_count);
-  for (std::size_t i = 0; i < config.flow_count; ++i) {
+  flows_.reserve(flow_count);
+  for (std::size_t i = 0; i < flow_count; ++i) {
     FiveTuple t;
     // Clients in 10.0.0.0/8, virtual service IP fixed (Maglev-style VIP),
     // ephemeral source ports. Randomized but collision-free per index.
@@ -27,12 +26,12 @@ PktSource::PktSource(Mempool* pool, const PktSourceConfig& config)
     flows_.push_back(t);
   }
 
-  if (config.zipf_s > 0.0) {
+  if (zipf_s > 0.0) {
     // Normalized cumulative Zipf weights: flow i has weight 1/(i+1)^s.
-    zipf_cdf_.resize(config.flow_count);
+    zipf_cdf_.resize(flow_count);
     double acc = 0.0;
-    for (std::size_t i = 0; i < config.flow_count; ++i) {
-      acc += 1.0 / std::pow(static_cast<double>(i + 1), config.zipf_s);
+    for (std::size_t i = 0; i < flow_count; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
       zipf_cdf_[i] = acc;
     }
     for (double& v : zipf_cdf_) {
@@ -41,13 +40,21 @@ PktSource::PktSource(Mempool* pool, const PktSourceConfig& config)
   }
 }
 
-std::size_t PktSource::PickFlow() {
+std::size_t FlowSampler::PickIndex() {
   if (zipf_cdf_.empty()) {
     return static_cast<std::size_t>(rng_.Below(flows_.size()));
   }
   const double u = rng_.NextDouble();
   const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
   return static_cast<std::size_t>(it - zipf_cdf_.begin());
+}
+
+PktSource::PktSource(Mempool* pool, const PktSourceConfig& config)
+    : pool_(pool),
+      config_(config),
+      sampler_(config.flow_count, config.zipf_s, config.seed) {
+  LINSYS_ASSERT(config.frame_len >= kPayloadOffset,
+                "frame_len too small for Eth/IPv4/UDP headers");
 }
 
 std::size_t PktSource::RxBurst(PacketBatch& batch, std::size_t n) {
@@ -57,7 +64,7 @@ std::size_t PktSource::RxBurst(PacketBatch& batch, std::size_t n) {
     if (!pkt.has_value()) {
       break;  // pool exhausted: deliver a short burst, like a real driver
     }
-    BuildFrame(pkt, flows_[PickFlow()], config_.ttl);
+    BuildFrame(pkt, sampler_.Pick(), config_.ttl);
     batch.Push(std::move(pkt));
     ++delivered;
   }

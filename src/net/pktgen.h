@@ -1,11 +1,19 @@
 // DPDK simulator: a synthetic traffic source with rte_eth_rx_burst-shaped
 // semantics (DESIGN.md §2 substitution — we have no NIC).
 //
-// A PktSource owns a flow set (synthetic 5-tuples) and fills batches of
-// fully-formed Eth/IPv4/UDP frames from a mempool. Flow selection is uniform
-// or Zipf-distributed; Zipf matters because Maglev-style load balancers and
-// flow tables behave differently under skew, and the paper's Figure-2 sweep
-// feeds a realistic traffic mix.
+// Split in two layers:
+//
+//   * FlowSampler — owns a synthetic flow set (5-tuples) and draws from it,
+//     uniform or Zipf-distributed. It never touches packet memory, so a
+//     dispatcher thread can sample flows and steer *descriptors* to workers
+//     while buffer allocation stays on the worker that owns the pool
+//     (mempool.h single-owner contract; net::Runtime relies on this).
+//   * PktSource — a FlowSampler plus a mempool: fills batches of fully
+//     formed Eth/IPv4/UDP frames, rx_burst style.
+//
+// Zipf matters because Maglev-style load balancers and flow tables behave
+// differently under skew, and the paper's Figure-2 sweep feeds a realistic
+// traffic mix.
 #ifndef LINSYS_SRC_NET_PKTGEN_H_
 #define LINSYS_SRC_NET_PKTGEN_H_
 
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "src/net/batch.h"
+#include "src/net/headers.h"
 #include "src/net/mempool.h"
 #include "src/util/rng.h"
 
@@ -27,6 +36,25 @@ struct PktSourceConfig {
   std::uint8_t ttl = 64;
 };
 
+// Flow-set construction + sampling, no packet memory involved.
+class FlowSampler {
+ public:
+  FlowSampler(std::size_t flow_count, double zipf_s, std::uint64_t seed);
+
+  // Draws the next flow according to the configured distribution.
+  const FiveTuple& Pick() { return flows_[PickIndex()]; }
+  std::size_t PickIndex();
+
+  const FiveTuple& FlowAt(std::size_t i) const { return flows_[i]; }
+  std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  util::Rng rng_;
+  std::vector<FiveTuple> flows_;
+  // Inverse-CDF table for Zipf sampling (empty when uniform).
+  std::vector<double> zipf_cdf_;
+};
+
 class PktSource {
  public:
   PktSource(Mempool* pool, const PktSourceConfig& config);
@@ -37,20 +65,17 @@ class PktSource {
 
   // The flow a given draw index maps to — exposed for tests that need to
   // predict the traffic mix.
-  const FiveTuple& FlowAt(std::size_t i) const { return flows_[i]; }
-  std::size_t flow_count() const { return flows_.size(); }
+  const FiveTuple& FlowAt(std::size_t i) const {
+    return sampler_.FlowAt(i);
+  }
+  std::size_t flow_count() const { return sampler_.flow_count(); }
 
   std::uint64_t packets_generated() const { return generated_; }
 
  private:
-  std::size_t PickFlow();
-
   Mempool* pool_;
   PktSourceConfig config_;
-  util::Rng rng_;
-  std::vector<FiveTuple> flows_;
-  // Inverse-CDF table for Zipf sampling (empty when uniform).
-  std::vector<double> zipf_cdf_;
+  FlowSampler sampler_;
   std::uint64_t generated_ = 0;
 };
 

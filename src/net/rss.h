@@ -6,58 +6,85 @@
 // the dispatcher provably cannot touch a batch after steering it, which is
 // what makes lock-free per-worker flow tables sound (§3's argument applied
 // across threads instead of domains).
+//
+// BasicRssDispatcher is generic over the steered batch type: the classic
+// instantiation (RssDispatcher) steers PacketBatch, while net::Runtime
+// steers FlowBatch — flow *descriptors* rather than buffers — so that
+// packet memory is always allocated and freed on the worker that owns the
+// pool (see mempool.h's single-owner contract). Any batch type works if it
+// is movable, iterable, and its items expose Tuple().
+//
+// Dispatch may be called from multiple producer threads concurrently
+// (sfi::Channel is MPMC); the steering counters are relaxed atomics so the
+// telemetry stays exact under concurrent dispatch.
 #ifndef LINSYS_SRC_NET_RSS_H_
 #define LINSYS_SRC_NET_RSS_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/lin/own.h"
 #include "src/net/batch.h"
+#include "src/net/headers.h"
 #include "src/sfi/channel.h"
 #include "src/util/panic.h"
 
 namespace net {
 
-class RssDispatcher {
+template <typename Batch>
+class BasicRssDispatcher {
  public:
   // `queue_depth` bounds each worker channel (backpressure, like NIC ring
   // sizes); 0 = unbounded.
-  explicit RssDispatcher(std::size_t workers, std::size_t queue_depth = 64)
-      : seed_(0x5ca1ab1eULL) {
+  explicit BasicRssDispatcher(std::size_t workers,
+                              std::size_t queue_depth = 64)
+      : seed_(0x5ca1ab1eULL), per_worker_steered_(workers) {
     LINSYS_ASSERT(workers > 0, "RSS needs at least one worker");
     for (std::size_t i = 0; i < workers; ++i) {
-      queues_.push_back(
-          std::make_unique<sfi::Channel<PacketBatch>>(queue_depth));
+      queues_.push_back(std::make_unique<sfi::Channel<Batch>>(queue_depth));
     }
   }
 
-  // Steers every packet of `batch` to its worker queue, grouped into one
-  // sub-batch per worker per call. Consumes the input batch.
-  void Dispatch(PacketBatch batch) {
-    std::vector<PacketBatch> per_worker(queues_.size());
-    for (PacketBuf& pkt : batch) {
-      const std::size_t worker = WorkerFor(pkt);
-      per_worker[worker].Push(std::move(pkt));
+  // Steers every item of `batch` to its worker queue, grouped into one
+  // sub-batch per worker per call. Consumes the input batch. Returns the
+  // number of sub-batches actually enqueued (a closed channel refuses its
+  // sub-batch, dropping those items).
+  std::size_t Dispatch(Batch batch) {
+    dispatch_calls_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<Batch> per_worker(queues_.size());
+    for (auto& item : batch) {
+      const std::size_t worker = WorkerFor(item);
+      per_worker[worker].Push(std::move(item));
     }
+    std::size_t sent = 0;
     for (std::size_t w = 0; w < queues_.size(); ++w) {
-      if (!per_worker[w].empty()) {
-        queues_[w]->Send(
-            lin::Own<PacketBatch>::Make(std::move(per_worker[w])));
-        ++batches_steered_;
+      if (per_worker[w].empty()) {
+        continue;
+      }
+      if (queues_[w]->Send(lin::Own<Batch>::Make(std::move(per_worker[w])))) {
+        sub_batches_steered_.fetch_add(1, std::memory_order_relaxed);
+        per_worker_steered_[w].fetch_add(1, std::memory_order_relaxed);
+        ++sent;
       }
     }
+    return sent;
   }
 
-  // Which worker a packet's flow maps to — stable per flow.
-  std::size_t WorkerFor(const PacketBuf& pkt) const {
-    return static_cast<std::size_t>(pkt.Tuple().Hash(seed_) %
-                                    queues_.size());
+  // Which worker an item's flow maps to — stable per flow.
+  template <typename Item>
+  std::size_t WorkerFor(const Item& item) const {
+    return WorkerForTuple(item.Tuple());
+  }
+  std::size_t WorkerForTuple(const FiveTuple& tuple) const {
+    return static_cast<std::size_t>(tuple.Hash(seed_) % queues_.size());
   }
 
   // The worker side: blocking receive of the next steered sub-batch.
-  sfi::Channel<PacketBatch>& queue(std::size_t worker) {
+  sfi::Channel<Batch>& queue(std::size_t worker) {
     LINSYS_ASSERT(worker < queues_.size(), "worker index out of range");
     return *queues_[worker];
   }
@@ -69,13 +96,34 @@ class RssDispatcher {
   }
 
   std::size_t worker_count() const { return queues_.size(); }
-  std::uint64_t batches_steered() const { return batches_steered_; }
+
+  // Number of Dispatch() calls — i.e. input batches steered. (This used to
+  // count per-worker sub-batches, which over-reported by up to worker_count
+  // per call; sub-batch counts live in sub_batches_steered() now.)
+  std::uint64_t batches_steered() const {
+    return dispatch_calls_.load(std::memory_order_relaxed);
+  }
+  // Total per-worker sub-batches enqueued across all Dispatch() calls.
+  std::uint64_t sub_batches_steered() const {
+    return sub_batches_steered_.load(std::memory_order_relaxed);
+  }
+  // Sub-batches enqueued to one specific worker.
+  std::uint64_t steered_to(std::size_t worker) const {
+    LINSYS_ASSERT(worker < per_worker_steered_.size(),
+                  "worker index out of range");
+    return per_worker_steered_[worker].load(std::memory_order_relaxed);
+  }
 
  private:
   std::uint64_t seed_;
-  std::vector<std::unique_ptr<sfi::Channel<PacketBatch>>> queues_;
-  std::uint64_t batches_steered_ = 0;
+  std::vector<std::unique_ptr<sfi::Channel<Batch>>> queues_;
+  std::atomic<std::uint64_t> dispatch_calls_{0};
+  std::atomic<std::uint64_t> sub_batches_steered_{0};
+  std::vector<std::atomic<std::uint64_t>> per_worker_steered_;
 };
+
+// The classic NIC-shaped instantiation: steer already-built packets.
+using RssDispatcher = BasicRssDispatcher<PacketBatch>;
 
 }  // namespace net
 

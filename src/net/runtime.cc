@@ -1,0 +1,202 @@
+#include "src/net/runtime.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/util/panic.h"
+
+namespace net {
+
+std::string RuntimeStats::Summary() const {
+  std::string s;
+  s += "workers=" + std::to_string(workers.size());
+  s += " packets=" + std::to_string(totals.packets);
+  s += " batches=" + std::to_string(totals.batches);
+  s += " drops=" + std::to_string(totals.drops);
+  s += " faults=" + std::to_string(totals.faults);
+  s += " recoveries=" + std::to_string(totals.recoveries);
+  s += " queue_hwm=" + std::to_string(totals.queue_hwm);
+  s += " dispatched=" + std::to_string(dispatch_calls);
+  s += " sub_batches=" + std::to_string(sub_batches);
+  s += " | load: " + packets_per_worker.Summary();
+  return s;
+}
+
+Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
+    : config_(config), rss_(config.workers, config.queue_depth) {
+  LINSYS_ASSERT(config_.frame_len >= kPayloadOffset + kFlowSeqBytes,
+                "frame_len too small for the per-flow sequence stamp");
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(w, config_));
+    Worker& worker = *workers_.back();
+    for (const StageSpec& stage : spec) {
+      if (config_.isolated) {
+        // Every worker replica gets its own domain per stage; the name
+        // carries the shard so fault logs identify the replica.
+        worker.isolated.AddStage(
+            stage.name + "@w" + std::to_string(w),
+            [make = stage.make, w] { return make(w); });
+      } else {
+        worker.direct.AddStage(stage.make(w));
+      }
+    }
+  }
+}
+
+Runtime::~Runtime() { Shutdown(); }
+
+void Runtime::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  supervisor_ = std::thread([this] { SupervisorMain(); });
+  for (auto& w : workers_) {
+    Worker* worker = w.get();
+    worker->thread = std::thread([this, worker] { WorkerMain(*worker); });
+  }
+}
+
+void Runtime::Shutdown() {
+  if (!started_ || shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+  // Closing the channels lets workers drain whatever is queued, then exit
+  // (Channel::Recv returns nullopt only after close-and-drained).
+  rss_.Shutdown();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    sup_stop_ = true;
+  }
+  sup_cv_.notify_all();
+  if (supervisor_.joinable()) {
+    supervisor_.join();
+  }
+}
+
+void Runtime::NotifyFault() {
+  {
+    std::lock_guard<std::mutex> lock(sup_mu_);
+    fault_pending_ = true;
+  }
+  sup_cv_.notify_one();
+}
+
+void Runtime::WorkerMain(Worker& w) {
+  auto& queue = rss_.queue(w.index);
+  while (true) {
+    const std::size_t depth = queue.size();
+    if (depth > w.queue_hwm.load(std::memory_order_relaxed)) {
+      w.queue_hwm.store(depth, std::memory_order_relaxed);
+    }
+    auto handle = queue.Recv();
+    if (!handle.has_value()) {
+      break;  // closed and drained
+    }
+    FlowBatch flows = handle->Take();
+
+    // Materialize frames from this worker's own pool, on this thread —
+    // the whole buffer lifecycle (alloc, fault-unwind, drop) is shard-local.
+    PacketBatch batch(flows.size());
+    for (const FlowWork& fw : flows) {
+      PacketBuf pkt = PacketBuf::Alloc(&w.pool, config_.frame_len);
+      if (!pkt.has_value()) {
+        w.drops.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      BuildFrame(pkt, fw.tuple);
+      std::memcpy(pkt.payload(), &fw.seq, kFlowSeqBytes);
+      batch.Push(std::move(pkt));
+    }
+    if (batch.empty()) {
+      continue;
+    }
+    const std::size_t n = batch.size();
+
+    if (config_.isolated) {
+      std::unique_lock<std::mutex> lock(w.mu);
+      auto result = w.isolated.Run(std::move(batch));
+      lock.unlock();
+      if (!result.ok()) {
+        // The in-flight batch was reclaimed during unwinding (still on this
+        // thread, still this worker's pool). kFault = a fresh panic, worth
+        // waking the supervisor; kDomainFailed = still waiting on recovery.
+        w.drops.fetch_add(n, std::memory_order_relaxed);
+        if (result.error() == sfi::CallError::kFault) {
+          w.faults.fetch_add(1, std::memory_order_relaxed);
+          NotifyFault();
+        }
+        continue;
+      }
+      PacketBatch out = std::move(result).value();
+      w.packets.fetch_add(out.size(), std::memory_order_relaxed);
+      w.batches.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      try {
+        PacketBatch out = w.direct.Run(std::move(batch));
+        w.packets.fetch_add(out.size(), std::memory_order_relaxed);
+        w.batches.fetch_add(1, std::memory_order_relaxed);
+      } catch (const util::PanicError&) {
+        // The direct flavour has no containment: the batch died mid-stage
+        // and there is no domain to recover, only telemetry to keep.
+        w.drops.fetch_add(n, std::memory_order_relaxed);
+        w.faults.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void Runtime::SupervisorMain() {
+  std::unique_lock<std::mutex> lock(sup_mu_);
+  while (true) {
+    sup_cv_.wait(lock, [this] { return sup_stop_ || fault_pending_; });
+    if (fault_pending_) {
+      fault_pending_ = false;
+      lock.unlock();
+      for (auto& w : workers_) {
+        // The worker's pipeline mutex serializes recovery against Run, so
+        // rrefs are never replaced under a caller's feet.
+        std::lock_guard<std::mutex> wlock(w->mu);
+        const std::size_t recovered = w->isolated.RecoverFailedStages();
+        if (recovered > 0) {
+          w->recoveries.fetch_add(recovered, std::memory_order_relaxed);
+        }
+      }
+      lock.lock();
+      continue;  // re-evaluate: stop may have been requested meanwhile
+    }
+    break;  // sup_stop_
+  }
+}
+
+RuntimeStats Runtime::Stats() const {
+  RuntimeStats s;
+  s.dispatch_calls = rss_.batches_steered();
+  s.sub_batches = rss_.sub_batches_steered();
+  for (const auto& w : workers_) {
+    WorkerTelemetry t;
+    t.batches = w->batches.load(std::memory_order_relaxed);
+    t.packets = w->packets.load(std::memory_order_relaxed);
+    t.drops = w->drops.load(std::memory_order_relaxed);
+    t.faults = w->faults.load(std::memory_order_relaxed);
+    t.recoveries = w->recoveries.load(std::memory_order_relaxed);
+    t.queue_hwm = w->queue_hwm.load(std::memory_order_relaxed);
+    s.totals.batches += t.batches;
+    s.totals.packets += t.packets;
+    s.totals.drops += t.drops;
+    s.totals.faults += t.faults;
+    s.totals.recoveries += t.recoveries;
+    s.totals.queue_hwm = std::max(s.totals.queue_hwm, t.queue_hwm);
+    s.packets_per_worker.Add(static_cast<double>(t.packets));
+    s.workers.push_back(t);
+  }
+  return s;
+}
+
+}  // namespace net

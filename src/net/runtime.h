@@ -1,0 +1,226 @@
+// net::Runtime — N-worker sharded execution engine (the multi-core story).
+//
+// The paper's §3 argument is that zero-copy ownership transfer makes
+// isolation nearly free; NetBricks scales by running one pipeline replica
+// per core with RSS keeping each flow on one core. Runtime reproduces that
+// shape in the simulator:
+//
+//   * Each worker thread owns a full replica of the pipeline — its own SFI
+//     domains (one per stage, from its own DomainManager), its own Mempool,
+//     and therefore its own flow state. Nothing is shared between workers
+//     but the steering channels, so there are no locks on the packet path.
+//   * A dispatcher (any producer thread) samples flows and steers *flow
+//     descriptors* through a BasicRssDispatcher<FlowBatch>. Steering
+//     descriptors instead of buffers is what makes the mempool single-owner
+//     contract structural: frames are materialized from — and returned to —
+//     the worker's own pool on the worker's own thread, so cross-thread
+//     Free cannot be expressed. (This mirrors hardware RSS, where the NIC
+//     hashes and steers before any buffer from the queue's pool is used.)
+//   * A supervisor thread sleeps until a worker reports a stage fault, then
+//     recovers the failed domains via the existing SetRecovery /
+//     RecoverAllFailed machinery. A panic on one shard never stalls the
+//     others: only the faulted worker drops batches, and only until the
+//     supervisor has re-exported its stage.
+//
+// Telemetry is per-worker (packets, batches, drops, faults, recoveries,
+// queue-depth high-water mark) and aggregated into a RuntimeStats snapshot
+// whose per-worker load distribution is a util::Samples — bench_parallel
+// uses it to show throughput scaling and RSS balance.
+#ifndef LINSYS_SRC_NET_RUNTIME_H_
+#define LINSYS_SRC_NET_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/net/batch.h"
+#include "src/net/headers.h"
+#include "src/net/mempool.h"
+#include "src/net/packet.h"
+#include "src/net/pipeline.h"
+#include "src/net/pktgen.h"
+#include "src/net/rss.h"
+#include "src/sfi/manager.h"
+#include "src/util/stats.h"
+
+namespace net {
+
+// One unit of steered work: which flow, and its per-flow sequence number
+// (stamped into the frame payload so per-flow ordering is observable end to
+// end).
+struct FlowWork {
+  FiveTuple tuple;
+  std::uint64_t seq = 0;
+
+  const FiveTuple& Tuple() const { return tuple; }
+};
+
+// Batch of flow descriptors — the Batch concept BasicRssDispatcher needs.
+class FlowBatch {
+ public:
+  FlowBatch() = default;
+  explicit FlowBatch(std::size_t reserve) { work_.reserve(reserve); }
+
+  void Push(FlowWork w) { work_.push_back(w); }
+  std::size_t size() const { return work_.size(); }
+  bool empty() const { return work_.empty(); }
+
+  auto begin() { return work_.begin(); }
+  auto end() { return work_.end(); }
+  auto begin() const { return work_.begin(); }
+  auto end() const { return work_.end(); }
+
+ private:
+  std::vector<FlowWork> work_;
+};
+
+// Sequence numbers ride in the first 8 payload bytes (host order).
+inline constexpr std::size_t kFlowSeqBytes = 8;
+
+inline std::uint64_t ReadFlowSeq(const PacketBuf& pkt) {
+  std::uint64_t seq = 0;
+  std::memcpy(&seq, const_cast<PacketBuf&>(pkt).payload(), kFlowSeqBytes);
+  return seq;
+}
+
+// Dispatcher-side sequencer: draws flows from a FlowSampler and stamps
+// monotonically increasing per-flow sequence numbers.
+class FlowFeeder {
+ public:
+  explicit FlowFeeder(FlowSampler* sampler)
+      : sampler_(sampler), next_seq_(sampler->flow_count(), 0) {}
+
+  FlowBatch Next(std::size_t n) {
+    FlowBatch batch(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = sampler_->PickIndex();
+      batch.Push(FlowWork{sampler_->FlowAt(idx), next_seq_[idx]++});
+    }
+    return batch;
+  }
+
+ private:
+  FlowSampler* sampler_;
+  std::vector<std::uint64_t> next_seq_;
+};
+
+// One pipeline stage of a Runtime spec. `make` is called once per worker
+// (with the worker index) to build that worker's replica of the operator;
+// it runs before the worker threads start and must not capture per-worker
+// mutable state by reference.
+struct StageSpec {
+  std::string name;
+  std::function<std::unique_ptr<Operator>(std::size_t worker)> make;
+};
+
+struct RuntimeConfig {
+  std::size_t workers = 1;
+  std::size_t queue_depth = 64;       // per-worker channel bound (0 = none)
+  std::size_t pool_capacity = 4096;   // per-worker mempool slots
+  std::size_t buf_size = 2048;
+  std::uint16_t frame_len = 64;
+  bool isolated = true;               // IsolatedPipeline vs direct Pipeline
+};
+
+// Snapshot of one worker's counters.
+struct WorkerTelemetry {
+  std::uint64_t batches = 0;     // sub-batches fully processed
+  std::uint64_t packets = 0;     // packets out of the pipeline
+  std::uint64_t drops = 0;       // pool-dry allocations + fault-lost packets
+  std::uint64_t faults = 0;      // stage panics observed by this worker
+  std::uint64_t recoveries = 0;  // stage domains re-exported for this worker
+  std::size_t queue_hwm = 0;     // steering-queue depth high-water mark
+};
+
+struct RuntimeStats {
+  std::vector<WorkerTelemetry> workers;
+  WorkerTelemetry totals;              // summed; queue_hwm is the max
+  std::uint64_t dispatch_calls = 0;    // input batches steered
+  std::uint64_t sub_batches = 0;       // per-worker sub-batches enqueued
+  util::Samples packets_per_worker;    // load distribution across shards
+
+  std::string Summary() const;
+};
+
+class Runtime {
+ public:
+  Runtime(RuntimeConfig config, std::vector<StageSpec> spec);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Spawns the worker and supervisor threads. Idempotent.
+  void Start();
+
+  // Steers a batch of flow descriptors to the workers. Blocks when a
+  // worker's queue is at queue_depth (backpressure). Safe to call from
+  // multiple producer threads.
+  void Dispatch(FlowBatch batch) { rss_.Dispatch(std::move(batch)); }
+
+  // Which worker a flow is pinned to (stable for the runtime's lifetime).
+  std::size_t WorkerFor(const FiveTuple& tuple) const {
+    return rss_.WorkerForTuple(tuple);
+  }
+
+  // Closes the steering queues, lets workers drain them, joins all
+  // threads. Idempotent; called by the destructor if needed.
+  void Shutdown();
+
+  RuntimeStats Stats() const;
+
+  std::size_t worker_count() const { return workers_.size(); }
+  std::uint16_t frame_len() const { return config_.frame_len; }
+
+ private:
+  struct Worker {
+    std::size_t index = 0;
+    Mempool pool;
+    sfi::DomainManager mgr;
+    IsolatedPipeline isolated{&mgr};
+    Pipeline direct;
+    // Serializes pipeline use (worker thread) against stage recovery
+    // (supervisor thread). Uncontended on the fast path: the supervisor
+    // only takes it after a fault notification.
+    std::mutex mu;
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> packets{0};
+    std::atomic<std::uint64_t> drops{0};
+    std::atomic<std::uint64_t> faults{0};
+    std::atomic<std::uint64_t> recoveries{0};
+    std::atomic<std::size_t> queue_hwm{0};
+    std::thread thread;
+
+    Worker(std::size_t idx, const RuntimeConfig& cfg)
+        : index(idx), pool(cfg.pool_capacity, cfg.buf_size) {}
+  };
+
+  void WorkerMain(Worker& w);
+  void SupervisorMain();
+  void NotifyFault();
+
+  RuntimeConfig config_;
+  BasicRssDispatcher<FlowBatch> rss_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread supervisor_;
+  bool started_ = false;
+  bool shut_down_ = false;
+
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  bool sup_stop_ = false;
+  bool fault_pending_ = false;
+};
+
+}  // namespace net
+
+#endif  // LINSYS_SRC_NET_RUNTIME_H_

@@ -29,15 +29,25 @@ bool DomainManager::Recover(Domain& domain) {
 }
 
 std::size_t DomainManager::RecoverAllFailed() {
-  std::size_t recovered = 0;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& d : domains_) {
-    if (d->state() == DomainState::kFailed) {
-      d->Recover();
-      ++recovered;
+  // Collect under the lock, recover outside it: Recover() runs the domain's
+  // user-provided recovery function, which may legitimately call back into
+  // this manager (Create, Find, AggregateStats) — holding mu_ across it
+  // would self-deadlock, and a supervisor thread recovering one shard would
+  // block every other thread's manager calls behind arbitrary user code.
+  // Domain pointers stay valid without the lock (domains are never erased).
+  std::vector<Domain*> failed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& d : domains_) {
+      if (d->state() == DomainState::kFailed) {
+        failed.push_back(d.get());
+      }
     }
   }
-  return recovered;
+  for (Domain* d : failed) {
+    d->Recover();
+  }
+  return failed.size();
 }
 
 std::size_t DomainManager::domain_count() const {

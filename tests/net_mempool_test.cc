@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -51,6 +53,52 @@ TEST(Mempool, ForeignSlotFreePanics) {
   Mempool pool(2, 64);
   EXPECT_THROW(pool.Free(7), util::PanicError);
 }
+
+TEST(Mempool, DoubleFreeOfFullPoolPanics) {
+  // With the pool already full, a double-free would push the freelist past
+  // capacity; the capacity assertion catches it even in unchecked builds
+  // (checked builds panic earlier, via the free-slot bitmap).
+  Mempool pool(4, 64);
+  std::uint32_t slot;
+  ASSERT_TRUE(pool.Alloc(&slot));
+  pool.Free(slot);
+  EXPECT_EQ(pool.available(), pool.capacity());
+  EXPECT_THROW(pool.Free(slot), util::PanicError);
+}
+
+#if LINSYS_CHECKED_OWNERSHIP
+TEST(MempoolChecked, DoubleFreeWithOutstandingBuffersPanics) {
+  // The dangerous variant: the pool is NOT full, so the freelist would stay
+  // under capacity and silently hand the same slot to two owners. Only the
+  // checked-mode bitmap can catch this one.
+  Mempool pool(4, 64);
+  std::uint32_t a, b;
+  ASSERT_TRUE(pool.Alloc(&a));
+  ASSERT_TRUE(pool.Alloc(&b));
+  pool.Free(a);
+  EXPECT_THROW(pool.Free(a), util::PanicError);
+  pool.Free(b);
+}
+
+TEST(MempoolChecked, CrossThreadUsePanics) {
+  Mempool pool(4, 64);
+  std::uint32_t slot;
+  ASSERT_TRUE(pool.Alloc(&slot));  // binds the pool to this thread
+  std::atomic<bool> panicked{false};
+  std::thread intruder([&pool, &panicked] {
+    std::uint32_t s;
+    try {
+      (void)pool.Alloc(&s);
+    } catch (const util::PanicError&) {
+      panicked = true;
+    }
+  });
+  intruder.join();
+  EXPECT_TRUE(panicked.load())
+      << "single-owner contract: other threads must be rejected";
+  pool.Free(slot);  // owner thread continues to work
+}
+#endif  // LINSYS_CHECKED_OWNERSHIP
 
 TEST(PacketBuf, ReturnsBufferOnDestruction) {
   Mempool pool(2, 256);
