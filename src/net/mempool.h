@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/lin/config.h"
+#include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
 namespace net {
@@ -59,6 +60,10 @@ class Mempool {
   // Pops a slot; returns false when exhausted (caller decides drop policy,
   // as with rte_pktmbuf_alloc).
   bool Alloc(std::uint32_t* slot) {
+    // Storm hook: allocation happens *outside* any protection domain on the
+    // worker's fast path, so an injected panic here exercises the shard-loop
+    // containment in net::Runtime::WorkerMain (not domain recovery).
+    LINSYS_FAULT_POINT("mempool.alloc");
     CheckOwnerThread();
     if (free_list_.empty()) {
       return false;

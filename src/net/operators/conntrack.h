@@ -15,6 +15,7 @@
 #include "src/net/headers.h"
 #include "src/net/maglev.h"
 #include "src/net/pipeline.h"
+#include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
 namespace net {
@@ -31,6 +32,7 @@ class MaglevConnTrack : public Operator {
   }
 
   PacketBatch Process(PacketBatch batch) override {
+    LINSYS_FAULT_POINT("op.conntrack");
     for (PacketBuf& pkt : batch) {
       const FiveTuple t = pkt.Tuple();
       const std::uint64_t key = t.Hash();

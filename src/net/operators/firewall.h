@@ -10,6 +10,7 @@
 
 #include "src/net/headers.h"
 #include "src/net/pipeline.h"
+#include "src/util/fault_injector.h"
 
 namespace net {
 
@@ -46,6 +47,7 @@ class FirewallNf : public Operator {
       : rules_(std::move(rules)), default_allow_(default_allow) {}
 
   PacketBatch Process(PacketBatch batch) override {
+    LINSYS_FAULT_POINT("op.firewall");
     batch.Retain([this](PacketBuf& pkt) {
       const FiveTuple t = pkt.Tuple();
       for (const FirewallRule& rule : rules_) {

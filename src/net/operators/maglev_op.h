@@ -12,6 +12,7 @@
 #include "src/net/headers.h"
 #include "src/net/maglev.h"
 #include "src/net/pipeline.h"
+#include "src/util/fault_injector.h"
 
 namespace net {
 
@@ -22,6 +23,7 @@ class MaglevLb : public Operator {
       : table_(std::move(table)), backend_ips_(std::move(backend_ips)) {}
 
   PacketBatch Process(PacketBatch batch) override {
+    LINSYS_FAULT_POINT("op.maglev");
     for (PacketBuf& pkt : batch) {
       const FiveTuple t = pkt.Tuple();
       const std::size_t backend = table_.Lookup(t.Hash());

@@ -10,6 +10,7 @@
 
 #include "src/net/headers.h"
 #include "src/net/pipeline.h"
+#include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
 namespace net {
@@ -20,6 +21,7 @@ class NatRewrite : public Operator {
       : public_ip_(public_ip), next_port_(port_base) {}
 
   PacketBatch Process(PacketBatch batch) override {
+    LINSYS_FAULT_POINT("op.nat");
     for (PacketBuf& pkt : batch) {
       const FiveTuple t = pkt.Tuple();
       const std::uint64_t key = t.Hash();

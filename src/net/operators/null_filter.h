@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "src/net/pipeline.h"
+#include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
 namespace net {
@@ -20,6 +21,7 @@ class NullFilter : public Operator {
       : fault_every_n_(fault_every_n) {}
 
   PacketBatch Process(PacketBatch batch) override {
+    LINSYS_FAULT_POINT("op.null_filter");
     ++batches_;
     if (fault_every_n_ != 0 && batches_ % fault_every_n_ == 0) {
       util::Panic(util::PanicKind::kAssertFailed,

@@ -82,6 +82,11 @@ class PacketBuf {
     LINSYS_ASSERT(len_ >= kPayloadOffset, "frame too short for payload");
     return data() + kPayloadOffset;
   }
+  const std::uint8_t* payload() const {
+    CheckAlive();
+    LINSYS_ASSERT(len_ >= kPayloadOffset, "frame too short for payload");
+    return data() + kPayloadOffset;
+  }
   std::uint16_t payload_length() const {
     return len_ > kPayloadOffset
                ? static_cast<std::uint16_t>(len_ - kPayloadOffset)

@@ -11,10 +11,20 @@
 //     recovery rebuild it transparently. This is the paper's contribution,
 //     and the delta between the two flavours is exactly what Figure 2
 //     measures.
+//
+// On top of containment, IsolatedPipeline carries the *supervision state*
+// the paper leaves to "the management plane": per-stage fault/recovery
+// accounting, crash-loop quarantine with a degradation policy, and MTTR
+// samples (cycles from fault observation to the first successful
+// post-recovery batch). The policy decisions (when to retry, when to
+// quarantine) live in the caller — net::Runtime's supervisor — but the
+// mechanism and the bookkeeping live here so standalone pipelines get the
+// same behaviour.
 #ifndef LINSYS_SRC_NET_PIPELINE_H_
 #define LINSYS_SRC_NET_PIPELINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -25,7 +35,9 @@
 #include "src/net/batch.h"
 #include "src/sfi/manager.h"
 #include "src/sfi/rref.h"
+#include "src/util/cycles.h"
 #include "src/util/result.h"
+#include "src/util/stats.h"
 
 namespace net {
 
@@ -36,6 +48,45 @@ class Operator {
   virtual ~Operator() = default;
   virtual PacketBatch Process(PacketBatch batch) = 0;
   virtual std::string_view name() const = 0;
+};
+
+// What a quarantined stage does to traffic. Chosen per stage: a firewall
+// should fail closed (kFailFast or kDrop), a telemetry tap can be bypassed
+// (kPassthrough).
+enum class DegradePolicy : std::uint8_t {
+  kDrop,         // the batch is dropped; Run() returns Ok(empty)
+  kPassthrough,  // the batch bypasses the dead stage
+  kFailFast,     // Run() returns CallError::kQuarantined to the caller
+};
+
+inline std::string_view DegradePolicyName(DegradePolicy p) {
+  switch (p) {
+    case DegradePolicy::kDrop:
+      return "drop";
+    case DegradePolicy::kPassthrough:
+      return "passthrough";
+    case DegradePolicy::kFailFast:
+      return "fail-fast";
+  }
+  return "unknown";
+}
+
+// Snapshot of one stage's supervision state (IsolatedPipeline::health).
+struct StageHealth {
+  std::string name;
+  DegradePolicy policy = DegradePolicy::kDrop;
+  bool quarantined = false;
+  std::uint64_t faults = 0;            // panics observed at this stage
+  std::uint64_t recoveries = 0;        // completed domain recoveries
+  std::uint64_t recovery_panics = 0;   // recovery fns that panicked
+  std::uint64_t quarantine_drop_pkts = 0;  // packets dropped by kDrop
+  std::uint64_t passthrough_batches = 0;   // batches bypassing (kPassthrough)
+  std::uint64_t failfast_batches = 0;      // batches rejected (kFailFast)
+  // Recovery attempts since the last batch that made it through this stage.
+  // This is the crash-loop detector: a transient fault resets it on the
+  // first good batch, a deterministic fault only grows it.
+  std::size_t attempts_since_success = 0;
+  util::Samples mttr_cycles;  // fault observation -> first good batch
 };
 
 // Direct-call pipeline (the NetBricks baseline).
@@ -65,6 +116,11 @@ class Pipeline {
 // them (§3: "we use our SFI library to isolate every pipeline component in a
 // separate protection domain, replacing function calls with remote
 // invocations").
+//
+// Threading: Run() and the supervision methods (RecoverFailedStages,
+// Quarantine, health) mutate the same per-stage state and must be serialized
+// by the caller — net::Runtime uses its per-worker mutex; single-threaded
+// users need nothing.
 class IsolatedPipeline {
  public:
   using StageFactory = std::function<std::unique_ptr<Operator>()>;
@@ -74,30 +130,128 @@ class IsolatedPipeline {
   // Creates a domain for the stage, instantiates the operator inside it, and
   // wires a recovery function that re-creates the operator from the factory
   // and re-publishes the rref — making recovery transparent to Run().
-  void AddStage(std::string stage_name, StageFactory factory);
+  void AddStage(std::string stage_name, StageFactory factory,
+                DegradePolicy degrade = DegradePolicy::kDrop);
 
   // Runs the batch through all stages via remote invocations. On a fault the
   // in-flight batch is lost (its buffers are reclaimed during unwinding, as
   // in the paper, where the caller receives an error code) and the error is
   // reported; the failed stage's domain is left Failed for the supervisor
-  // to recover.
+  // to recover. A quarantined stage applies its DegradePolicy instead of
+  // being invoked.
   util::Result<PacketBatch, sfi::CallError> Run(PacketBatch batch) {
-    for (auto& stage : stages_) {
-      auto result = stage->rref.Call(
+    for (auto& sp : stages_) {
+      Stage& stage = *sp;
+      if (stage.health.quarantined) {
+        switch (stage.health.policy) {
+          case DegradePolicy::kPassthrough:
+            stage.health.passthrough_batches++;
+            continue;  // batch flows on to the next stage untouched
+          case DegradePolicy::kDrop:
+            stage.health.quarantine_drop_pkts += batch.size();
+            // Batch destroyed here, on the calling thread (which owns the
+            // buffers' pool in the Runtime arrangement).
+            return PacketBatch();
+          case DegradePolicy::kFailFast:
+            stage.health.failfast_batches++;
+            return util::Err(sfi::CallError::kQuarantined);
+        }
+      }
+      auto result = stage.rref.Call(
           [b = std::move(batch)](std::unique_ptr<Operator>& op) mutable {
             return op->Process(std::move(b));
           },
           "process");
       if (!result.ok()) {
+        if (result.error() == sfi::CallError::kFault) {
+          stage.health.faults++;
+          if (stage.fault_since == 0) {
+            // First fault of this incident: MTTR clock starts now.
+            stage.fault_since = util::CycleEnd();
+          }
+        }
         return util::Err(result.error());
+      }
+      if (stage.fault_since != 0) {
+        // First batch through after a fault: the incident is over.
+        stage.health.mttr_cycles.Add(
+            static_cast<double>(util::CycleEnd() - stage.fault_since));
+        stage.fault_since = 0;
+        stage.health.attempts_since_success = 0;
       }
       batch = std::move(result).value();
     }
     return batch;
   }
 
-  // Recovers every failed stage domain; returns how many were recovered.
-  std::size_t RecoverFailedStages() { return mgr_->RecoverAllFailed(); }
+  // Attempts recovery of every failed, non-quarantined stage; returns how
+  // many completed. A recovery function that panics is contained: the stage
+  // stays Failed, the panic is counted, and the next call retries it. When
+  // `max_attempts` > 0, a stage that accumulates that many recovery attempts
+  // without an intervening successful batch is quarantined instead of
+  // retried (its domain is retired and Run() applies its DegradePolicy
+  // from then on). max_attempts == 0 retries forever.
+  std::size_t RecoverFailedStages(std::size_t max_attempts = 0) {
+    std::size_t recovered = 0;
+    for (auto& sp : stages_) {
+      Stage& stage = *sp;
+      if (stage.health.quarantined ||
+          stage.domain->state() != sfi::DomainState::kFailed) {
+        continue;
+      }
+      if (max_attempts > 0 &&
+          stage.health.attempts_since_success >= max_attempts) {
+        Quarantine(stage);
+        continue;
+      }
+      stage.health.attempts_since_success++;
+      if (stage.domain->Recover()) {
+        stage.health.recoveries++;
+        ++recovered;
+      } else {
+        stage.health.recovery_panics++;
+      }
+    }
+    return recovered;
+  }
+
+  // Failed, non-quarantined stages still waiting on a (re)recovery.
+  std::size_t FailedStages() const {
+    std::size_t n = 0;
+    for (const auto& sp : stages_) {
+      if (!sp->health.quarantined &&
+          sp->domain->state() == sfi::DomainState::kFailed) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::size_t QuarantinedStages() const {
+    std::size_t n = 0;
+    for (const auto& sp : stages_) {
+      n += sp->health.quarantined ? 1 : 0;
+    }
+    return n;
+  }
+
+  // Total packets dropped by quarantined kDrop stages — cheap (no Samples
+  // copy), so callers can take a before/after delta around Run() to
+  // attribute an empty result to quarantine rather than legitimate
+  // filtering.
+  std::uint64_t QuarantineDropPkts() const {
+    std::uint64_t n = 0;
+    for (const auto& sp : stages_) {
+      n += sp->health.quarantine_drop_pkts;
+    }
+    return n;
+  }
+
+  void SetDegradePolicy(std::size_t i, DegradePolicy p) {
+    stages_[i]->health.policy = p;
+  }
+
+  StageHealth health(std::size_t i) const { return stages_[i]->health; }
 
   std::size_t length() const { return stages_.size(); }
   sfi::Domain& domain(std::size_t i) { return *stages_[i]->domain; }
@@ -107,7 +261,16 @@ class IsolatedPipeline {
     sfi::Domain* domain = nullptr;
     sfi::RRef<std::unique_ptr<Operator>> rref;
     StageFactory factory;
+    StageHealth health;
+    std::uint64_t fault_since = 0;  // cycle stamp of the unresolved fault
   };
+
+  void Quarantine(Stage& stage) {
+    stage.health.quarantined = true;
+    // Terminal for the domain: rrefs expire, re-entry refused. The *stage*
+    // keeps degrading traffic per its policy.
+    mgr_->Retire(*stage.domain);
+  }
 
   sfi::DomainManager* mgr_;
   // unique_ptr entries: recovery lambdas capture Stage*; addresses must
@@ -116,10 +279,13 @@ class IsolatedPipeline {
 };
 
 inline void IsolatedPipeline::AddStage(std::string stage_name,
-                                       StageFactory factory) {
+                                       StageFactory factory,
+                                       DegradePolicy degrade) {
   auto stage = std::make_unique<Stage>();
   Stage* raw = stage.get();
   raw->factory = std::move(factory);
+  raw->health.name = stage_name;
+  raw->health.policy = degrade;
   raw->domain = &mgr_->Create(std::move(stage_name));
   raw->rref = raw->domain->Export(raw->factory());
   raw->domain->SetRecovery([raw](sfi::Domain& self) {

@@ -1,6 +1,7 @@
 #include "src/net/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "src/util/panic.h"
@@ -15,10 +16,28 @@ std::string RuntimeStats::Summary() const {
   s += " drops=" + std::to_string(totals.drops);
   s += " faults=" + std::to_string(totals.faults);
   s += " recoveries=" + std::to_string(totals.recoveries);
+  s += " recovery_panics=" + std::to_string(totals.recovery_panics);
+  s += " quarantined=" + std::to_string(totals.quarantined);
+  s += " stalls=" + std::to_string(totals.stalls);
   s += " queue_hwm=" + std::to_string(totals.queue_hwm);
   s += " dispatched=" + std::to_string(dispatch_calls);
   s += " sub_batches=" + std::to_string(sub_batches);
+  if (rejected_dispatches > 0) {
+    s += " rejected=" + std::to_string(rejected_dispatches);
+  }
   s += " | load: " + packets_per_worker.Summary();
+  for (const StageTelemetry& st : stages) {
+    s += "\n  stage[" + st.name + "] policy=";
+    s += DegradePolicyName(st.policy);
+    s += " faults=" + std::to_string(st.faults);
+    s += " recoveries=" + std::to_string(st.recoveries);
+    s += " recovery_panics=" + std::to_string(st.recovery_panics);
+    s += " quarantined=" + std::to_string(st.quarantined_replicas);
+    s += " qdrop_pkts=" + std::to_string(st.quarantine_drop_pkts);
+    s += " passthrough=" + std::to_string(st.passthrough_batches);
+    s += " failfast=" + std::to_string(st.failfast_batches);
+    s += " | mttr_cycles: " + st.mttr_cycles.Summary();
+  }
   return s;
 }
 
@@ -26,6 +45,10 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
     : config_(config), rss_(config.workers, config.queue_depth) {
   LINSYS_ASSERT(config_.frame_len >= kPayloadOffset + kFlowSeqBytes,
                 "frame_len too small for the per-flow sequence stamp");
+  for (const StageSpec& stage : spec) {
+    stage_names_.push_back(stage.name);
+    stage_policies_.push_back(stage.degrade);
+  }
   for (std::size_t w = 0; w < config_.workers; ++w) {
     workers_.push_back(std::make_unique<Worker>(w, config_));
     Worker& worker = *workers_.back();
@@ -35,7 +58,7 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
         // carries the shard so fault logs identify the replica.
         worker.isolated.AddStage(
             stage.name + "@w" + std::to_string(w),
-            [make = stage.make, w] { return make(w); });
+            [make = stage.make, w] { return make(w); }, stage.degrade);
       } else {
         worker.direct.AddStage(stage.make(w));
       }
@@ -46,7 +69,8 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
 Runtime::~Runtime() { Shutdown(); }
 
 void Runtime::Start() {
-  if (started_) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (started_ || shut_down_) {
     return;
   }
   started_ = true;
@@ -55,15 +79,25 @@ void Runtime::Start() {
     Worker* worker = w.get();
     worker->thread = std::thread([this, worker] { WorkerMain(*worker); });
   }
+  accepting_.store(true, std::memory_order_release);
 }
 
 void Runtime::Shutdown() {
-  if (!started_ || shut_down_) {
+  // Held across the whole teardown: a concurrent Start or second Shutdown
+  // blocks until the transition completes, then observes the settled state.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (shut_down_) {
     return;
   }
   shut_down_ = true;
+  accepting_.store(false, std::memory_order_release);
+  if (!started_) {
+    return;  // never ran; nothing to join — but Start is now refused too
+  }
   // Closing the channels lets workers drain whatever is queued, then exit
-  // (Channel::Recv returns nullopt only after close-and-drained).
+  // (Channel::Recv returns nullopt only after close-and-drained). The
+  // supervisor keeps running until after the join so in-flight faults are
+  // still recovered during the drain.
   rss_.Shutdown();
   for (auto& w : workers_) {
     if (w->thread.joinable()) {
@@ -95,83 +129,182 @@ void Runtime::WorkerMain(Worker& w) {
     if (depth > w.queue_hwm.load(std::memory_order_relaxed)) {
       w.queue_hwm.store(depth, std::memory_order_relaxed);
     }
+    w.busy.store(false, std::memory_order_release);
     auto handle = queue.Recv();
     if (!handle.has_value()) {
       break;  // closed and drained
     }
-    FlowBatch flows = handle->Take();
+    w.busy.store(true, std::memory_order_release);
+    ProcessFlows(w, handle->Take());
+    w.heartbeat.fetch_add(1, std::memory_order_release);
+  }
+  w.busy.store(false, std::memory_order_release);
+}
 
-    // Materialize frames from this worker's own pool, on this thread —
-    // the whole buffer lifecycle (alloc, fault-unwind, drop) is shard-local.
-    PacketBatch batch(flows.size());
+void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
+  // Materialize frames from this worker's own pool, on this thread —
+  // the whole buffer lifecycle (alloc, fault-unwind, drop) is shard-local.
+  PacketBatch batch(flows.size());
+  std::size_t materialize_drops = 0;
+  try {
     for (const FlowWork& fw : flows) {
       PacketBuf pkt = PacketBuf::Alloc(&w.pool, config_.frame_len);
       if (!pkt.has_value()) {
-        w.drops.fetch_add(1, std::memory_order_relaxed);
+        ++materialize_drops;
         continue;
       }
       BuildFrame(pkt, fw.tuple);
       std::memcpy(pkt.payload(), &fw.seq, kFlowSeqBytes);
       batch.Push(std::move(pkt));
     }
-    if (batch.empty()) {
-      continue;
-    }
-    const std::size_t n = batch.size();
+  } catch (const util::PanicError&) {
+    // A panic outside any protection domain (e.g. an injected Mempool::Alloc
+    // fault) is contained at the shard loop: the whole sub-batch is dropped
+    // — partially built frames go back to this worker's pool as `batch`
+    // unwinds on this thread — and the worker survives to take the next one.
+    w.drops.fetch_add(flows.size(), std::memory_order_relaxed);
+    w.faults.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  w.drops.fetch_add(materialize_drops, std::memory_order_relaxed);
+  if (batch.empty()) {
+    return;
+  }
+  const std::size_t n = batch.size();
 
-    if (config_.isolated) {
-      std::unique_lock<std::mutex> lock(w.mu);
-      auto result = w.isolated.Run(std::move(batch));
-      lock.unlock();
-      if (!result.ok()) {
-        // The in-flight batch was reclaimed during unwinding (still on this
-        // thread, still this worker's pool). kFault = a fresh panic, worth
-        // waking the supervisor; kDomainFailed = still waiting on recovery.
-        w.drops.fetch_add(n, std::memory_order_relaxed);
-        if (result.error() == sfi::CallError::kFault) {
-          w.faults.fetch_add(1, std::memory_order_relaxed);
-          NotifyFault();
-        }
-        continue;
+  if (config_.isolated) {
+    std::unique_lock<std::mutex> lock(w.mu);
+    const std::uint64_t qdrop_before = w.isolated.QuarantineDropPkts();
+    auto result = w.isolated.Run(std::move(batch));
+    const std::uint64_t qdrop_delta =
+        w.isolated.QuarantineDropPkts() - qdrop_before;
+    lock.unlock();
+    if (!result.ok()) {
+      // The in-flight batch was reclaimed during unwinding (still on this
+      // thread, still this worker's pool). kFault = a fresh panic, worth
+      // waking the supervisor; kDomainFailed = still waiting on recovery;
+      // kQuarantined = a fail-fast stage, nothing left to recover.
+      w.drops.fetch_add(n, std::memory_order_relaxed);
+      if (result.error() == sfi::CallError::kFault) {
+        w.faults.fetch_add(1, std::memory_order_relaxed);
+        NotifyFault();
       }
-      PacketBatch out = std::move(result).value();
+      return;
+    }
+    PacketBatch out = std::move(result).value();
+    // A quarantined kDrop stage returns Ok(empty): mirror its drop count
+    // into the shard counter so conservation (packets + drops ==
+    // materialized) still holds under degradation.
+    if (qdrop_delta > 0) {
+      w.drops.fetch_add(qdrop_delta, std::memory_order_relaxed);
+    }
+    w.packets.fetch_add(out.size(), std::memory_order_relaxed);
+    w.batches.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    try {
+      PacketBatch out = w.direct.Run(std::move(batch));
       w.packets.fetch_add(out.size(), std::memory_order_relaxed);
       w.batches.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      try {
-        PacketBatch out = w.direct.Run(std::move(batch));
-        w.packets.fetch_add(out.size(), std::memory_order_relaxed);
-        w.batches.fetch_add(1, std::memory_order_relaxed);
-      } catch (const util::PanicError&) {
-        // The direct flavour has no containment: the batch died mid-stage
-        // and there is no domain to recover, only telemetry to keep.
-        w.drops.fetch_add(n, std::memory_order_relaxed);
-        w.faults.fetch_add(1, std::memory_order_relaxed);
-      }
+    } catch (const util::PanicError&) {
+      // The direct flavour has no containment: the batch died mid-stage
+      // and there is no domain to recover, only telemetry to keep.
+      w.drops.fetch_add(n, std::memory_order_relaxed);
+      w.faults.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
 
+bool Runtime::RecoveryPass() {
+  bool still_failed = false;
+  for (auto& w : workers_) {
+    // The worker's pipeline mutex serializes recovery against Run, so
+    // rrefs are never replaced under a caller's feet.
+    std::lock_guard<std::mutex> wlock(w->mu);
+    const std::size_t recovered = w->isolated.RecoverFailedStages(
+        config_.supervision.max_recovery_attempts);
+    if (recovered > 0) {
+      w->recoveries.fetch_add(recovered, std::memory_order_relaxed);
+    }
+    if (w->isolated.FailedStages() > 0) {
+      still_failed = true;  // a recovery fn panicked — re-queue for backoff
+    }
+  }
+  return still_failed;
+}
+
 void Runtime::SupervisorMain() {
+  using Clock = std::chrono::steady_clock;
+  const SupervisionConfig& sup = config_.supervision;
+  const auto period = std::chrono::milliseconds(sup.watchdog_period_ms);
+
+  std::vector<std::uint64_t> last_beat(workers_.size(), 0);
+  std::vector<bool> flagged(workers_.size(), false);
+  std::uint32_t backoff_us = sup.backoff_initial_us;
+  Clock::time_point next_retry = Clock::now();
+  bool recover_requested = false;
+
   std::unique_lock<std::mutex> lock(sup_mu_);
   while (true) {
-    sup_cv_.wait(lock, [this] { return sup_stop_ || fault_pending_; });
+    // Sleep until the watchdog period elapses, a retry comes due, or a
+    // worker reports a fresh fault.
+    Clock::duration wait = period;
+    if (recover_requested) {
+      const auto now = Clock::now();
+      wait = next_retry > now
+                 ? std::min<Clock::duration>(period, next_retry - now)
+                 : Clock::duration::zero();
+    }
+    sup_cv_.wait_for(lock, wait,
+                     [this] { return sup_stop_ || fault_pending_; });
+    if (sup_stop_) {
+      break;
+    }
     if (fault_pending_) {
       fault_pending_ = false;
-      lock.unlock();
-      for (auto& w : workers_) {
-        // The worker's pipeline mutex serializes recovery against Run, so
-        // rrefs are never replaced under a caller's feet.
-        std::lock_guard<std::mutex> wlock(w->mu);
-        const std::size_t recovered = w->isolated.RecoverFailedStages();
-        if (recovered > 0) {
-          w->recoveries.fetch_add(recovered, std::memory_order_relaxed);
-        }
-      }
-      lock.lock();
-      continue;  // re-evaluate: stop may have been requested meanwhile
+      recover_requested = true;
     }
-    break;  // sup_stop_
+    lock.unlock();
+
+    // Recovery sweep, gated by the backoff clock. While a recovery function
+    // keeps panicking, passes run at backoff_initial * factor^k (capped);
+    // the moment a pass leaves no stage Failed the backoff resets, so a
+    // healthy fault hits recovery at full speed. Crash-loops whose recovery
+    // *succeeds* but immediately re-faults are bounded separately, by the
+    // per-stage attempts_since_success quarantine budget.
+    if (recover_requested && Clock::now() >= next_retry) {
+      const bool still_failed = RecoveryPass();
+      if (still_failed) {
+        next_retry = Clock::now() + std::chrono::microseconds(backoff_us);
+        backoff_us = static_cast<std::uint32_t>(std::min<double>(
+            static_cast<double>(backoff_us) * sup.backoff_factor,
+            static_cast<double>(sup.backoff_max_us)));
+        // recover_requested stays true: retry when the backoff expires.
+      } else {
+        recover_requested = false;
+        backoff_us = sup.backoff_initial_us;
+        next_retry = Clock::now();
+      }
+    }
+
+    // Watchdog: a worker that is busy on the same sub-batch across an
+    // entire period (heartbeat unmoved) is stuck — count the transition
+    // once per incident and surface it in telemetry.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = *workers_[i];
+      const std::uint64_t beat = w.heartbeat.load(std::memory_order_acquire);
+      const bool busy = w.busy.load(std::memory_order_acquire);
+      if (busy && beat == last_beat[i]) {
+        if (!flagged[i]) {
+          w.stalls.fetch_add(1, std::memory_order_relaxed);
+          flagged[i] = true;
+        }
+      } else {
+        flagged[i] = false;
+      }
+      last_beat[i] = beat;
+    }
+
+    lock.lock();
   }
 }
 
@@ -179,6 +312,13 @@ RuntimeStats Runtime::Stats() const {
   RuntimeStats s;
   s.dispatch_calls = rss_.batches_steered();
   s.sub_batches = rss_.sub_batches_steered();
+  s.rejected_dispatches =
+      rejected_dispatches_.load(std::memory_order_relaxed);
+  s.stages.resize(stage_names_.size());
+  for (std::size_t i = 0; i < stage_names_.size(); ++i) {
+    s.stages[i].name = stage_names_[i];
+    s.stages[i].policy = stage_policies_[i];
+  }
   for (const auto& w : workers_) {
     WorkerTelemetry t;
     t.batches = w->batches.load(std::memory_order_relaxed);
@@ -186,12 +326,37 @@ RuntimeStats Runtime::Stats() const {
     t.drops = w->drops.load(std::memory_order_relaxed);
     t.faults = w->faults.load(std::memory_order_relaxed);
     t.recoveries = w->recoveries.load(std::memory_order_relaxed);
+    t.stalls = w->stalls.load(std::memory_order_relaxed);
     t.queue_hwm = w->queue_hwm.load(std::memory_order_relaxed);
+    if (config_.isolated) {
+      // Per-stage health lives behind the worker mutex (it is plain state
+      // shared by Run and the supervisor).
+      std::lock_guard<std::mutex> lock(w->mu);
+      for (std::size_t i = 0; i < w->isolated.length(); ++i) {
+        const StageHealth h = w->isolated.health(i);
+        t.recovery_panics += h.recovery_panics;
+        t.quarantined += h.quarantined ? 1 : 0;
+        StageTelemetry& st = s.stages[i];
+        st.quarantined_replicas += h.quarantined ? 1 : 0;
+        st.faults += h.faults;
+        st.recoveries += h.recoveries;
+        st.recovery_panics += h.recovery_panics;
+        st.quarantine_drop_pkts += h.quarantine_drop_pkts;
+        st.passthrough_batches += h.passthrough_batches;
+        st.failfast_batches += h.failfast_batches;
+        for (double v : h.mttr_cycles.values()) {
+          st.mttr_cycles.Add(v);
+        }
+      }
+    }
     s.totals.batches += t.batches;
     s.totals.packets += t.packets;
     s.totals.drops += t.drops;
     s.totals.faults += t.faults;
     s.totals.recoveries += t.recoveries;
+    s.totals.recovery_panics += t.recovery_panics;
+    s.totals.stalls += t.stalls;
+    s.totals.quarantined += t.quarantined;
     s.totals.queue_hwm = std::max(s.totals.queue_hwm, t.queue_hwm);
     s.packets_per_worker.Add(static_cast<double>(t.packets));
     s.workers.push_back(t);

@@ -16,16 +16,20 @@
 //     the worker's own pool on the worker's own thread, so cross-thread
 //     Free cannot be expressed. (This mirrors hardware RSS, where the NIC
 //     hashes and steers before any buffer from the queue's pool is used.)
-//   * A supervisor thread sleeps until a worker reports a stage fault, then
-//     recovers the failed domains via the existing SetRecovery /
-//     RecoverAllFailed machinery. A panic on one shard never stalls the
-//     others: only the faulted worker drops batches, and only until the
-//     supervisor has re-exported its stage.
+//   * A supervisor thread recovers faulted stage domains under a retry
+//     policy with exponential backoff; a panic inside a recovery function is
+//     contained and re-queued; a stage that accumulates
+//     SupervisionConfig::max_recovery_attempts failed recoveries without an
+//     intervening good batch is *quarantined* and its per-stage
+//     DegradePolicy takes over (drop / passthrough / fail-fast). The
+//     supervisor doubles as a watchdog: a worker stuck inside one batch for
+//     longer than a watchdog period is flagged in telemetry.
 //
 // Telemetry is per-worker (packets, batches, drops, faults, recoveries,
-// queue-depth high-water mark) and aggregated into a RuntimeStats snapshot
-// whose per-worker load distribution is a util::Samples — bench_parallel
-// uses it to show throughput scaling and RSS balance.
+// recovery panics, stalls, queue-depth high-water mark) plus per-stage
+// (faults, recoveries, quarantine counters, MTTR cycle samples), aggregated
+// into a RuntimeStats snapshot — bench_parallel uses the load distribution,
+// bench_recovery the MTTR column.
 #ifndef LINSYS_SRC_NET_RUNTIME_H_
 #define LINSYS_SRC_NET_RUNTIME_H_
 
@@ -88,7 +92,7 @@ inline constexpr std::size_t kFlowSeqBytes = 8;
 
 inline std::uint64_t ReadFlowSeq(const PacketBuf& pkt) {
   std::uint64_t seq = 0;
-  std::memcpy(&seq, const_cast<PacketBuf&>(pkt).payload(), kFlowSeqBytes);
+  std::memcpy(&seq, pkt.payload(), kFlowSeqBytes);
   return seq;
 }
 
@@ -116,10 +120,28 @@ class FlowFeeder {
 // One pipeline stage of a Runtime spec. `make` is called once per worker
 // (with the worker index) to build that worker's replica of the operator;
 // it runs before the worker threads start and must not capture per-worker
-// mutable state by reference.
+// mutable state by reference. `degrade` is what the stage does to traffic
+// once quarantined.
 struct StageSpec {
   std::string name;
   std::function<std::unique_ptr<Operator>(std::size_t worker)> make;
+  DegradePolicy degrade = DegradePolicy::kDrop;
+};
+
+// Supervisor policy knobs. The defaults favour fast recovery with a bounded
+// crash-loop budget; tests tighten them for speed.
+struct SupervisionConfig {
+  // Recovery attempts a stage may accumulate without an intervening
+  // successful batch before it is quarantined. 0 = never quarantine.
+  std::size_t max_recovery_attempts = 8;
+  // Exponential backoff between recovery passes while a recovery keeps
+  // failing (its fn panicking): initial, multiplier, cap.
+  std::uint32_t backoff_initial_us = 50;
+  double backoff_factor = 2.0;
+  std::uint32_t backoff_max_us = 2000;
+  // Supervisor wake cadence; also the watchdog resolution — a worker busy on
+  // one batch across a full period without a heartbeat is flagged stuck.
+  std::uint32_t watchdog_period_ms = 25;
 };
 
 struct RuntimeConfig {
@@ -129,6 +151,7 @@ struct RuntimeConfig {
   std::size_t buf_size = 2048;
   std::uint16_t frame_len = 64;
   bool isolated = true;               // IsolatedPipeline vs direct Pipeline
+  SupervisionConfig supervision;
 };
 
 // Snapshot of one worker's counters.
@@ -138,14 +161,33 @@ struct WorkerTelemetry {
   std::uint64_t drops = 0;       // pool-dry allocations + fault-lost packets
   std::uint64_t faults = 0;      // stage panics observed by this worker
   std::uint64_t recoveries = 0;  // stage domains re-exported for this worker
+  std::uint64_t recovery_panics = 0;  // recovery fns contained mid-panic
+  std::uint64_t stalls = 0;      // watchdog stuck-worker detections
+  std::size_t quarantined = 0;   // stages currently quarantined on this shard
   std::size_t queue_hwm = 0;     // steering-queue depth high-water mark
+};
+
+// Cross-worker aggregate for one pipeline stage (summed over replicas).
+struct StageTelemetry {
+  std::string name;
+  DegradePolicy policy = DegradePolicy::kDrop;
+  std::size_t quarantined_replicas = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t recovery_panics = 0;
+  std::uint64_t quarantine_drop_pkts = 0;
+  std::uint64_t passthrough_batches = 0;
+  std::uint64_t failfast_batches = 0;
+  util::Samples mttr_cycles;  // pooled across replicas
 };
 
 struct RuntimeStats {
   std::vector<WorkerTelemetry> workers;
   WorkerTelemetry totals;              // summed; queue_hwm is the max
+  std::vector<StageTelemetry> stages;  // per stage, summed over replicas
   std::uint64_t dispatch_calls = 0;    // input batches steered
   std::uint64_t sub_batches = 0;       // per-worker sub-batches enqueued
+  std::uint64_t rejected_dispatches = 0;  // Dispatch() outside Start..Shutdown
   util::Samples packets_per_worker;    // load distribution across shards
 
   std::string Summary() const;
@@ -159,13 +201,23 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  // Spawns the worker and supervisor threads. Idempotent.
+  // Spawns the worker and supervisor threads. Idempotent, safe to race with
+  // Shutdown (lifecycle transitions are serialized); a no-op after Shutdown.
   void Start();
 
   // Steers a batch of flow descriptors to the workers. Blocks when a
   // worker's queue is at queue_depth (backpressure). Safe to call from
-  // multiple producer threads.
-  void Dispatch(FlowBatch batch) { rss_.Dispatch(std::move(batch)); }
+  // multiple producer threads, and defined at any lifecycle point: before
+  // Start() and after Shutdown() the batch is refused — the call returns
+  // false and RuntimeStats::rejected_dispatches counts it.
+  bool Dispatch(FlowBatch batch) {
+    if (!accepting_.load(std::memory_order_acquire)) {
+      rejected_dispatches_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    rss_.Dispatch(std::move(batch));
+    return true;
+  }
 
   // Which worker a flow is pinned to (stable for the runtime's lifetime).
   std::size_t WorkerFor(const FiveTuple& tuple) const {
@@ -173,7 +225,9 @@ class Runtime {
   }
 
   // Closes the steering queues, lets workers drain them, joins all
-  // threads. Idempotent; called by the destructor if needed.
+  // threads. Idempotent and safe to call concurrently (including with
+  // Start); called by the destructor if needed. Shutdown is terminal: a
+  // later Start() is a no-op.
   void Shutdown();
 
   RuntimeStats Stats() const;
@@ -188,16 +242,22 @@ class Runtime {
     sfi::DomainManager mgr;
     IsolatedPipeline isolated{&mgr};
     Pipeline direct;
-    // Serializes pipeline use (worker thread) against stage recovery
-    // (supervisor thread). Uncontended on the fast path: the supervisor
-    // only takes it after a fault notification.
+    // Serializes pipeline use (worker thread) against stage recovery and
+    // health snapshots (supervisor thread, Stats). Uncontended on the fast
+    // path: the supervisor only takes it on its periodic wakes.
     std::mutex mu;
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> packets{0};
     std::atomic<std::uint64_t> drops{0};
     std::atomic<std::uint64_t> faults{0};
     std::atomic<std::uint64_t> recoveries{0};
+    std::atomic<std::uint64_t> stalls{0};
     std::atomic<std::size_t> queue_hwm{0};
+    // Watchdog signals: busy is true while a sub-batch is being processed,
+    // heartbeat increments once per completed sub-batch. Stuck = busy with
+    // an unmoving heartbeat across a watchdog period.
+    std::atomic<bool> busy{false};
+    std::atomic<std::uint64_t> heartbeat{0};
     std::thread thread;
 
     Worker(std::size_t idx, const RuntimeConfig& cfg)
@@ -205,15 +265,28 @@ class Runtime {
   };
 
   void WorkerMain(Worker& w);
+  void ProcessFlows(Worker& w, FlowBatch flows);
   void SupervisorMain();
   void NotifyFault();
+  // One supervisor recovery sweep over all workers; returns true while any
+  // stage is still Failed (i.e. another pass is needed).
+  bool RecoveryPass();
 
   RuntimeConfig config_;
   BasicRssDispatcher<FlowBatch> rss_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::string> stage_names_;
+  std::vector<DegradePolicy> stage_policies_;
   std::thread supervisor_;
+
+  // Lifecycle: Start/Shutdown may be called from any threads in any order;
+  // lifecycle_mu_ serializes the transitions, accepting_ gates Dispatch
+  // without taking a lock on the steering path.
+  std::mutex lifecycle_mu_;
   bool started_ = false;
   bool shut_down_ = false;
+  std::atomic<bool> accepting_{false};
+  std::atomic<std::uint64_t> rejected_dispatches_{0};
 
   std::mutex sup_mu_;
   std::condition_variable sup_cv_;

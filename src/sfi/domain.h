@@ -24,6 +24,7 @@
 
 #include "src/sfi/ref_table.h"
 #include "src/sfi/types.h"
+#include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 #include "src/util/result.h"
 
@@ -78,6 +79,9 @@ class Domain {
     }
     ScopedDomain enter(id_);
     try {
+      // Inside the try and the domain context: an injected panic here is a
+      // fault *of this domain*, contained exactly like an organic one.
+      LINSYS_FAULT_POINT("sfi.execute");
       if constexpr (std::is_void_v<R>) {
         std::forward<F>(f)();
         stats_.calls_ok++;
@@ -108,14 +112,29 @@ class Domain {
   // Recovery (§3): clear the reference table (frees everything the domain
   // owns, expires all rrefs), transition back to Running, then let the
   // user-provided function rebuild state and re-populate the table.
-  void Recover() {
+  //
+  // Hardened: a panic raised *inside the recovery function* is caught here —
+  // the domain goes back to Failed, the panic is counted
+  // (stats().recovery_panics), and false is returned so supervisors can
+  // re-queue the attempt instead of dying to an escaped PanicError.
+  bool Recover() {
     ref_table_.Clear();
     state_.store(DomainState::kRunning, std::memory_order_release);
-    stats_.recoveries++;
     if (recovery_) {
       ScopedDomain enter(id_);
-      recovery_(*this);
+      try {
+        LINSYS_FAULT_POINT("sfi.recover");
+        recovery_(*this);
+      } catch (const util::PanicError&) {
+        // Not MarkFailed(): a broken recovery fn is not a fresh fault, it is
+        // the same incident still unresolved.
+        state_.store(DomainState::kFailed, std::memory_order_release);
+        stats_.recovery_panics++;
+        return false;
+      }
     }
+    stats_.recoveries++;
+    return true;
   }
 
   // Terminal teardown: clear the table and refuse all future entry.

@@ -24,8 +24,7 @@ bool DomainManager::Recover(Domain& domain) {
   if (domain.state() == DomainState::kRetired) {
     return false;
   }
-  domain.Recover();
-  return true;
+  return domain.Recover();
 }
 
 std::size_t DomainManager::RecoverAllFailed() {
@@ -44,10 +43,16 @@ std::size_t DomainManager::RecoverAllFailed() {
       }
     }
   }
+  std::size_t recovered = 0;
   for (Domain* d : failed) {
-    d->Recover();
+    // Recover() contains recovery-fn panics (the domain just stays Failed),
+    // so one broken recovery cannot take down the supervisor or starve the
+    // other failed domains in this batch.
+    if (d->Recover()) {
+      ++recovered;
+    }
   }
-  return failed.size();
+  return recovered;
 }
 
 std::size_t DomainManager::domain_count() const {
@@ -65,6 +70,7 @@ DomainStats DomainManager::AggregateStats() const {
     total.calls_denied += s.calls_denied;
     total.faults += s.faults;
     total.recoveries += s.recoveries;
+    total.recovery_panics += s.recovery_panics;
   }
   return total;
 }

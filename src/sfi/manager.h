@@ -29,10 +29,14 @@ class DomainManager {
   Domain* Find(DomainId id);
 
   // Clears the domain's table and re-runs its recovery function. Returns
-  // false if the domain is retired (terminal).
+  // false if the domain is retired (terminal) or if the recovery function
+  // itself panicked (the domain stays Failed; see Domain::Recover).
   bool Recover(Domain& domain);
 
-  // Recovers every domain currently in the Failed state; returns how many.
+  // Attempts recovery of every domain currently in the Failed state; returns
+  // how many completed. A recovery function that panics is contained (its
+  // domain stays Failed and is picked up by the next call) — the panic never
+  // escapes to the calling (supervisor) thread.
   std::size_t RecoverAllFailed();
 
   // Terminal teardown of one domain.

@@ -18,6 +18,8 @@ enum class CallError : std::uint8_t {
   kDomainFailed,  // the target domain is in the Failed state (pre-recovery)
   kAccessDenied,  // the owner's policy rejected this caller/method pair
   kFault,         // the callee panicked during this invocation
+  kQuarantined,   // the target was quarantined after repeated failed
+                  // recoveries (kFailFast degradation; see net/pipeline.h)
 };
 
 std::string_view CallErrorName(CallError e);
@@ -38,7 +40,8 @@ struct DomainStats {
   std::uint64_t calls_revoked = 0;
   std::uint64_t calls_denied = 0;
   std::uint64_t faults = 0;
-  std::uint64_t recoveries = 0;
+  std::uint64_t recoveries = 0;       // completed recoveries
+  std::uint64_t recovery_panics = 0;  // recovery fns that themselves panicked
 };
 
 }  // namespace sfi

@@ -1,0 +1,162 @@
+#include "src/util/fault_injector.h"
+
+#include <functional>
+#include <utility>
+
+namespace util {
+namespace {
+
+// splitmix64 step — the same mixer rng.h uses for seeding, chosen here
+// because each draw advances a single word of state (easy to keep per site).
+std::uint64_t SplitMix(std::uint64_t* state) {
+  *state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = *state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double ToUnitDouble(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::Seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+FaultInjector::Site& FaultInjector::Arm(const std::string& site,
+                                        InjectMode mode, PanicKind kind) {
+  Site& s = sites_[site];
+  if (s.mode == InjectMode::kDisarmed) {
+    armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  }
+  s.mode = mode;
+  s.kind = kind;
+  s.oneshot_pending = false;
+  s.every_nth = 0;
+  s.probability = 0.0;
+  s.hits = 0;  // plans are counted from arming, so re-arming restarts Nth
+  // Decorrelate per-site streams: same global seed, different site names ->
+  // different, reproducible decision sequences.
+  std::uint64_t name_mix = std::hash<std::string>{}(site);
+  s.rng_state = seed_ ^ SplitMix(&name_mix);
+  return s;
+}
+
+void FaultInjector::ArmOneShot(const std::string& site, PanicKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = Arm(site, InjectMode::kOneShot, kind);
+  s.oneshot_pending = true;
+}
+
+void FaultInjector::ArmEveryNth(const std::string& site, std::uint64_t n,
+                                PanicKind kind) {
+  LINSYS_ASSERT(n >= 1, "ArmEveryNth needs n >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = Arm(site, InjectMode::kEveryNth, kind);
+  s.every_nth = n;
+}
+
+void FaultInjector::ArmProbability(const std::string& site, double p,
+                                   PanicKind kind) {
+  LINSYS_ASSERT(p >= 0.0 && p <= 1.0, "injection probability out of [0,1]");
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = Arm(site, InjectMode::kProbability, kind);
+  s.probability = p;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end() && it->second.mode != InjectMode::kDisarmed) {
+    it->second.mode = InjectMode::kDisarmed;
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+  seed_ = kDefaultSeed;
+}
+
+void FaultInjector::Hit(std::string_view site) {
+  PanicKind kind = PanicKind::kExplicit;
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(std::string(site));
+    if (it == sites_.end() || it->second.mode == InjectMode::kDisarmed) {
+      return;
+    }
+    Site& s = it->second;
+    ++s.hits;
+    bool fire = false;
+    switch (s.mode) {
+      case InjectMode::kOneShot:
+        fire = s.oneshot_pending;
+        s.oneshot_pending = false;
+        if (fire) {
+          s.mode = InjectMode::kDisarmed;
+          armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        break;
+      case InjectMode::kEveryNth:
+        fire = (s.hits % s.every_nth) == 0;
+        break;
+      case InjectMode::kProbability:
+        fire = ToUnitDouble(SplitMix(&s.rng_state)) < s.probability;
+        break;
+      case InjectMode::kDisarmed:
+        break;
+    }
+    if (!fire) {
+      return;
+    }
+    ++s.fires;
+    kind = s.kind;
+    message = "injected fault at " + std::string(site);
+  }
+  // Throw outside the lock so unwinding never holds the registry mutex.
+  Panic(kind, std::move(message));
+}
+
+InjectSiteStats FaultInjector::StatsFor(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    return InjectSiteStats{};
+  }
+  return InjectSiteStats{it->second.hits, it->second.fires};
+}
+
+std::uint64_t FaultInjector::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, s] : sites_) {
+    total += s.fires;
+  }
+  return total;
+}
+
+std::vector<std::string> FaultInjector::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, s] : sites_) {
+    if (s.mode != InjectMode::kDisarmed) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace util

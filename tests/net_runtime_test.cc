@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/net/operators/null_filter.h"
@@ -211,6 +212,73 @@ TEST(Runtime, FlowPinningIsStable) {
     EXPECT_LT(rt.WorkerFor(t), cfg.workers);
   }
   // Never started: construction + destruction alone must be clean.
+}
+
+TEST(Runtime, DispatchOutsideStartShutdownWindowIsRefused) {
+  RuntimeConfig cfg;
+  cfg.workers = 2;
+  std::vector<StageSpec> spec;
+  spec.push_back(
+      {"null", [](std::size_t) { return std::make_unique<NullFilter>(); }});
+  Runtime rt(cfg, spec);
+
+  FlowSampler sampler(16, 0.0, 5);
+  FlowFeeder feeder(&sampler);
+
+  // Before Start: refused, counted, nothing processed.
+  EXPECT_FALSE(rt.Dispatch(feeder.Next(8)));
+
+  rt.Start();
+  EXPECT_TRUE(rt.Dispatch(feeder.Next(8)));
+  rt.Shutdown();
+
+  // After Shutdown: refused again, not a crash or a hang.
+  EXPECT_FALSE(rt.Dispatch(feeder.Next(8)));
+  EXPECT_FALSE(rt.Dispatch(feeder.Next(8)));
+
+  const RuntimeStats stats = rt.Stats();
+  EXPECT_EQ(stats.totals.packets, 8u);
+  EXPECT_EQ(stats.rejected_dispatches, 3u);
+  EXPECT_EQ(stats.dispatch_calls, 1u);
+}
+
+TEST(Runtime, StartAfterShutdownIsANoOp) {
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  std::vector<StageSpec> spec;
+  spec.push_back(
+      {"null", [](std::size_t) { return std::make_unique<NullFilter>(); }});
+  Runtime rt(cfg, spec);
+  rt.Start();
+  rt.Shutdown();
+  rt.Start();  // terminal shutdown: must not respawn threads
+
+  FlowSampler sampler(8, 0.0, 2);
+  FlowFeeder feeder(&sampler);
+  EXPECT_FALSE(rt.Dispatch(feeder.Next(4)));
+  EXPECT_EQ(rt.Stats().totals.packets, 0u);
+}
+
+TEST(Runtime, ConcurrentStartAndShutdownAreSerialized) {
+  for (int round = 0; round < 10; ++round) {
+    RuntimeConfig cfg;
+    cfg.workers = 2;
+    std::vector<StageSpec> spec;
+    spec.push_back(
+        {"null", [](std::size_t) { return std::make_unique<NullFilter>(); }});
+    Runtime rt(cfg, spec);
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 3; ++i) {
+      threads.emplace_back([&rt] { rt.Start(); });
+      threads.emplace_back([&rt] { rt.Shutdown(); });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    rt.Shutdown();  // whatever interleaving happened, this must be clean
+    EXPECT_EQ(rt.Stats().totals.faults, 0u);
+  }
 }
 
 TEST(Runtime, ShutdownIsIdempotent) {

@@ -143,6 +143,45 @@ TEST(DomainManager, RecoverAllFailedTouchesOnlyFailed) {
   EXPECT_EQ(bad2.state(), DomainState::kRunning);
 }
 
+TEST(Domain, PanicInRecoveryFunctionIsContained) {
+  Domain d(7, "svc");
+  int attempts = 0;
+  d.SetRecovery([&attempts](Domain&) {
+    ++attempts;
+    if (attempts < 3) {
+      util::Panic("recovery itself crashed");
+    }
+  });
+  (void)d.Execute([]() -> int { util::Panic("crash"); });
+
+  // Two failing recoveries: each is contained (no escape to the caller),
+  // counted, and leaves the domain Failed so it can be retried.
+  EXPECT_FALSE(d.Recover());
+  EXPECT_FALSE(d.Recover());
+  EXPECT_EQ(d.state(), DomainState::kFailed);
+  EXPECT_EQ(d.stats().recovery_panics, 2u);
+  EXPECT_EQ(d.stats().recoveries, 0u);
+
+  // Third attempt succeeds and the domain is usable again.
+  EXPECT_TRUE(d.Recover());
+  EXPECT_EQ(d.state(), DomainState::kRunning);
+  EXPECT_EQ(d.stats().recoveries, 1u);
+  EXPECT_TRUE(d.Execute([] { return 1; }).ok());
+}
+
+TEST(DomainManager, RecoverAllFailedContainsRecoveryPanics) {
+  DomainManager mgr;
+  Domain& bad = mgr.Create("bad");
+  bad.SetRecovery([](Domain&) { util::Panic("recovery crashed"); });
+  (void)bad.Execute([]() -> int { util::Panic("x"); });
+
+  // Must not throw out of the manager, must not count the failed attempt
+  // as a recovery, and must leave the domain Failed for the next pass.
+  EXPECT_EQ(mgr.RecoverAllFailed(), 0u);
+  EXPECT_EQ(bad.state(), DomainState::kFailed);
+  EXPECT_EQ(mgr.AggregateStats().recovery_panics, 1u);
+}
+
 TEST(DomainManager, RecoverRefusesRetired) {
   DomainManager mgr;
   Domain& d = mgr.Create("done");

@@ -1,0 +1,149 @@
+// util::FaultInjector: deterministic injection plans (one-shot, every-Nth,
+// probability-p under a fixed seed) and the LINSYS_FAULT_POINT contract.
+#include "src/util/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/panic.h"
+
+namespace util {
+namespace {
+
+// Every test starts and ends with a clean global registry so arming in one
+// test can never leak faults into another (the registry is process-global).
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+// Drives `hits` hits against `site` and records which ones fired.
+std::vector<bool> Drive(const std::string& site, int hits) {
+  std::vector<bool> fired;
+  fired.reserve(static_cast<std::size_t>(hits));
+  for (int i = 0; i < hits; ++i) {
+    bool f = false;
+    try {
+      LINSYS_FAULT_POINT(site.c_str());
+    } catch (const PanicError&) {
+      f = true;
+    }
+    fired.push_back(f);
+  }
+  return fired;
+}
+
+TEST_F(FaultInjectorTest, DisarmedSiteIsFree) {
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  // No plan anywhere: the macro must not throw and must not count.
+  EXPECT_NO_THROW(LINSYS_FAULT_POINT("nothing.armed"));
+  EXPECT_EQ(FaultInjector::Global().StatsFor("nothing.armed").hits, 0u);
+}
+
+TEST_F(FaultInjectorTest, OneShotFiresExactlyOnceThenDisarms) {
+  FaultInjector::Global().ArmOneShot("site.a", PanicKind::kBoundsCheck);
+  EXPECT_TRUE(FaultInjector::Global().armed());
+
+  const std::vector<bool> fired = Drive("site.a", 10);
+  EXPECT_TRUE(fired[0]);
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_FALSE(fired[i]) << "one-shot fired again at hit " << i;
+  }
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  const InjectSiteStats stats = FaultInjector::Global().StatsFor("site.a");
+  EXPECT_EQ(stats.fires, 1u);
+}
+
+TEST_F(FaultInjectorTest, OneShotCarriesTheRequestedPanicKind) {
+  FaultInjector::Global().ArmOneShot("site.kind", PanicKind::kUseAfterMove);
+  try {
+    FaultInjector::Global().Hit("site.kind");
+    FAIL() << "expected an injected panic";
+  } catch (const PanicError& e) {
+    EXPECT_EQ(e.kind(), PanicKind::kUseAfterMove);
+  }
+}
+
+TEST_F(FaultInjectorTest, EveryNthFiresOnExactMultiples) {
+  FaultInjector::Global().ArmEveryNth("site.nth", 5);
+  const std::vector<bool> fired = Drive("site.nth", 20);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fired[i], (i + 1) % 5 == 0) << "at hit " << (i + 1);
+  }
+  const InjectSiteStats stats = FaultInjector::Global().StatsFor("site.nth");
+  EXPECT_EQ(stats.hits, 20u);
+  EXPECT_EQ(stats.fires, 4u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsDeterministicUnderAFixedSeed) {
+  auto run = [] {
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().Seed(42);
+    FaultInjector::Global().ArmProbability("site.p", 0.1);
+    return Drive("site.p", 1000);
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second) << "same seed must fire at the same hits";
+
+  std::size_t fires = 0;
+  for (bool f : first) {
+    fires += f ? 1 : 0;
+  }
+  // 1000 draws at p=0.1: the exact count is seed-determined; just pin it to
+  // a sane band so a broken RNG (always/never firing) is caught.
+  EXPECT_GT(fires, 50u);
+  EXPECT_LT(fires, 200u);
+}
+
+TEST_F(FaultInjectorTest, DifferentSeedsGiveDifferentFiringPatterns) {
+  FaultInjector::Global().Seed(1);
+  FaultInjector::Global().ArmProbability("site.p", 0.2);
+  const std::vector<bool> a = Drive("site.p", 500);
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().Seed(2);
+  FaultInjector::Global().ArmProbability("site.p", 0.2);
+  const std::vector<bool> b = Drive("site.p", 500);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultInjectorTest, SitesAreIndependent) {
+  FaultInjector::Global().ArmEveryNth("site.x", 2);
+  FaultInjector::Global().ArmEveryNth("site.y", 3);
+  Drive("site.x", 6);
+  Drive("site.y", 6);
+  EXPECT_EQ(FaultInjector::Global().StatsFor("site.x").fires, 3u);
+  EXPECT_EQ(FaultInjector::Global().StatsFor("site.y").fires, 2u);
+  EXPECT_EQ(FaultInjector::Global().TotalFires(), 5u);
+  EXPECT_EQ(FaultInjector::Global().ArmedSites().size(), 2u);
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFiringButKeepsStats) {
+  FaultInjector::Global().ArmEveryNth("site.d", 1);
+  Drive("site.d", 3);
+  FaultInjector::Global().Disarm("site.d");
+  EXPECT_FALSE(FaultInjector::Global().armed());
+  const std::vector<bool> fired = Drive("site.d", 5);
+  for (bool f : fired) {
+    EXPECT_FALSE(f);
+  }
+  EXPECT_EQ(FaultInjector::Global().StatsFor("site.d").fires, 3u);
+}
+
+TEST_F(FaultInjectorTest, RearmRestartsTheNthCounter) {
+  FaultInjector::Global().ArmEveryNth("site.r", 4);
+  Drive("site.r", 3);  // 3 hits, no fire yet
+  FaultInjector::Global().ArmEveryNth("site.r", 4);  // re-arm: count resets
+  const std::vector<bool> fired = Drive("site.r", 4);
+  EXPECT_FALSE(fired[0]);
+  EXPECT_FALSE(fired[1]);
+  EXPECT_FALSE(fired[2]);
+  EXPECT_TRUE(fired[3]);
+}
+
+}  // namespace
+}  // namespace util
