@@ -18,13 +18,14 @@
 #include <vector>
 
 #include "src/lin/own.h"
+#include "src/util/bench_json.h"
 #include "src/util/cycles.h"
 #include "src/util/stats.h"
 
 namespace {
 
 constexpr std::size_t kObjects = 10000;
-constexpr int kRounds = 300;
+const int kRounds = util::BenchQuickMode() ? 60 : 300;
 
 template <typename Fn>
 double MeasureCyclesPerOp(Fn&& fn) {
@@ -50,6 +51,10 @@ std::vector<lin::Own<std::uint64_t>> MakeObjects() {
 }  // namespace
 
 int main() {
+  util::BenchReport report(LINSYS_CHECKED_OWNERSHIP ? "ablation_checked"
+                                                    : "ablation_unchecked");
+  report.AddLabel("checked", util::BenchCheckedLabel());
+  report.AddLabel("quick", util::BenchQuickMode() ? "1" : "0");
   std::printf("=== ownership-check ablation: %s build ===\n",
               LINSYS_CHECKED_OWNERSHIP ? "CHECKED" : "UNCHECKED");
   std::printf("%-38s %12s\n", "operation (over 10k distinct objects)",
@@ -67,6 +72,7 @@ int main() {
       sink = acc;
     });
     std::printf("%-38s %12.2f\n", "const deref (read)", c);
+    report.AddScalar("const_deref_cycles_per_op", c);
   }
   {
     const double c = MeasureCyclesPerOp([&] {
@@ -75,6 +81,7 @@ int main() {
       }
     });
     std::printf("%-38s %12.2f\n", "mutable deref (write)", c);
+    report.AddScalar("mutable_deref_cycles_per_op", c);
   }
   {
     volatile std::uint64_t sink = 0;
@@ -87,6 +94,7 @@ int main() {
       sink = acc;
     });
     std::printf("%-38s %12.2f\n", "shared borrow + read", c);
+    report.AddScalar("shared_borrow_cycles_per_op", c);
   }
   {
     const double c = MeasureCyclesPerOp([&] {
@@ -96,6 +104,7 @@ int main() {
       }
     });
     std::printf("%-38s %12.2f\n", "exclusive borrow + write", c);
+    report.AddScalar("exclusive_borrow_cycles_per_op", c);
   }
   {
     const double c = MeasureCyclesPerOp([&] {
@@ -106,6 +115,7 @@ int main() {
       objects.back() = lin::Make<std::uint64_t>(0);
     });
     std::printf("%-38s %12.2f\n", "ownership transfer (move-assign)", c);
+    report.AddScalar("move_assign_cycles_per_op", c);
   }
   {
     // Steady-state single object: the optimizer hoists the checks, showing
@@ -120,8 +130,10 @@ int main() {
       sink = acc;
     });
     std::printf("%-38s %12.2f\n", "hot-loop deref (checks hoisted)", c);
+    report.AddScalar("hot_loop_deref_cycles_per_op", c);
   }
   std::printf("\ncompare against the sibling bench_ablation_%s binary\n",
               LINSYS_CHECKED_OWNERSHIP ? "unchecked" : "checked");
+  report.WriteFile();
   return 0;
 }

@@ -17,13 +17,14 @@
 #include "src/net/operators/maglev_op.h"
 #include "src/net/pipeline.h"
 #include "src/net/pktgen.h"
+#include "src/util/bench_json.h"
 #include "src/util/cycles.h"
 #include "src/util/stats.h"
 
 namespace {
 
 constexpr std::size_t kBatch = 32;
-constexpr int kRounds = 20000;
+const int kRounds = util::BenchQuickMode() ? 3000 : 20000;
 
 // A stop-the-world pause model: every `period` packets "allocated", spin
 // for `pause_cycles` (young-generation collection of a high-rate allocator).
@@ -103,6 +104,9 @@ RunResult RunWorkload(GcModel gc) {
 }  // namespace
 
 int main() {
+  util::BenchReport report("budget");
+  report.AddLabel("checked", util::BenchCheckedLabel());
+  report.AddLabel("quick", util::BenchQuickMode() ? "1" : "0");
   std::printf("=== E10: the 10Gbps I/O budget vs memory management ===\n");
   std::printf("budget: 835 ns per 1K packet = 1670 cycles @2GHz; batch=%zu "
               "=> %llu cycles per batch\n\n",
@@ -112,13 +116,14 @@ int main() {
 
   struct Config {
     const char* name;
+    const char* key;
     GcModel gc;
   };
   const Config configs[] = {
-      {"linear ownership (no GC)", GcModel{}},
-      {"GC: pause 50k cyc / 8k pkt", GcModel{8 * 1024, 50'000}},
-      {"GC: pause 200k cyc / 8k pkt", GcModel{8 * 1024, 200'000}},
-      {"GC: pause 1M cyc / 32k pkt", GcModel{32 * 1024, 1'000'000}},
+      {"linear ownership (no GC)", "no_gc", GcModel{}},
+      {"GC: pause 50k cyc / 8k pkt", "gc_50k", GcModel{8 * 1024, 50'000}},
+      {"GC: pause 200k cyc / 8k pkt", "gc_200k", GcModel{8 * 1024, 200'000}},
+      {"GC: pause 1M cyc / 32k pkt", "gc_1m", GcModel{32 * 1024, 1'000'000}},
   };
   for (const Config& config : configs) {
     const RunResult r = RunWorkload(config.gc);
@@ -127,6 +132,11 @@ int main() {
                 r.p999_batch_cycles,
                 static_cast<unsigned long long>(r.over_budget),
                 static_cast<unsigned long long>(r.pauses));
+    const std::string suffix = std::string("_") + config.key;
+    report.AddScalar("cycles_per_pkt" + suffix, r.mean_cycles_per_pkt);
+    report.AddScalar("p99_batch_cycles" + suffix, r.p99_batch_cycles);
+    report.AddScalar("over_budget_batches" + suffix,
+                     static_cast<double>(r.over_budget));
   }
   std::printf(
       "\nshape: without GC essentially no batch exceeds the 10Gbps budget "
@@ -134,5 +144,6 @@ int main() {
       "over-budget count tracks the pause count and the p99.9 tail blows "
       "past the budget even though the *mean* per-packet cost barely "
       "moves — the paper's argument for safety without a collector\n");
+  report.WriteFile();
   return 0;
 }

@@ -12,14 +12,15 @@
 #include <vector>
 
 #include "src/ckpt/trie.h"
+#include "src/util/bench_json.h"
 #include "src/util/cycles.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 
 namespace {
 
-constexpr int kWarmup = 5;
-constexpr int kRounds = 50;
+const int kWarmup = util::BenchQuickMode() ? 2 : 5;
+const int kRounds = util::BenchQuickMode() ? 10 : 50;
 
 ckpt::RuleTrie BuildTrie(std::size_t rules, std::size_t aliases,
                          std::uint64_t seed) {
@@ -73,6 +74,9 @@ Row MeasureMode(const ckpt::RuleTrie& trie, ckpt::DedupMode mode) {
 }  // namespace
 
 int main() {
+  util::BenchReport report("ckpt");
+  report.AddLabel("checked", util::BenchCheckedLabel());
+  report.AddLabel("quick", util::BenchQuickMode() ? "1" : "0");
   std::printf("=== E8 / Figure 3: checkpointing a firewall rule trie ===\n");
   std::printf("%7s %8s | %12s %8s %10s %9s | %12s %9s | %12s %9s %10s\n",
               "rules", "aliases", "linear(cyc)", "copies", "bytes",
@@ -95,6 +99,15 @@ int main() {
           addrset.cycles / linear.cycles, naive.cycles,
           static_cast<unsigned long long>(naive.copies),
           naive.distinct_after_restore);
+      const std::string suffix =
+          "_r" + std::to_string(rules) + "_a" + std::to_string(aliases);
+      report.AddScalar("linear_cycles" + suffix, linear.cycles);
+      report.AddScalar("addrset_cycles" + suffix, addrset.cycles);
+      report.AddScalar("naive_cycles" + suffix, naive.cycles);
+      report.AddScalar("linear_copies" + suffix,
+                       static_cast<double>(linear.copies));
+      report.AddScalar("naive_copies" + suffix,
+                       static_cast<double>(naive.copies));
     }
   }
   std::printf(
@@ -102,5 +115,6 @@ int main() {
       "naive copies == rules*aliases and 'restored' shows the lost sharing "
       "(Figure 3b); address-set matches linear output but pays hash "
       "lookups per node\n");
+  report.WriteFile();
   return 0;
 }

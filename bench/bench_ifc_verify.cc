@@ -15,11 +15,15 @@
 
 #include "src/ifc/checker.h"
 #include "src/ifc/programs.h"
+#include "src/util/bench_json.h"
 
 namespace {
 
 double VerifyMs(const std::string& src, ifc::Mode mode, bool* ok,
                 int repeats = 5) {
+  if (util::BenchQuickMode()) {
+    repeats = 2;
+  }
   double best = 1e300;
   for (int i = 0; i < repeats; ++i) {
     const auto begin = std::chrono::steady_clock::now();
@@ -36,16 +40,21 @@ double VerifyMs(const std::string& src, ifc::Mode mode, bool* ok,
 }  // namespace
 
 int main() {
+  util::BenchReport report("ifc_verify");
+  report.AddLabel("checked", util::BenchCheckedLabel());
+  report.AddLabel("quick", util::BenchQuickMode() ? "1" : "0");
   std::printf("=== E5: secure data store (§4 case study) ===\n");
   bool ok = false;
   double ms = VerifyMs(std::string(ifc::kSecureStoreSource),
                        ifc::Mode::kWholeProgram, &ok);
   std::printf("correct store : verified=%s  (%.2f ms)\n", ok ? "yes" : "NO",
               ms);
+  report.AddScalar("store_verify_ms", ms);
   ms = VerifyMs(std::string(ifc::kSecureStoreSeededBug),
                 ifc::Mode::kWholeProgram, &ok);
   std::printf("seeded bug    : violation detected=%s  (%.2f ms)\n",
               !ok ? "yes" : "NO", ms);
+  report.AddScalar("seeded_bug_detect_ms", ms);
   std::printf("paper reference: store verified; injected access-check bug "
               "discovered by the verifier\n\n");
 
@@ -61,14 +70,20 @@ int main() {
     const double sums = VerifyMs(src, ifc::Mode::kSummaries, &sums_ok);
     if (!whole_ok || !sums_ok) {
       std::fprintf(stderr, "generated program failed verification!\n");
+      report.WriteFile();
       return 1;
     }
     const double inlined = static_cast<double>(1LL << depth);
     std::printf("%8d %10d %12.0f %16.3f %14.3f %9.1fx\n", depth, depth + 1,
                 inlined, whole, sums, whole / sums);
+    const std::string suffix = "_d" + std::to_string(depth);
+    report.AddScalar("whole_program_ms" + suffix, whole);
+    report.AddScalar("summaries_ms" + suffix, sums);
+    report.AddScalar("speedup" + suffix, whole / sums);
   }
   std::printf("\npaper reference: compositional summaries keep verification "
               "tractable; exact here because label semantics are join-"
               "morphisms (see src/ifc/an/abstract.h)\n");
+  report.WriteFile();
   return 0;
 }

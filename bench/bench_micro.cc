@@ -4,8 +4,12 @@
 // checkpoint mark. Useful for attributing changes in the table benches.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "src/util/bench_json.h"
 
 #include "src/ckpt/checkpoint.h"
 #include "src/lin/arc.h"
@@ -160,4 +164,33 @@ BENCHMARK(BM_CheckpointVecInts)->Arg(64)->Arg(1024)->Arg(16384);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): default the machine-readable
+// output to BENCH_micro.json (google-benchmark's own JSON schema) so this
+// harness matches the BENCH_<name>.json convention of the table benches.
+// Explicit --benchmark_out on the command line still wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char out_flag[] = "--benchmark_out=BENCH_micro.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  static char quick_flag[] = "--benchmark_min_time=0.01";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    has_out = has_out || std::strncmp(argv[i], "--benchmark_out",
+                                      sizeof("--benchmark_out") - 1) == 0;
+  }
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  if (util::BenchQuickMode()) {
+    args.push_back(quick_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,13 +31,17 @@
 #include "src/net/operators/null_filter.h"
 #include "src/net/pktgen.h"
 #include "src/net/runtime.h"
+#include "src/util/bench_json.h"
 #include "src/util/cycles.h"
 
 namespace {
 
 constexpr std::size_t kBatchSize = 32;
-constexpr int kBatches = 20000;  // per configuration
+const int kBatches =
+    util::BenchQuickMode() ? 2000 : 20000;  // per configuration
 constexpr std::size_t kNullStages = 5;
+
+util::BenchReport* g_report = nullptr;
 
 std::vector<net::StageSpec> NullFilterSpec() {
   std::vector<net::StageSpec> spec;
@@ -100,7 +104,8 @@ RunResult RunOnce(std::size_t workers, bool isolated, double zipf,
   return r;
 }
 
-void SweepPipeline(const char* label, std::size_t stages,
+void SweepPipeline(const char* label, const char* label_key,
+                   std::size_t stages,
                    std::vector<net::StageSpec> (*make_spec)()) {
   std::printf("\n=== %s: %d batches x %zu pkts, sweep workers ===\n", label,
               kBatches, kBatchSize);
@@ -130,28 +135,46 @@ void SweepPipeline(const char* label, std::size_t stages,
     std::printf("%8zu %14.0f %14.0f %9.5f %8.2fx %16.1f %10zu\n", workers,
                 direct.cycles, isolated.cycles, throughput * 1e6, scaling,
                 overhead_per_call, isolated.stats.totals.queue_hwm);
+    const std::string suffix =
+        std::string("_") + label_key + "_w" + std::to_string(workers);
+    g_report->AddScalar("overhead_per_call" + suffix, overhead_per_call);
+    g_report->AddScalar("scaling" + suffix, scaling);
+    g_report->AddScalar("mpkt_per_mcyc" + suffix, throughput * 1e6);
+    // batch_cycles comes straight from the runtime's registry histogram —
+    // first use of the consistent-scrape path under real worker load.
+    g_report->AddScalar("batch_cycles_p50" + suffix,
+                        isolated.stats.batch_cycles.Percentile(50.0));
   }
 }
 
 }  // namespace
 
 int main() {
+  util::BenchReport report("parallel");
+  report.AddLabel("checked", util::BenchCheckedLabel());
+  report.AddLabel("quick", util::BenchQuickMode() ? "1" : "0");
+  g_report = &report;
+
   std::printf("=== bench_parallel: sharded runtime scaling ===\n");
   std::printf("host hardware concurrency: %u threads "
               "(scaling flattens once workers exceed cores)\n",
               std::thread::hardware_concurrency());
 
-  SweepPipeline("E1 null-filter x5", kNullStages, &NullFilterSpec);
-  SweepPipeline("Maglev LB", 1, &MaglevSpec);
+  SweepPipeline("E1 null-filter x5", "null5", kNullStages, &NullFilterSpec);
+  SweepPipeline("Maglev LB", "maglev", 1, &MaglevSpec);
 
   std::printf("\n=== RSS shard balance, 4 workers, Maglev ===\n");
   for (double zipf : {0.0, 1.0}) {
     const RunResult r = RunOnce(4, true, zipf, MaglevSpec());
     std::printf("zipf_s=%.1f  %s\n", zipf, r.stats.Summary().c_str());
+    const std::string suffix = zipf > 0 ? "_zipf" : "_uniform";
+    report.AddSamples("packets_per_worker" + suffix,
+                      r.stats.packets_per_worker);
   }
 
   std::printf("\npaper reference: Figure 2 overhead 90..122 cyc/call; the "
               "per-call overhead above should sit in the same band while "
               "aggregate throughput scales with workers (given cores).\n");
+  report.WriteFile();
   return 0;
 }

@@ -24,17 +24,19 @@
 #include "src/net/pktgen.h"
 #include "src/net/runtime.h"
 #include "src/sfi/manager.h"
+#include "src/util/bench_json.h"
 #include "src/util/cycles.h"
 #include "src/util/fault_injector.h"
 #include "src/util/stats.h"
 
 namespace {
 
-constexpr int kWarmup = 100;
-constexpr int kRounds = 2000;
+const int kWarmup = util::BenchQuickMode() ? 25 : 100;
+const int kRounds = util::BenchQuickMode() ? 300 : 2000;
+const int kStormBatches = util::BenchQuickMode() ? 600 : 3000;
 
 // Phase 2: runtime-level MTTR under a seeded storm.
-int RunStormPhase() {
+int RunStormPhase(util::BenchReport& report) {
   auto& inj = util::FaultInjector::Global();
   inj.Reset();
   inj.Seed(99);
@@ -55,7 +57,6 @@ int RunStormPhase() {
 
   net::FlowSampler sampler(256, 0.0, 99);
   net::FlowFeeder feeder(&sampler);
-  constexpr int kStormBatches = 3000;
   for (int i = 0; i < kStormBatches; ++i) {
     rt.Dispatch(feeder.Next(16));
   }
@@ -86,12 +87,19 @@ int RunStormPhase() {
               static_cast<unsigned long long>(stats.totals.packets),
               static_cast<unsigned long long>(stats.totals.drops),
               kStormBatches * 16);
+  report.AddScalar("storm_faults", static_cast<double>(stage.faults));
+  report.AddScalar("storm_recoveries", static_cast<double>(stage.recoveries));
+  report.AddSamples("storm_mttr_cycles", stage.mttr_cycles);
+  report.AddSamples("storm_packets_per_worker", stats.packets_per_worker);
   return stats.totals.faults > 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main() {
+  util::BenchReport report("recovery");
+  report.AddLabel("checked", util::BenchCheckedLabel());
+  report.AddLabel("quick", util::BenchQuickMode() ? "1" : "0");
   net::Mempool pool(1024, 2048);
   net::PktSourceConfig cfg;
   cfg.flow_count = 256;
@@ -145,5 +153,10 @@ int main() {
   std::printf("sanity: faults=%llu recoveries=%llu\n",
               static_cast<unsigned long long>(stats.faults),
               static_cast<unsigned long long>(stats.recoveries));
-  return RunStormPhase();
+  report.AddSamples("fault_to_error_cycles", fault_to_error);
+  report.AddSamples("recovery_cycles", recovery);
+  report.AddSamples("end_to_end_cycles", total);
+  const int rc = RunStormPhase(report);
+  report.WriteFile();
+  return rc;
 }

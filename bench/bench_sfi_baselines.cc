@@ -22,14 +22,15 @@
 #include "src/net/pipeline.h"
 #include "src/net/pktgen.h"
 #include "src/sfi/manager.h"
+#include "src/util/bench_json.h"
 #include "src/util/cycles.h"
 #include "src/util/stats.h"
 
 namespace {
 
 constexpr std::size_t kStages = 3;
-constexpr int kWarmup = 100;
-constexpr int kRounds = 1000;
+const int kWarmup = util::BenchQuickMode() ? 25 : 100;
+const int kRounds = util::BenchQuickMode() ? 200 : 1000;
 
 net::PktSourceConfig SourceConfig() {
   net::PktSourceConfig cfg;
@@ -58,6 +59,9 @@ double Measure(std::size_t batch_size, PrepareFn&& prepare, RunFn&& run) {
 }  // namespace
 
 int main() {
+  util::BenchReport report("sfi_baselines");
+  report.AddLabel("checked", util::BenchCheckedLabel());
+  report.AddLabel("quick", util::BenchQuickMode() ? "1" : "0");
   std::printf("=== E4: isolation architectures, %zu-stage TTL pipeline "
               "(cycles per batch) ===\n\n",
               kStages);
@@ -159,10 +163,16 @@ int main() {
     std::printf("%12zu %12.0f %12.0f %12.0f %12.0f %13.2fx %13.2fx\n",
                 batch_size, direct, rref, copy, tagged, copy / direct,
                 tagged / direct);
+    const std::string suffix = "_b" + std::to_string(batch_size);
+    report.AddScalar("direct_cycles" + suffix, direct);
+    report.AddScalar("rref_cycles" + suffix, rref);
+    report.AddScalar("copy_cycles" + suffix, copy);
+    report.AddScalar("tagged_cycles" + suffix, tagged);
   }
 
   std::printf("\npaper reference: copying is \"unacceptable in a line-rate "
               "system\"; tag validation costs \">100%%\"; rref isolation "
               "adds only a small per-call constant\n");
+  report.WriteFile();
   return 0;
 }

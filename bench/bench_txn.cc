@@ -10,14 +10,15 @@
 #include "src/ckpt/replicate.h"
 #include "src/ckpt/trie.h"
 #include "src/ckpt/txn.h"
+#include "src/util/bench_json.h"
 #include "src/util/cycles.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
 
 namespace {
 
-constexpr int kWarmup = 5;
-constexpr int kRounds = 200;
+const int kWarmup = util::BenchQuickMode() ? 2 : 5;
+const int kRounds = util::BenchQuickMode() ? 40 : 200;
 
 ckpt::RuleTrie BuildTrie(std::size_t rules, std::uint64_t seed) {
   util::Rng rng(seed);
@@ -48,6 +49,9 @@ double Measure(Fn&& fn) {
 }  // namespace
 
 int main() {
+  util::BenchReport report("txn");
+  report.AddLabel("checked", util::BenchCheckedLabel());
+  report.AddLabel("quick", util::BenchQuickMode() ? "1" : "0");
   std::printf("=== transactions & replication over snapshots (cycles) ===\n");
   std::printf("%8s %14s %14s %14s %16s\n", "rules", "raw insert",
               "txn commit", "txn abort", "apply+2 replicas");
@@ -95,10 +99,16 @@ int main() {
 
     std::printf("%8zu %14.0f %14.0f %14.0f %16.0f\n", rules, raw, commit,
                 abort, replicate);
+    const std::string suffix = "_r" + std::to_string(rules);
+    report.AddScalar("raw_insert_cycles" + suffix, raw);
+    report.AddScalar("txn_commit_cycles" + suffix, commit);
+    report.AddScalar("txn_abort_cycles" + suffix, abort);
+    report.AddScalar("apply_2replicas_cycles" + suffix, replicate);
   }
   std::printf("\nshape: commit/abort cost O(state size) — the undo snapshot "
               "dominates; replication adds one restore per replica. For "
               "write-heavy small-delta workloads an operation log would win; "
               "the snapshot design buys an unmodified mutation path.\n");
+  report.WriteFile();
   return 0;
 }

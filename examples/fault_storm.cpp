@@ -32,6 +32,8 @@
 #include "src/net/operators/ttl.h"
 #include "src/net/pktgen.h"
 #include "src/net/runtime.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/fault_injector.h"
 
 namespace {
@@ -88,10 +90,20 @@ std::vector<net::StageSpec> BuildChain() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::size_t kWorkers = 4;
   constexpr std::size_t kBatch = 16;
   constexpr int kStormBatches = 1500;
+
+  // Optional trace path (default fault_storm_trace.json). The whole storm is
+  // traced: batches, faults, recoveries, and the quarantine land in one
+  // chrome://tracing / Perfetto timeline.
+  const char* trace_path =
+      argc > 1 ? argv[1] : "fault_storm_trace.json";
+  obs::ArmMetrics(true);
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Arm(/*ring_capacity=*/1 << 15);
+  tracer.SetThreadName("storm-driver");
 
   // The storm plan. Everything is seeded: rerunning the binary replays the
   // same per-site firing decisions.
@@ -144,6 +156,22 @@ int main() {
 
   const net::RuntimeStats stats = rt.Stats();
   std::printf("=== fault storm report ===\n%s\n", stats.Summary().c_str());
+
+  // Machine-readable outputs: the runtime registry scrape (plus the
+  // process-global sfi/fault counters) and the cycle trace.
+  std::printf("\n--- metrics scrape (prometheus text) ---\n%s",
+              rt.ScrapePrometheus().c_str());
+  std::printf("%s", obs::Registry::Global().Scrape().ToPrometheus().c_str());
+  if (tracer.WriteChromeJson(trace_path)) {
+    std::printf("\ntrace: %s (%llu events buffered, %llu total, "
+                "%llu dropped)\n",
+                trace_path,
+                static_cast<unsigned long long>(tracer.buffered_events()),
+                static_cast<unsigned long long>(tracer.total_events()),
+                static_cast<unsigned long long>(tracer.dropped_events()));
+  } else {
+    std::fprintf(stderr, "failed to write trace to %s\n", trace_path);
+  }
 
   std::printf("\n--- degradation report ---\n");
   for (const net::StageTelemetry& st : stats.stages) {

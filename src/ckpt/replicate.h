@@ -17,6 +17,8 @@
 
 #include "src/ckpt/checkpoint.h"
 #include "src/ckpt/txn.h"
+#include "src/obs/trace.h"
+#include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
 namespace ckpt {
@@ -38,6 +40,7 @@ class ReplicatedState {
   // observe the failed mutation.
   template <typename Fn>
   void Apply(Fn&& mutator) {
+    LINSYS_TRACE_SPAN("ckpt.apply");
     {
       Transaction<T> txn(&primary_);
       std::forward<Fn>(mutator)(primary_);
@@ -45,6 +48,12 @@ class ReplicatedState {
     }
     Snapshot snap = Checkpoint(primary_);
     for (T& replica : replicas_) {
+      // Storm hook: a replica restore dying mid-propagation. The primary
+      // already committed, so the caller sees the panic with the primary
+      // intact; replicas before the faulted one hold the new version,
+      // later ones the previous version — each still at a mutation
+      // boundary (Restore either completes or leaves the old value).
+      LINSYS_FAULT_POINT("ckpt.replica_restore");
       replica = Restore<T>(snap);
     }
     ++version_;
@@ -62,7 +71,12 @@ class ReplicatedState {
   // the promoted state — i.e. the failed node re-syncs on rejoin).
   void Failover(std::size_t i) {
     LINSYS_ASSERT(i < replicas_.size(), "replica index out of range");
+    LINSYS_TRACE_SPAN("ckpt.failover");
     std::swap(primary_, replicas_[i]);
+    // Storm hook: promotion happened (the swap is unconditional) but the
+    // re-sync of the remaining replicas dies. The new primary is valid;
+    // un-resynced replicas still hold mutation-boundary states.
+    LINSYS_FAULT_POINT("ckpt.failover_resync");
     Snapshot current = Checkpoint(primary_);
     for (T& replica : replicas_) {
       replica = Restore<T>(current);

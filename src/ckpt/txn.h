@@ -12,9 +12,12 @@
 #define LINSYS_SRC_CKPT_TXN_H_
 
 #include <cstdint>
+#include <exception>
 #include <utility>
 
 #include "src/ckpt/checkpoint.h"
+#include "src/obs/trace.h"
+#include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
 namespace ckpt {
@@ -38,15 +41,29 @@ class Transaction {
   // Rolls `state` back to its value at Begin.
   void Abort() {
     LINSYS_ASSERT(state_ != nullptr, "transaction already finished");
+    LINSYS_TRACE_SPAN("ckpt.txn_abort");
+    // Storm hook: a restore that dies mid-abort. The explicit-Abort caller
+    // sees the panic with the state untouched (the undo snapshot survives).
+    LINSYS_FAULT_POINT("ckpt.txn_restore");
     *state_ = Restore<T>(undo_);
     state_ = nullptr;
   }
 
   bool active() const { return state_ != nullptr; }
 
-  // Uncommitted at scope exit (including unwinds) -> abort.
-  ~Transaction() {
+  // Uncommitted at scope exit (including unwinds) -> abort. noexcept(false)
+  // because the injected restore fault below must unwind out to a
+  // containment boundary (destructors default to noexcept, which would turn
+  // the throw into std::terminate before the gate even mattered).
+  ~Transaction() noexcept(false) {
     if (state_ != nullptr) {
+      LINSYS_TRACE_SPAN("ckpt.txn_abort");
+      // The same storm hook as Abort(), but only when *not* already
+      // unwinding a panic: throwing from a destructor during unwind is
+      // std::terminate, which no containment boundary can catch.
+      if (std::uncaught_exceptions() == 0) {
+        LINSYS_FAULT_POINT("ckpt.txn_restore");
+      }
       *state_ = Restore<T>(undo_);
     }
   }

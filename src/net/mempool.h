@@ -57,6 +57,20 @@ class Mempool {
   Mempool(const Mempool&) = delete;
   Mempool& operator=(const Mempool&) = delete;
 
+  // Always-on pool telemetry, readable from *any* thread (the scraper runs
+  // off the owner). The pool is single-writer, so each update is a plain
+  // load+store pair on relaxed atomics — compiles to unfenced moves, no
+  // lock-prefixed RMW on the packet path — while cross-thread readers stay
+  // race-free (TSAN-clean). in_use is derived (allocs - frees) rather than
+  // stored, so readers can never observe an alloc/in_use mismatch.
+  struct CountersView {
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t alloc_failures = 0;
+    std::uint64_t in_use = 0;
+    std::uint64_t in_use_hwm = 0;
+  };
+
   // Pops a slot; returns false when exhausted (caller decides drop policy,
   // as with rte_pktmbuf_alloc).
   bool Alloc(std::uint32_t* slot) {
@@ -66,6 +80,7 @@ class Mempool {
     LINSYS_FAULT_POINT("mempool.alloc");
     CheckOwnerThread();
     if (free_list_.empty()) {
+      BumpRelaxed(&alloc_failures_);
       return false;
     }
     *slot = free_list_.back();
@@ -73,6 +88,11 @@ class Mempool {
 #if LINSYS_CHECKED_OWNERSHIP
     is_free_[*slot] = false;
 #endif
+    const std::uint64_t allocs = BumpRelaxed(&allocs_);
+    const std::uint64_t live = allocs - frees_.load(std::memory_order_relaxed);
+    if (live > in_use_hwm_.load(std::memory_order_relaxed)) {
+      in_use_hwm_.store(live, std::memory_order_relaxed);
+    }
     return true;
   }
 
@@ -88,6 +108,21 @@ class Mempool {
     free_list_.push_back(slot);
     LINSYS_ASSERT(free_list_.size() <= capacity_,
                   "Mempool freelist grew past capacity (double-free)");
+    BumpRelaxed(&frees_);
+  }
+
+  // Cross-thread-safe counters snapshot. Reading allocs *after* frees keeps
+  // the derived in_use from underflowing when a Free lands between the loads
+  // (an Alloc landing in the window can only overstate in_use by the
+  // in-flight buffer, never tear it).
+  CountersView Counters() const {
+    CountersView v;
+    v.frees = frees_.load(std::memory_order_relaxed);
+    v.allocs = allocs_.load(std::memory_order_relaxed);
+    v.alloc_failures = alloc_failures_.load(std::memory_order_relaxed);
+    v.in_use = v.allocs - v.frees;
+    v.in_use_hwm = in_use_hwm_.load(std::memory_order_relaxed);
+    return v;
   }
 
   std::uint8_t* Data(std::uint32_t slot) {
@@ -125,10 +160,22 @@ class Mempool {
 #endif
   }
 
+  // Single-writer counter bump without a lock-prefixed RMW (the owner thread
+  // is the only writer; concurrent readers only need untorn loads).
+  static std::uint64_t BumpRelaxed(std::atomic<std::uint64_t>* c) {
+    const std::uint64_t v = c->load(std::memory_order_relaxed) + 1;
+    c->store(v, std::memory_order_relaxed);
+    return v;
+  }
+
   std::size_t buf_size_;
   std::size_t capacity_;
   std::unique_ptr<std::uint8_t[]> slab_;
   std::vector<std::uint32_t> free_list_;
+  std::atomic<std::uint64_t> allocs_{0};
+  std::atomic<std::uint64_t> frees_{0};
+  std::atomic<std::uint64_t> alloc_failures_{0};
+  std::atomic<std::uint64_t> in_use_hwm_{0};
 #if LINSYS_CHECKED_OWNERSHIP
   std::vector<bool> is_free_;
   std::atomic<std::thread::id> owner_{};

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/net/batch.h"
+#include "src/obs/trace.h"
 #include "src/sfi/manager.h"
 #include "src/sfi/rref.h"
 #include "src/util/cycles.h"
@@ -267,6 +268,7 @@ class IsolatedPipeline {
 
   void Quarantine(Stage& stage) {
     stage.health.quarantined = true;
+    LINSYS_TRACE_INSTANT("runtime.quarantine");
     // Terminal for the domain: rrefs expire, re-entry refused. The *stage*
     // keeps degrading traffic per its policy.
     mgr_->Retire(*stage.domain);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <string>
 
+#include "src/util/cycles.h"
 #include "src/util/panic.h"
 
 namespace net {
@@ -26,6 +27,10 @@ std::string RuntimeStats::Summary() const {
     s += " rejected=" + std::to_string(rejected_dispatches);
   }
   s += " | load: " + packets_per_worker.Summary();
+  s += "\n  batch_cycles: " + batch_cycles.Summary();
+  s += "\n  mempool: in_use=" + std::to_string(mempool_in_use);
+  s += " hwm=" + std::to_string(mempool_in_use_hwm);
+  s += " alloc_failures=" + std::to_string(mempool_alloc_failures);
   for (const StageTelemetry& st : stages) {
     s += "\n  stage[" + st.name + "] policy=";
     s += DegradePolicyName(st.policy);
@@ -45,6 +50,38 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
     : config_(config), rss_(config.workers, config.queue_depth) {
   LINSYS_ASSERT(config_.frame_len >= kPayloadOffset + kFlowSeqBytes,
                 "frame_len too small for the per-flow sequence stamp");
+  // One shard per worker: worker w only ever touches cell w, so the packet
+  // path is contention-free and Stats() can report per-worker values.
+  const std::size_t shards = config_.workers;
+  telemetry_.batches = registry_.GetCounter("runtime.batches_total", shards);
+  telemetry_.packets = registry_.GetCounter("runtime.packets_total", shards);
+  telemetry_.drops = registry_.GetCounter("runtime.drops_total", shards);
+  telemetry_.faults = registry_.GetCounter("runtime.faults_total", shards);
+  telemetry_.recoveries =
+      registry_.GetCounter("runtime.recoveries_total", shards);
+  telemetry_.stalls = registry_.GetCounter("runtime.stalls_total", shards);
+  telemetry_.rejected_dispatches =
+      registry_.GetCounter("runtime.rejected_dispatches_total");
+  telemetry_.queue_depth = registry_.GetGauge("runtime.queue_depth", shards);
+  telemetry_.queue_hwm = registry_.GetGauge("runtime.queue_depth_hwm", shards);
+  telemetry_.batch_cycles =
+      registry_.GetHistogram("runtime.batch_cycles", shards);
+  // Mempool occupancy is evaluated at scrape time against the pools'
+  // always-on counters (no extra bookkeeping on the packet path).
+  registry_.RegisterGaugeFn("runtime.mempool_in_use", [this] {
+    std::int64_t total = 0;
+    for (const auto& w : workers_) {
+      total += static_cast<std::int64_t>(w->pool.Counters().in_use);
+    }
+    return total;
+  });
+  registry_.RegisterGaugeFn("runtime.mempool_alloc_failures", [this] {
+    std::int64_t total = 0;
+    for (const auto& w : workers_) {
+      total += static_cast<std::int64_t>(w->pool.Counters().alloc_failures);
+    }
+    return total;
+  });
   for (const StageSpec& stage : spec) {
     stage_names_.push_back(stage.name);
     stage_policies_.push_back(stage.degrade);
@@ -123,12 +160,14 @@ void Runtime::NotifyFault() {
 }
 
 void Runtime::WorkerMain(Worker& w) {
+  if (obs::Tracer::ArmedFast()) {
+    obs::Tracer::Global().SetThreadName("worker" + std::to_string(w.index));
+  }
   auto& queue = rss_.queue(w.index);
   while (true) {
     const std::size_t depth = queue.size();
-    if (depth > w.queue_hwm.load(std::memory_order_relaxed)) {
-      w.queue_hwm.store(depth, std::memory_order_relaxed);
-    }
+    telemetry_.queue_depth->Set(w.index, static_cast<std::int64_t>(depth));
+    telemetry_.queue_hwm->SetMax(w.index, static_cast<std::int64_t>(depth));
     w.busy.store(false, std::memory_order_release);
     auto handle = queue.Recv();
     if (!handle.has_value()) {
@@ -139,9 +178,11 @@ void Runtime::WorkerMain(Worker& w) {
     w.heartbeat.fetch_add(1, std::memory_order_release);
   }
   w.busy.store(false, std::memory_order_release);
+  telemetry_.queue_depth->Set(w.index, 0);
 }
 
 void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
+  LINSYS_TRACE_SPAN("runtime.batch");
   // Materialize frames from this worker's own pool, on this thread —
   // the whole buffer lifecycle (alloc, fault-unwind, drop) is shard-local.
   PacketBatch batch(flows.size());
@@ -162,31 +203,36 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
     // fault) is contained at the shard loop: the whole sub-batch is dropped
     // — partially built frames go back to this worker's pool as `batch`
     // unwinds on this thread — and the worker survives to take the next one.
-    w.drops.fetch_add(flows.size(), std::memory_order_relaxed);
-    w.faults.fetch_add(1, std::memory_order_relaxed);
+    telemetry_.drops->Add(w.index, flows.size());
+    telemetry_.faults->Inc(w.index);
+    LINSYS_TRACE_INSTANT_ARG("runtime.materialize_fault", w.index);
     return;
   }
-  w.drops.fetch_add(materialize_drops, std::memory_order_relaxed);
+  telemetry_.drops->Add(w.index, materialize_drops);
   if (batch.empty()) {
     return;
   }
   const std::size_t n = batch.size();
 
   if (config_.isolated) {
+    // Always-on latency sample: two cycle reads per *sub-batch*, amortized
+    // over its packets — not on the per-call path Figure 2 measures.
+    const std::uint64_t t0 = util::CycleStart();
     std::unique_lock<std::mutex> lock(w.mu);
     const std::uint64_t qdrop_before = w.isolated.QuarantineDropPkts();
     auto result = w.isolated.Run(std::move(batch));
     const std::uint64_t qdrop_delta =
         w.isolated.QuarantineDropPkts() - qdrop_before;
     lock.unlock();
+    telemetry_.batch_cycles->Record(w.index, util::CycleEnd() - t0);
     if (!result.ok()) {
       // The in-flight batch was reclaimed during unwinding (still on this
       // thread, still this worker's pool). kFault = a fresh panic, worth
       // waking the supervisor; kDomainFailed = still waiting on recovery;
       // kQuarantined = a fail-fast stage, nothing left to recover.
-      w.drops.fetch_add(n, std::memory_order_relaxed);
+      telemetry_.drops->Add(w.index, n);
       if (result.error() == sfi::CallError::kFault) {
-        w.faults.fetch_add(1, std::memory_order_relaxed);
+        telemetry_.faults->Inc(w.index);
         NotifyFault();
       }
       return;
@@ -196,25 +242,28 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
     // into the shard counter so conservation (packets + drops ==
     // materialized) still holds under degradation.
     if (qdrop_delta > 0) {
-      w.drops.fetch_add(qdrop_delta, std::memory_order_relaxed);
+      telemetry_.drops->Add(w.index, qdrop_delta);
     }
-    w.packets.fetch_add(out.size(), std::memory_order_relaxed);
-    w.batches.fetch_add(1, std::memory_order_relaxed);
+    telemetry_.packets->Add(w.index, out.size());
+    telemetry_.batches->Inc(w.index);
   } else {
     try {
+      const std::uint64_t t0 = util::CycleStart();
       PacketBatch out = w.direct.Run(std::move(batch));
-      w.packets.fetch_add(out.size(), std::memory_order_relaxed);
-      w.batches.fetch_add(1, std::memory_order_relaxed);
+      telemetry_.batch_cycles->Record(w.index, util::CycleEnd() - t0);
+      telemetry_.packets->Add(w.index, out.size());
+      telemetry_.batches->Inc(w.index);
     } catch (const util::PanicError&) {
       // The direct flavour has no containment: the batch died mid-stage
       // and there is no domain to recover, only telemetry to keep.
-      w.drops.fetch_add(n, std::memory_order_relaxed);
-      w.faults.fetch_add(1, std::memory_order_relaxed);
+      telemetry_.drops->Add(w.index, n);
+      telemetry_.faults->Inc(w.index);
     }
   }
 }
 
 bool Runtime::RecoveryPass() {
+  LINSYS_TRACE_SPAN("runtime.recovery_pass");
   bool still_failed = false;
   for (auto& w : workers_) {
     // The worker's pipeline mutex serializes recovery against Run, so
@@ -223,7 +272,7 @@ bool Runtime::RecoveryPass() {
     const std::size_t recovered = w->isolated.RecoverFailedStages(
         config_.supervision.max_recovery_attempts);
     if (recovered > 0) {
-      w->recoveries.fetch_add(recovered, std::memory_order_relaxed);
+      telemetry_.recoveries->Add(w->index, recovered);
     }
     if (w->isolated.FailedStages() > 0) {
       still_failed = true;  // a recovery fn panicked — re-queue for backoff
@@ -233,6 +282,9 @@ bool Runtime::RecoveryPass() {
 }
 
 void Runtime::SupervisorMain() {
+  if (obs::Tracer::ArmedFast()) {
+    obs::Tracer::Global().SetThreadName("supervisor");
+  }
   using Clock = std::chrono::steady_clock;
   const SupervisionConfig& sup = config_.supervision;
   const auto period = std::chrono::milliseconds(sup.watchdog_period_ms);
@@ -295,7 +347,8 @@ void Runtime::SupervisorMain() {
       const bool busy = w.busy.load(std::memory_order_acquire);
       if (busy && beat == last_beat[i]) {
         if (!flagged[i]) {
-          w.stalls.fetch_add(1, std::memory_order_relaxed);
+          telemetry_.stalls->Inc(i);
+          LINSYS_TRACE_INSTANT_ARG("runtime.watchdog_stall", i);
           flagged[i] = true;
         }
       } else {
@@ -312,8 +365,10 @@ RuntimeStats Runtime::Stats() const {
   RuntimeStats s;
   s.dispatch_calls = rss_.batches_steered();
   s.sub_batches = rss_.sub_batches_steered();
-  s.rejected_dispatches =
-      rejected_dispatches_.load(std::memory_order_relaxed);
+  s.rejected_dispatches = telemetry_.rejected_dispatches->Value();
+  // One consistent histogram snapshot for the whole stats call: buckets are
+  // never torn (sum(buckets) == count) even while workers keep recording.
+  s.batch_cycles = telemetry_.batch_cycles->Snapshot();
   s.stages.resize(stage_names_.size());
   for (std::size_t i = 0; i < stage_names_.size(); ++i) {
     s.stages[i].name = stage_names_[i];
@@ -321,13 +376,20 @@ RuntimeStats Runtime::Stats() const {
   }
   for (const auto& w : workers_) {
     WorkerTelemetry t;
-    t.batches = w->batches.load(std::memory_order_relaxed);
-    t.packets = w->packets.load(std::memory_order_relaxed);
-    t.drops = w->drops.load(std::memory_order_relaxed);
-    t.faults = w->faults.load(std::memory_order_relaxed);
-    t.recoveries = w->recoveries.load(std::memory_order_relaxed);
-    t.stalls = w->stalls.load(std::memory_order_relaxed);
-    t.queue_hwm = w->queue_hwm.load(std::memory_order_relaxed);
+    // Per-worker counters are that worker's shard cell in the registry;
+    // acquire loads keep each value monotone across successive scrapes.
+    t.batches = telemetry_.batches->ShardValue(w->index);
+    t.packets = telemetry_.packets->ShardValue(w->index);
+    t.drops = telemetry_.drops->ShardValue(w->index);
+    t.faults = telemetry_.faults->ShardValue(w->index);
+    t.recoveries = telemetry_.recoveries->ShardValue(w->index);
+    t.stalls = telemetry_.stalls->ShardValue(w->index);
+    t.queue_hwm = static_cast<std::size_t>(
+        telemetry_.queue_hwm->ShardValue(w->index));
+    const Mempool::CountersView pool = w->pool.Counters();
+    s.mempool_in_use += pool.in_use;
+    s.mempool_in_use_hwm = std::max(s.mempool_in_use_hwm, pool.in_use_hwm);
+    s.mempool_alloc_failures += pool.alloc_failures;
     if (config_.isolated) {
       // Per-stage health lives behind the worker mutex (it is plain state
       // shared by Run and the supervisor).

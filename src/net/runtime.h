@@ -25,11 +25,18 @@
 //     supervisor doubles as a watchdog: a worker stuck inside one batch for
 //     longer than a watchdog period is flagged in telemetry.
 //
-// Telemetry is per-worker (packets, batches, drops, faults, recoveries,
-// recovery panics, stalls, queue-depth high-water mark) plus per-stage
-// (faults, recoveries, quarantine counters, MTTR cycle samples), aggregated
-// into a RuntimeStats snapshot — bench_parallel uses the load distribution,
-// bench_recovery the MTTR column.
+// Telemetry is backed by a per-Runtime obs::Registry: every worker counter
+// (packets, batches, drops, faults, recoveries, stalls) is a registry
+// Counter sharded one-cell-per-worker, queue depth/high-water are Gauges,
+// and per-sub-batch pipeline latency feeds a cycle Histogram — so
+// RuntimeStats is a *consistent* scrape (counters monotone across scrapes,
+// histogram buckets never torn; see src/obs/metrics.h) and the same data
+// exports as Prometheus text or JSON via ScrapePrometheus()/ScrapeJson().
+// Per-stage health (faults, recoveries, quarantine counters, MTTR cycle
+// samples) stays under the worker mutex and is folded into the same
+// snapshot — bench_parallel uses the load distribution, bench_recovery the
+// MTTR column. The registry is per-instance so sequential Runtimes in one
+// process (the test pattern) never bleed counts into each other.
 #ifndef LINSYS_SRC_NET_RUNTIME_H_
 #define LINSYS_SRC_NET_RUNTIME_H_
 
@@ -53,6 +60,8 @@
 #include "src/net/pipeline.h"
 #include "src/net/pktgen.h"
 #include "src/net/rss.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sfi/manager.h"
 #include "src/util/stats.h"
 
@@ -189,6 +198,13 @@ struct RuntimeStats {
   std::uint64_t sub_batches = 0;       // per-worker sub-batches enqueued
   std::uint64_t rejected_dispatches = 0;  // Dispatch() outside Start..Shutdown
   util::Samples packets_per_worker;    // load distribution across shards
+  // Pipeline latency per sub-batch, pooled over workers (consistent
+  // histogram snapshot: sum(buckets) == count even while workers run).
+  obs::HistogramSnapshot batch_cycles;
+  // Mempool occupancy across all worker pools at scrape time.
+  std::uint64_t mempool_in_use = 0;
+  std::uint64_t mempool_in_use_hwm = 0;  // max over workers
+  std::uint64_t mempool_alloc_failures = 0;
 
   std::string Summary() const;
 };
@@ -212,9 +228,10 @@ class Runtime {
   // false and RuntimeStats::rejected_dispatches counts it.
   bool Dispatch(FlowBatch batch) {
     if (!accepting_.load(std::memory_order_acquire)) {
-      rejected_dispatches_.fetch_add(1, std::memory_order_relaxed);
+      telemetry_.rejected_dispatches->Inc();
       return false;
     }
+    LINSYS_TRACE_SPAN("runtime.dispatch");
     rss_.Dispatch(std::move(batch));
     return true;
   }
@@ -232,6 +249,12 @@ class Runtime {
 
   RuntimeStats Stats() const;
 
+  // This runtime's metric registry — the same data Stats() folds, in
+  // exporter form. Safe to call from any thread while workers run.
+  obs::Registry& registry() { return registry_; }
+  std::string ScrapePrometheus() const { return registry_.Scrape().ToPrometheus(); }
+  std::string ScrapeJson() const { return registry_.Scrape().ToJson(); }
+
   std::size_t worker_count() const { return workers_.size(); }
   std::uint16_t frame_len() const { return config_.frame_len; }
 
@@ -246,22 +269,31 @@ class Runtime {
     // health snapshots (supervisor thread, Stats). Uncontended on the fast
     // path: the supervisor only takes it on its periodic wakes.
     std::mutex mu;
-    std::atomic<std::uint64_t> batches{0};
-    std::atomic<std::uint64_t> packets{0};
-    std::atomic<std::uint64_t> drops{0};
-    std::atomic<std::uint64_t> faults{0};
-    std::atomic<std::uint64_t> recoveries{0};
-    std::atomic<std::uint64_t> stalls{0};
-    std::atomic<std::size_t> queue_hwm{0};
     // Watchdog signals: busy is true while a sub-batch is being processed,
     // heartbeat increments once per completed sub-batch. Stuck = busy with
-    // an unmoving heartbeat across a watchdog period.
+    // an unmoving heartbeat across a watchdog period. (All other worker
+    // counters live in the runtime's registry, sharded by worker index.)
     std::atomic<bool> busy{false};
     std::atomic<std::uint64_t> heartbeat{0};
     std::thread thread;
 
     Worker(std::size_t idx, const RuntimeConfig& cfg)
         : index(idx), pool(cfg.pool_capacity, cfg.buf_size) {}
+  };
+
+  // Cached registry handles: resolved once in the constructor, then the
+  // packet path only touches its own worker's shard cell.
+  struct Telemetry {
+    obs::Counter* batches = nullptr;
+    obs::Counter* packets = nullptr;
+    obs::Counter* drops = nullptr;
+    obs::Counter* faults = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Counter* stalls = nullptr;
+    obs::Counter* rejected_dispatches = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* queue_hwm = nullptr;
+    obs::Histogram* batch_cycles = nullptr;
   };
 
   void WorkerMain(Worker& w);
@@ -274,6 +306,10 @@ class Runtime {
 
   RuntimeConfig config_;
   BasicRssDispatcher<FlowBatch> rss_;
+  // Declared before workers_ so worker threads (joined in ~Worker via
+  // Shutdown) can never outlive the metrics they write to.
+  obs::Registry registry_;
+  Telemetry telemetry_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::string> stage_names_;
   std::vector<DegradePolicy> stage_policies_;
@@ -286,7 +322,6 @@ class Runtime {
   bool started_ = false;
   bool shut_down_ = false;
   std::atomic<bool> accepting_{false};
-  std::atomic<std::uint64_t> rejected_dispatches_{0};
 
   std::mutex sup_mu_;
   std::condition_variable sup_cv_;

@@ -1,0 +1,245 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_armed{false};
+}  // namespace internal
+
+Tracer& Tracer::Global() {
+  static Tracer* g = new Tracer();  // leaked: outlives static dtors
+  return *g;
+}
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+void Tracer::Arm(std::size_t ring_capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t cap = RoundUpPow2(std::max<std::size_t>(
+        8, ring_capacity));
+    if (cap != ring_capacity_) {
+      ring_capacity_ = cap;
+      rings_.clear();  // old rings have the wrong capacity; re-register
+      generation_.fetch_add(1, std::memory_order_release);
+    }
+  }
+  internal::g_trace_armed.store(true, std::memory_order_release);
+}
+
+void Tracer::Disarm() {
+  internal::g_trace_armed.store(false, std::memory_order_release);
+}
+
+void Tracer::Reset() {
+  Disarm();
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+Tracer::Ring* Tracer::RingForThisThread() {
+  // Thread-local ring cache, invalidated whenever the tracer's generation
+  // moves (Arm with a new capacity, Reset dropping the rings).
+  thread_local Ring* tls_ring = nullptr;
+  thread_local std::uint64_t tls_generation = 0;
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (tls_ring != nullptr && tls_generation == gen) {
+    return tls_ring;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->events.resize(ring_capacity_);
+  ring->tid = static_cast<std::uint32_t>(rings_.size() + 1);
+  ring->name = "thread-" + std::to_string(ring->tid);
+  rings_.push_back(std::move(ring));
+  tls_ring = rings_.back().get();
+  tls_generation = generation_.load(std::memory_order_acquire);
+  return tls_ring;
+}
+
+void Tracer::SetThreadName(std::string name) {
+  if (!ArmedFast()) {
+    return;
+  }
+  Ring* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring->name = std::move(name);
+}
+
+const char* Tracer::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : interned_) {
+    if (*existing == s) {
+      return existing->c_str();
+    }
+  }
+  interned_.push_back(std::make_unique<std::string>(s));
+  return interned_.back()->c_str();
+}
+
+void Tracer::Span(const char* name, std::uint64_t ts_begin,
+                  std::uint64_t dur) {
+  if (!ArmedFast()) {
+    return;
+  }
+  Ring* ring = RingForThisThread();
+  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
+  ev = TraceEvent{ts_begin, dur, name, 0, 'X', false};
+  ring->next++;
+}
+
+void Tracer::Instant(const char* name) {
+  if (!ArmedFast()) {
+    return;
+  }
+  Ring* ring = RingForThisThread();
+  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
+  ev = TraceEvent{util::CycleEnd(), 0, name, 0, 'i', false};
+  ring->next++;
+}
+
+void Tracer::InstantArg(const char* name, std::uint64_t arg) {
+  if (!ArmedFast()) {
+    return;
+  }
+  Ring* ring = RingForThisThread();
+  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
+  ev = TraceEvent{util::CycleEnd(), 0, name, arg, 'i', true};
+  ring->next++;
+}
+
+std::size_t Tracer::buffered_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& ring : rings_) {
+    n += static_cast<std::size_t>(
+        std::min<std::uint64_t>(ring->next, ring->events.size()));
+  }
+  return n;
+}
+
+std::uint64_t Tracer::total_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& ring : rings_) {
+    n += ring->next;
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& ring : rings_) {
+    if (ring->next > ring->events.size()) {
+      n += ring->next - ring->events.size();
+    }
+  }
+  return n;
+}
+
+double CyclesPerMicrosecond() {
+#if LINSYS_HAVE_RDTSC
+  static const double rate = [] {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point w0 = Clock::now();
+    const std::uint64_t c0 = util::CycleStart();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::uint64_t c1 = util::CycleEnd();
+    const Clock::time_point w1 = Clock::now();
+    const double us = std::chrono::duration<double, std::micro>(w1 - w0)
+                          .count();
+    return us > 0 ? static_cast<double>(c1 - c0) / us : 1000.0;
+  }();
+  return rate;
+#else
+  return 1000.0;  // fallback timebase is nanoseconds
+#endif
+}
+
+std::string Tracer::ExportChromeJson() const {
+  struct Flat {
+    TraceEvent ev;
+    std::uint32_t tid;
+  };
+  std::vector<Flat> events;
+  std::vector<std::pair<std::uint32_t, std::string>> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      threads.emplace_back(ring->tid, ring->name);
+      const std::uint64_t kept =
+          std::min<std::uint64_t>(ring->next, ring->events.size());
+      const std::uint64_t mask = ring->events.size() - 1;
+      for (std::uint64_t i = ring->next - kept; i < ring->next; ++i) {
+        events.push_back({ring->events[i & mask], ring->tid});
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Flat& a, const Flat& b) {
+    return a.ev.ts < b.ev.ts;
+  });
+  const std::uint64_t t0 = events.empty() ? 0 : events.front().ev.ts;
+  const double cpu = CyclesPerMicrosecond();
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"linsys\"}}";
+  for (const auto& [tid, name] : threads) {
+    out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" + name + "\"}}";
+  }
+  char buf[64];
+  for (const Flat& f : events) {
+    const double ts_us = static_cast<double>(f.ev.ts - t0) / cpu;
+    out += ",{\"name\":\"";
+    out += f.ev.name != nullptr ? f.ev.name : "(null)";
+    out += "\",\"ph\":\"";
+    out += f.ev.ph;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(f.tid);
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", ts_us);
+    out += buf;
+    if (f.ev.ph == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<double>(f.ev.dur) / cpu);
+      out += buf;
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    if (f.ev.has_arg) {
+      out += ",\"args\":{\"v\":" + std::to_string(f.ev.arg) + "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  const std::string json = ExportChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace obs

@@ -1,0 +1,170 @@
+// obs:: cycle tracer — per-thread ring buffers of cycle-timestamped events,
+// exported as chrome://tracing "trace event" JSON (loadable in Perfetto).
+//
+// The metrics registry answers "how much, in aggregate"; the tracer answers
+// "what happened, when, on which worker" — fault fired on worker 2, its
+// recovery span ran 40µs later on the supervisor thread, the quarantine
+// instant closed the incident. Design mirrors LINSYS_FAULT_POINT's
+// disarmed-cost discipline:
+//
+//   * Disarmed, LINSYS_TRACE_SPAN / LINSYS_TRACE_INSTANT cost one relaxed
+//     atomic load and a predictable branch — cheap enough to stay compiled
+//     into the packet path in every build mode.
+//   * Armed, an event append is two rdtsc reads (span) plus one store into a
+//     thread-private ring slot: no locks, no allocation, no cross-thread
+//     cache traffic. Rings are fixed-size and overwrite oldest (wraparound
+//     is counted, never blocks a worker).
+//   * Event names are `const char*` and must outlive the tracer: string
+//     literals at macro sites, or Intern() for dynamic names on cold paths
+//     (fault-injection sites).
+//
+// Threading: Record runs concurrently from any number of threads. Arm /
+// Disarm are safe any time; Reset and ExportChromeJson require writers to be
+// quiesced (e.g. after Runtime::Shutdown joined the workers) — the expected
+// harness shape is arm, run, shut down, export.
+#ifndef LINSYS_SRC_OBS_TRACE_H_
+#define LINSYS_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/cycles.h"
+
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_armed;
+}  // namespace internal
+
+struct TraceEvent {
+  std::uint64_t ts = 0;   // cycles (CycleStart timebase)
+  std::uint64_t dur = 0;  // cycles; 0 for instants
+  const char* name = nullptr;
+  std::uint64_t arg = 0;  // exported as args.v when has_arg
+  char ph = 'i';          // 'X' complete span, 'i' instant
+  bool has_arg = false;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Global();
+
+  // The disarmed fast path, inlined into every macro site.
+  static bool ArmedFast() {
+    return internal::g_trace_armed.load(std::memory_order_relaxed);
+  }
+
+  // Starts capturing. `ring_capacity` is events per thread, rounded up to a
+  // power of two; threads register their ring lazily on first event.
+  void Arm(std::size_t ring_capacity = std::size_t{1} << 14);
+  void Disarm();
+
+  // Drops all rings and buffered events. Writers must be quiesced.
+  void Reset();
+
+  // Names the calling thread's track in the exported trace ("worker0",
+  // "supervisor"). No-op while disarmed.
+  void SetThreadName(std::string name);
+
+  // Copies `s` into tracer-owned storage and returns a stable const char*,
+  // for event names that are not string literals. Takes a mutex — cold
+  // paths only (fault firings, not packet batches).
+  const char* Intern(std::string_view s);
+
+  // Appends one event to the calling thread's ring. No-op while disarmed.
+  void Span(const char* name, std::uint64_t ts_begin, std::uint64_t dur);
+  void Instant(const char* name);
+  void InstantArg(const char* name, std::uint64_t arg);
+
+  // Events currently buffered / appended since Arm / overwritten by
+  // wraparound.
+  std::size_t buffered_events() const;
+  std::uint64_t total_events() const;
+  std::uint64_t dropped_events() const;
+
+  // chrome://tracing "trace event format" JSON. Timestamps are converted
+  // from cycles to microseconds with a one-shot TSC calibration and
+  // rebased to the earliest buffered event.
+  std::string ExportChromeJson() const;
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> events;  // capacity is a power of two
+    std::uint64_t next = 0;          // total appended to this ring
+    std::uint32_t tid = 0;
+    std::string name;
+  };
+
+  Ring* RingForThisThread();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::unique_ptr<std::string>> interned_;
+  std::size_t ring_capacity_ = std::size_t{1} << 14;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+// Measured TSC rate for cycle->wall-time conversion in exports; calibrated
+// once against steady_clock. On the no-rdtsc fallback (cycles are already
+// nanoseconds) this returns exactly 1000.
+double CyclesPerMicrosecond();
+
+// RAII complete-span guard used by LINSYS_TRACE_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (Tracer::ArmedFast()) {
+      name_ = name;
+      start_ = util::CycleStart();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr && Tracer::ArmedFast()) {
+      Tracer::Global().Span(name_, start_, util::CycleEnd() - start_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace obs
+
+#define LINSYS_TRACE_CAT2(a, b) a##b
+#define LINSYS_TRACE_CAT(a, b) LINSYS_TRACE_CAT2(a, b)
+
+// Complete span covering the enclosing scope. `name` must be a string
+// literal (or otherwise outlive the tracer).
+#define LINSYS_TRACE_SPAN(name) \
+  ::obs::TraceSpan LINSYS_TRACE_CAT(linsys_trace_span_, __LINE__)(name)
+
+#define LINSYS_TRACE_INSTANT(name)          \
+  do {                                      \
+    if (::obs::Tracer::ArmedFast()) {       \
+      ::obs::Tracer::Global().Instant(name); \
+    }                                       \
+  } while (0)
+
+#define LINSYS_TRACE_INSTANT_ARG(name, value)            \
+  do {                                                   \
+    if (::obs::Tracer::ArmedFast()) {                    \
+      ::obs::Tracer::Global().InstantArg(name, value);   \
+    }                                                    \
+  } while (0)
+
+#endif  // LINSYS_SRC_OBS_TRACE_H_

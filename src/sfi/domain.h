@@ -22,8 +22,12 @@
 #include <type_traits>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sfi/obs.h"
 #include "src/sfi/ref_table.h"
 #include "src/sfi/types.h"
+#include "src/util/cycles.h"
 #include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 #include "src/util/result.h"
@@ -74,6 +78,10 @@ class Domain {
   template <typename F>
   auto Execute(F&& f) -> util::Result<std::invoke_result_t<F&&>, CallError> {
     using R = std::invoke_result_t<F&&>;
+    // Same armed-gated crossing instrumentation as RRef::Call: one relaxed
+    // load when disarmed, a cycle histogram sample when armed.
+    const bool armed = obs::MetricsArmed();
+    const std::uint64_t t0 = armed ? util::CycleStart() : 0;
     if (state() != DomainState::kRunning) {
       return util::Err(CallError::kDomainFailed);
     }
@@ -85,10 +93,20 @@ class Domain {
       if constexpr (std::is_void_v<R>) {
         std::forward<F>(f)();
         stats_.calls_ok++;
+        if (armed) {
+          const SfiObs& m = SfiObs::Get();
+          m.crossing_cycles->Record(util::CycleEnd() - t0);
+          m.calls->Inc();
+        }
         return util::Result<void, CallError>::Ok();
       } else {
         R result = std::forward<F>(f)();
         stats_.calls_ok++;
+        if (armed) {
+          const SfiObs& m = SfiObs::Get();
+          m.crossing_cycles->Record(util::CycleEnd() - t0);
+          m.calls->Inc();
+        }
         return util::Result<R, CallError>::Ok(std::move(result));
       }
     } catch (const util::PanicError&) {
@@ -104,7 +122,13 @@ class Domain {
 
   // Revokes one exported object by slot; outstanding rrefs to it start
   // returning CallError::kRevoked.
-  bool Revoke(RefTable::Slot slot) { return ref_table_.Remove(slot); }
+  bool Revoke(RefTable::Slot slot) {
+    const bool removed = ref_table_.Remove(slot);
+    if (removed) {
+      SfiObs::Get().revokes->Inc();
+    }
+    return removed;
+  }
 
   void SetPolicy(Policy policy) { policy_ = std::move(policy); }
   void SetRecovery(RecoveryFn fn) { recovery_ = std::move(fn); }
@@ -118,6 +142,12 @@ class Domain {
   // (stats().recovery_panics), and false is returned so supervisors can
   // re-queue the attempt instead of dying to an escaped PanicError.
   bool Recover() {
+    // Recovery is the cold path, but its latency is a headline number
+    // (paper: 4389 cycles), so the cycle cost is recorded whenever metrics
+    // are armed and the span always lands in an armed trace.
+    LINSYS_TRACE_SPAN("sfi.recover");
+    const bool armed = obs::MetricsArmed();
+    const std::uint64_t t0 = armed ? util::CycleStart() : 0;
     ref_table_.Clear();
     state_.store(DomainState::kRunning, std::memory_order_release);
     if (recovery_) {
@@ -130,10 +160,20 @@ class Domain {
         // the same incident still unresolved.
         state_.store(DomainState::kFailed, std::memory_order_release);
         stats_.recovery_panics++;
+        SfiObs::Get().recovery_panics->Inc();
+        LINSYS_TRACE_INSTANT_ARG("sfi.recovery_panic", id_);
         return false;
       }
     }
     stats_.recoveries++;
+    {
+      const SfiObs& m = SfiObs::Get();
+      m.recoveries->Inc();
+      if (armed) {
+        m.recovery_cycles->Record(util::CycleEnd() - t0);
+      }
+    }
+    LINSYS_TRACE_INSTANT_ARG("sfi.recovered", id_);
     return true;
   }
 
@@ -141,6 +181,7 @@ class Domain {
   void Retire() {
     ref_table_.Clear();
     state_.store(DomainState::kRetired, std::memory_order_release);
+    SfiObs::Get().domains_retired->Inc();
   }
 
   bool CheckAccess(DomainId caller, std::string_view method) const {
@@ -150,6 +191,10 @@ class Domain {
   void MarkFailed() {
     state_.store(DomainState::kFailed, std::memory_order_release);
     stats_.faults++;
+    // Fault paths are cold (a panic already unwound): always count, and
+    // drop a trace instant carrying the failed domain's id.
+    SfiObs::Get().faults->Inc();
+    LINSYS_TRACE_INSTANT_ARG("sfi.fault", id_);
   }
 
   RefTable& ref_table() { return ref_table_; }

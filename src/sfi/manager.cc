@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "src/obs/trace.h"
+#include "src/sfi/obs.h"
+
 namespace sfi {
 
 Domain& DomainManager::Create(std::string name) {
@@ -9,6 +12,7 @@ Domain& DomainManager::Create(std::string name) {
   // Ids start at 1: kRootDomain (0) is the implicit pre-existing context.
   const DomainId id = static_cast<DomainId>(domains_.size() + 1);
   domains_.push_back(std::make_unique<Domain>(id, std::move(name)));
+  SfiObs::Get().domains_created->Inc();
   return *domains_.back();
 }
 
@@ -34,6 +38,7 @@ std::size_t DomainManager::RecoverAllFailed() {
   // would self-deadlock, and a supervisor thread recovering one shard would
   // block every other thread's manager calls behind arbitrary user code.
   // Domain pointers stay valid without the lock (domains are never erased).
+  LINSYS_TRACE_SPAN("sfi.recover_all_failed");
   std::vector<Domain*> failed;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -1,0 +1,55 @@
+// Cached obs:: handles for the SFI boundary metrics.
+//
+// The crossing path (RRef::Call / Domain::Execute) cannot afford a registry
+// lookup per invocation, so the handles are resolved once into a
+// function-local static and the hot path only dereferences them — and only
+// when obs::MetricsArmed() is on, keeping the disarmed crossing cost to one
+// relaxed load + branch (the Figure-2 budget; see DESIGN.md §obs).
+//
+// These live in the process-global registry: every domain in the process
+// shares one crossing histogram, which is exactly what the paper's Figure-2
+// quantity is — the distribution of per-remote-invocation cost, regardless
+// of which stage or worker replica crossed.
+#ifndef LINSYS_SRC_SFI_OBS_H_
+#define LINSYS_SRC_SFI_OBS_H_
+
+#include "src/obs/metrics.h"
+
+namespace sfi {
+
+struct SfiObs {
+  obs::Counter* calls;             // completed remote invocations
+  obs::Counter* faults;            // panics contained at the boundary
+  obs::Counter* recoveries;        // completed Domain::Recover runs
+  obs::Counter* recovery_panics;   // recovery fns contained mid-panic
+  obs::Counter* domains_created;   // DomainManager::Create
+  obs::Counter* domains_retired;   // Domain::Retire
+  obs::Counter* exports;           // Domain::Export (ref-table inserts)
+  obs::Counter* revokes;           // Domain::Revoke (ref-table removals)
+  obs::Histogram* crossing_cycles;  // per remote invocation, armed only
+  obs::Histogram* recovery_cycles;  // per Domain::Recover, armed only
+
+  static const SfiObs& Get() {
+    static const SfiObs s = [] {
+      obs::Registry& r = obs::Registry::Global();
+      constexpr std::size_t kShards = 8;  // TLS-sharded; workers spread out
+      SfiObs m;
+      m.calls = r.GetCounter("sfi.calls_total", kShards);
+      m.faults = r.GetCounter("sfi.faults_total", kShards);
+      m.recoveries = r.GetCounter("sfi.recoveries_total", kShards);
+      m.recovery_panics = r.GetCounter("sfi.recovery_panics_total", kShards);
+      m.domains_created = r.GetCounter("sfi.domains_created_total");
+      m.domains_retired = r.GetCounter("sfi.domains_retired_total");
+      m.exports = r.GetCounter("sfi.exports_total", kShards);
+      m.revokes = r.GetCounter("sfi.revokes_total", kShards);
+      m.crossing_cycles = r.GetHistogram("sfi.crossing_cycles", kShards);
+      m.recovery_cycles = r.GetHistogram("sfi.recovery_cycles", kShards);
+      return m;
+    }();
+    return s;
+  }
+};
+
+}  // namespace sfi
+
+#endif  // LINSYS_SRC_SFI_OBS_H_

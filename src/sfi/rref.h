@@ -14,12 +14,16 @@
 #ifndef LINSYS_SRC_SFI_RREF_H_
 #define LINSYS_SRC_SFI_RREF_H_
 
+#include <cstdint>
 #include <string_view>
 #include <type_traits>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/sfi/domain.h"
+#include "src/sfi/obs.h"
 #include "src/sfi/proxy.h"
+#include "src/util/cycles.h"
 #include "src/util/panic.h"
 #include "src/util/result.h"
 
@@ -39,6 +43,10 @@ class RRef {
   auto Call(F&& f, std::string_view method = {}) const
       -> util::Result<std::invoke_result_t<F&&, T&>, CallError> {
     using R = std::invoke_result_t<F&&, T&>;
+    // Disarmed cost of the instrumentation below: this one relaxed load and
+    // predictable branches on `armed` (the Figure-2 budget, DESIGN.md §obs).
+    const bool armed = obs::MetricsArmed();
+    const std::uint64_t t0 = armed ? util::CycleStart() : 0;
     ProxyHandle strong = proxy_.Upgrade();
     if (!strong.has_value()) {
       return util::Err(CallError::kRevoked);
@@ -57,10 +65,20 @@ class RRef {
       if constexpr (std::is_void_v<R>) {
         std::forward<F>(f)(proxy->object());
         owner->mutable_stats().calls_ok++;
+        if (armed) {
+          const SfiObs& m = SfiObs::Get();
+          m.crossing_cycles->Record(util::CycleEnd() - t0);
+          m.calls->Inc();
+        }
         return util::Result<void, CallError>::Ok();
       } else {
         R result = std::forward<F>(f)(proxy->object());
         owner->mutable_stats().calls_ok++;
+        if (armed) {
+          const SfiObs& m = SfiObs::Get();
+          m.crossing_cycles->Record(util::CycleEnd() - t0);
+          m.calls->Inc();
+        }
         return util::Result<R, CallError>::Ok(std::move(result));
       }
     } catch (const util::PanicError&) {
@@ -92,6 +110,7 @@ template <typename T>
 RRef<T> Domain::Export(T object) {
   auto proxy = std::make_unique<Proxy<T>>(this, std::move(object));
   auto [slot, weak] = ref_table_.Insert(std::move(proxy));
+  SfiObs::Get().exports->Inc();
   return RRef<T>(std::move(weak), slot, id_);
 }
 

@@ -3,6 +3,9 @@
 #include <functional>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace util {
 namespace {
 
@@ -125,6 +128,14 @@ void FaultInjector::Hit(std::string_view site) {
     ++s.fires;
     kind = s.kind;
     message = "injected fault at " + std::string(site);
+  }
+  // Firing is cold by definition (a panic is about to unwind): record it in
+  // the global registry and, when tracing, as an instant named after the
+  // site so the trace shows *which* fault point started an incident.
+  obs::Registry::Global().GetCounter("fault.fires_total")->Inc();
+  if (obs::Tracer::ArmedFast()) {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Instant(tracer.Intern("fault:" + std::string(site)));
   }
   // Throw outside the lock so unwinding never holds the registry mutex.
   Panic(kind, std::move(message));

@@ -78,6 +78,20 @@ double Samples::TrimmedMean(double trim_pct) const {
   return sum / static_cast<double>(n - 2 * cut);
 }
 
+std::string Samples::ToJson() const {
+  if (values_.empty()) {
+    return "{\"n\":0}";
+  }
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"n\":%zu,\"mean\":%.3f,\"trimmed\":%.3f,\"p50\":%.3f,\"p95\":%.3f,"
+      "\"p99\":%.3f,\"min\":%.3f,\"max\":%.3f,\"stddev\":%.3f}",
+      values_.size(), Mean(), TrimmedMean(), Median(), Percentile(95.0),
+      Percentile(99.0), Min(), Max(), Stddev());
+  return buf;
+}
+
 std::string Samples::Summary() const {
   if (values_.empty()) {
     return "(no samples)";

@@ -45,6 +45,12 @@ class Samples {
   // "mean=... p50=... p99=... n=..." one-liner for bench logs.
   std::string Summary() const;
 
+  // JSON object with the robust-summary fields
+  // ({"n":..,"mean":..,"trimmed":..,"p50":..,"p95":..,"p99":..,"min":..,
+  // "max":..,"stddev":..}); {"n":0} for an empty set. Bench harnesses embed
+  // this in their BENCH_<name>.json result files (util::BenchReport).
+  std::string ToJson() const;
+
   const std::vector<double>& values() const { return values_; }
 
  private:

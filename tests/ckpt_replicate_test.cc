@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/ckpt/trie.h"
+#include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
 namespace ckpt {
@@ -77,6 +78,65 @@ TEST(Replicate, OutOfRangeReplicaPanics) {
   ReplicatedState<Ledger> rs(Ledger{}, 1);
   EXPECT_THROW((void)rs.replica(5), util::PanicError);
   EXPECT_THROW(rs.Failover(5), util::PanicError);
+}
+
+// The "ckpt.replica_restore" storm hook: a replica restore dying
+// mid-propagation leaves the committed primary intact and every replica at
+// a mutation boundary — replicas before the fault hold the new version,
+// later ones the previous version; none are torn.
+TEST(Replicate, InjectedReplicaRestoreFaultLeavesBoundaryStates) {
+  auto& inj = util::FaultInjector::Global();
+  inj.Reset();
+
+  ReplicatedState<Ledger> rs(Ledger{1, {}}, /*backup_count=*/3);
+  rs.Apply([](Ledger& l) { l.total = 2; });  // all replicas at version 2
+
+  // Fire on the *second* replica of the next Apply: replica 0 restores the
+  // new state, the loop dies before touching replicas 1 and 2.
+  inj.ArmEveryNth("ckpt.replica_restore", 2);
+  EXPECT_THROW(rs.Apply([](Ledger& l) { l.total = 3; }), util::PanicError);
+  inj.Reset();
+
+  EXPECT_EQ(rs.primary().total, 3) << "the primary committed before the fan-out";
+  EXPECT_EQ(rs.replica(0).total, 3) << "restored before the fault";
+  EXPECT_EQ(rs.replica(1).total, 2) << "previous mutation boundary";
+  EXPECT_EQ(rs.replica(2).total, 2) << "previous mutation boundary";
+
+  // The system recovers: the next successful Apply reconverges everyone.
+  rs.Apply([](Ledger& l) { l.total = 4; });
+  for (std::size_t i = 0; i < rs.replica_count(); ++i) {
+    EXPECT_EQ(rs.replica(i).total, 4);
+  }
+}
+
+// The "ckpt.failover_resync" storm hook: promotion is unconditional, so a
+// resync fault after the swap leaves a valid new primary and stale (but
+// boundary-consistent) replicas.
+TEST(Replicate, InjectedFailoverResyncFaultKeepsPromotion) {
+  auto& inj = util::FaultInjector::Global();
+  inj.Reset();
+
+  ReplicatedState<Ledger> rs(Ledger{5, {}}, /*backup_count=*/2);
+  rs.Apply([](Ledger& l) { l.total = 6; });
+  // Diverge the primary from the replicas *without* propagation by failing
+  // the fan-out on its first replica.
+  inj.ArmOneShot("ckpt.replica_restore");
+  EXPECT_THROW(rs.Apply([](Ledger& l) { l.total = 9; }), util::PanicError);
+
+  inj.ArmOneShot("ckpt.failover_resync");
+  EXPECT_THROW(rs.Failover(0), util::PanicError);
+  inj.Reset();
+
+  EXPECT_EQ(rs.primary().total, 6) << "replica 0 was promoted";
+  EXPECT_EQ(rs.replica(0).total, 9) << "old primary demoted, not resynced";
+  EXPECT_EQ(rs.replica(1).total, 6) << "untouched replica";
+
+  // A clean failover afterwards converges everyone on the promoted state.
+  rs.Failover(1);
+  EXPECT_EQ(rs.primary().total, 6);
+  for (std::size_t i = 0; i < rs.replica_count(); ++i) {
+    EXPECT_EQ(rs.replica(i).total, 6);
+  }
 }
 
 TEST(Replicate, AliasStructureReplicates) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/ckpt/trie.h"
+#include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
 namespace ckpt {
@@ -123,6 +124,58 @@ TEST(Transaction, AliasedTrieRollsBackWithSharingIntact) {
   EXPECT_EQ(trie.RuleSlotCount(), 2u) << "insert rolled back";
   EXPECT_EQ(trie.DistinctRuleCount(), 1u)
       << "sharing pattern restored, not split";
+}
+
+// The "ckpt.txn_restore" storm hook: a restore dying mid-Abort surfaces as
+// a panic at the Abort() call with the state untouched — the caller can
+// observe the failed abort and the mutation is still visible (crash during
+// recovery, not silent corruption).
+TEST(Transaction, InjectedRestoreFaultInAbortPropagates) {
+  auto& inj = util::FaultInjector::Global();
+  inj.Reset();
+  inj.ArmOneShot("ckpt.txn_restore");
+
+  Account acct{100, {}};
+  {
+    Transaction<Account> txn(&acct);
+    acct.balance = 55;
+    EXPECT_THROW(txn.Abort(), util::PanicError);
+    EXPECT_TRUE(txn.active()) << "failed abort leaves the txn open";
+    txn.Commit();  // close it so the dtor doesn't re-run the restore
+  }
+  EXPECT_EQ(acct.balance, 55) << "restore never ran";
+  inj.Reset();
+}
+
+// The dtor flavour: an uncommitted guard going out of scope normally hits
+// the same fault point and may throw (the dtor is noexcept(false) exactly
+// for this). When the scope is already unwinding a panic, the fault point
+// is skipped — the rollback must run, not terminate the process.
+TEST(Transaction, InjectedRestoreFaultInDtorOnlyWhenNotUnwinding) {
+  auto& inj = util::FaultInjector::Global();
+  inj.Reset();
+  inj.ArmEveryNth("ckpt.txn_restore", 1);
+
+  Account acct{100, {}};
+  EXPECT_THROW(
+      {
+        Transaction<Account> txn(&acct);
+        acct.balance = 77;
+        // No Commit: the dtor aborts and the armed fault point fires.
+      },
+      util::PanicError);
+  EXPECT_EQ(acct.balance, 77) << "restore never ran";
+
+  // Unwinding path: the mutator panics, the dtor must NOT inject (it would
+  // std::terminate) and the rollback must complete.
+  EXPECT_THROW(Atomically(&acct,
+                          [](Account& a) {
+                            a.balance = -1;
+                            util::Panic("mutator died");
+                          }),
+               util::PanicError);
+  EXPECT_EQ(acct.balance, 77) << "rollback ran despite the armed site";
+  inj.Reset();
 }
 
 }  // namespace

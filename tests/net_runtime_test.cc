@@ -281,6 +281,77 @@ TEST(Runtime, ConcurrentStartAndShutdownAreSerialized) {
   }
 }
 
+// Regression for the stats-aggregation race: Stats() and registry scrapes
+// taken *while workers are processing* must be consistent snapshots —
+// counters monotone across reads, histogram bucket sums equal to their
+// counts — and the final post-shutdown totals must conserve packets.
+TEST(Runtime, ScrapeUnderLoadIsConsistent) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr int kBatches = 400;
+  constexpr std::size_t kBatchSize = 16;
+
+  RuntimeConfig cfg;
+  cfg.workers = kWorkers;
+  cfg.queue_depth = 16;
+  std::vector<StageSpec> spec;
+  spec.push_back(
+      {"null", [](std::size_t) { return std::make_unique<NullFilter>(); }});
+  Runtime rt(cfg, spec);
+  rt.Start();
+
+  std::thread feeder_thread([&rt] {
+    FlowSampler sampler(128, 0.0, 21);
+    FlowFeeder feeder(&sampler);
+    for (int i = 0; i < kBatches; ++i) {
+      rt.Dispatch(feeder.Next(kBatchSize));
+    }
+  });
+
+  std::uint64_t last_packets = 0;
+  std::uint64_t last_batches = 0;
+  std::uint64_t last_hist_count = 0;
+  for (int scrape = 0; scrape < 100; ++scrape) {
+    const RuntimeStats stats = rt.Stats();
+    ASSERT_GE(stats.totals.packets, last_packets)
+        << "packet counter went backwards at scrape " << scrape;
+    ASSERT_GE(stats.totals.batches, last_batches)
+        << "batch counter went backwards at scrape " << scrape;
+    last_packets = stats.totals.packets;
+    last_batches = stats.totals.batches;
+
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : stats.batch_cycles.buckets) {
+      bucket_total += b;
+    }
+    ASSERT_EQ(bucket_total, stats.batch_cycles.count)
+        << "torn batch_cycles histogram at scrape " << scrape;
+    ASSERT_GE(stats.batch_cycles.count, last_hist_count)
+        << "histogram count went backwards at scrape " << scrape;
+    last_hist_count = stats.batch_cycles.count;
+
+    // The exporters must stay usable mid-run too.
+    if (scrape % 25 == 0) {
+      EXPECT_NE(rt.ScrapePrometheus().find("runtime_packets_total"),
+                std::string::npos);
+      EXPECT_NE(rt.ScrapeJson().find("runtime.batch_cycles"),
+                std::string::npos);
+    }
+  }
+
+  feeder_thread.join();
+  rt.Shutdown();
+
+  const RuntimeStats stats = rt.Stats();
+  EXPECT_EQ(stats.totals.packets, kBatches * kBatchSize);
+  EXPECT_GE(stats.totals.packets, last_packets);
+  EXPECT_EQ(stats.batch_cycles.count, stats.totals.batches)
+      << "every executed sub-batch records exactly one batch_cycles sample";
+  EXPECT_GT(stats.mempool_in_use_hwm, 0u);
+  EXPECT_EQ(stats.mempool_in_use, 0u)
+      << "all packets freed after shutdown";
+  EXPECT_EQ(stats.mempool_alloc_failures, 0u);
+}
+
 TEST(Runtime, ShutdownIsIdempotent) {
   RuntimeConfig cfg;
   cfg.workers = 2;

@@ -1,0 +1,211 @@
+// obs::Registry / Counter / Gauge / Histogram — correctness of the sharded
+// lock-free metrics, with emphasis on the consistency contract: scrapes
+// taken while writers hammer the metrics must see monotone counters and
+// never a torn histogram (sum of buckets == count in every snapshot).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+
+namespace {
+
+TEST(Counter, ShardedAddsSum) {
+  obs::Counter c(4);
+  c.Add(0, 5);
+  c.Add(1, 7);
+  c.Add(5, 2);  // shard index folds mod 4 -> shard 1
+  EXPECT_EQ(c.Value(), 14u);
+  EXPECT_EQ(c.ShardValue(0), 5u);
+  EXPECT_EQ(c.ShardValue(1), 9u);
+}
+
+TEST(Counter, ConcurrentIncrementsAllCounted) {
+  constexpr int kThreads = 4;
+  constexpr int kIncrementsPerThread = 50000;
+  obs::Counter c(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        c.Inc(static_cast<std::size_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(c.Value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(Gauge, SumMaxAndSetMax) {
+  obs::Gauge g(3);
+  g.Set(0, 10);
+  g.Set(1, -3);
+  g.Set(2, 7);
+  EXPECT_EQ(g.Sum(), 14);
+  EXPECT_EQ(g.Max(), 10);
+  g.SetMax(1, 25);
+  EXPECT_EQ(g.ShardValue(1), 25);
+  g.SetMax(1, 4);  // lower value must not regress the max
+  EXPECT_EQ(g.ShardValue(1), 25);
+}
+
+TEST(Histogram, BucketBoundariesExactBelowFour) {
+  // Values 0..3 land in exact singleton buckets.
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    const std::size_t idx = obs::Histogram::BucketIndex(v);
+    EXPECT_EQ(obs::Histogram::BucketLowerBound(idx), v);
+    EXPECT_EQ(obs::Histogram::BucketUpperBound(idx), v + 1);
+  }
+}
+
+TEST(Histogram, BucketIndexConsistentWithBounds) {
+  // For a spread of magnitudes, v must land inside [lower, upper) of its
+  // own bucket, and bucket lower bounds must be strictly increasing.
+  std::vector<std::uint64_t> probes = {0,    1,     3,       4,      5,
+                                       7,    8,     100,     1023,   1024,
+                                       4096, 65537, 1u << 30};
+  probes.push_back(std::uint64_t{1} << 40);
+  probes.push_back(std::uint64_t{1} << 62);
+  for (std::uint64_t v : probes) {
+    const std::size_t idx = obs::Histogram::BucketIndex(v);
+    ASSERT_LT(idx, obs::Histogram::kBuckets) << "v=" << v;
+    EXPECT_GE(v, obs::Histogram::BucketLowerBound(idx)) << "v=" << v;
+    EXPECT_LT(v, obs::Histogram::BucketUpperBound(idx)) << "v=" << v;
+  }
+  for (std::size_t idx = 1; idx < obs::Histogram::kBuckets; ++idx) {
+    EXPECT_LT(obs::Histogram::BucketLowerBound(idx - 1),
+              obs::Histogram::BucketLowerBound(idx));
+  }
+}
+
+TEST(Histogram, SnapshotStatisticsMatchRecords) {
+  obs::Histogram h(2);
+  std::uint64_t expected_sum = 0;
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    h.Record(v % 2, v);
+    expected_sum += v;
+  }
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.sum, expected_sum);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : snap.buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, snap.count);
+  // Median of 0..999 — allow log-linear bucket width (~12.5% at that size).
+  EXPECT_NEAR(snap.Percentile(50.0), 500.0, 80.0);
+  EXPECT_NEAR(snap.Mean(), 499.5, 0.5);
+}
+
+// The core consistency claim: scraping while writers are mid-Record never
+// yields a snapshot whose buckets disagree with its count, and repeated
+// scrapes observe monotone counts.
+TEST(Histogram, SnapshotConsistentUnderConcurrentWriters) {
+  obs::Histogram h(4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop, t] {
+      std::uint64_t v = static_cast<std::uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.Record(static_cast<std::size_t>(t), v);
+        v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap LCG spread
+        v >>= 32;
+      }
+    });
+  }
+
+  // Keep scraping until the writers have demonstrably made progress (on a
+  // single-CPU host 200 back-to-back scrapes can all land before any writer
+  // is ever scheduled), bounded by a wall-clock deadline.
+  std::uint64_t last_count = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (int scrape = 0; scrape < 200 || last_count == 0; ++scrape) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    const obs::HistogramSnapshot snap = h.Snapshot();
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : snap.buckets) {
+      bucket_total += b;
+    }
+    ASSERT_EQ(bucket_total, snap.count) << "torn snapshot at scrape "
+                                        << scrape;
+    ASSERT_GE(snap.count, last_count) << "count went backwards";
+    last_count = snap.count;
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& w : writers) {
+    w.join();
+  }
+  EXPECT_GT(last_count, 0u);
+}
+
+TEST(Registry, GetOrCreateReturnsStablePointers) {
+  obs::Registry reg;
+  obs::Counter* a = reg.GetCounter("x.total", 2);
+  obs::Counter* b = reg.GetCounter("x.total", 8);  // shards fixed by first
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->shards(), 2u);
+  EXPECT_NE(reg.GetCounter("y.total"), a);
+  obs::Histogram* h1 = reg.GetHistogram("x.cycles", 2);
+  EXPECT_EQ(reg.GetHistogram("x.cycles"), h1);
+}
+
+TEST(Registry, ScrapeAndExporters) {
+  obs::Registry reg;
+  reg.GetCounter("demo.calls_total")->Add(0, 3);
+  reg.GetGauge("demo.depth", 2)->Set(1, 9);
+  reg.GetHistogram("demo.cycles")->Record(0, 100);
+  reg.RegisterGaugeFn("demo.fn_gauge", [] { return std::int64_t{42}; });
+
+  const obs::Snapshot snap = reg.Scrape();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "demo.calls_total");
+  EXPECT_EQ(snap.counters[0].value, 3u);
+  // Callback gauges surface alongside stored gauges at scrape time.
+  bool saw_fn_gauge = false;
+  for (const auto& g : snap.gauges) {
+    saw_fn_gauge = saw_fn_gauge || (g.name == "demo.fn_gauge" && g.sum == 42);
+  }
+  EXPECT_TRUE(saw_fn_gauge);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].hist.count, 1u);
+
+  const std::string prom = snap.ToPrometheus();
+  EXPECT_NE(prom.find("demo_calls_total 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("demo_cycles_count 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos) << prom;
+
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"demo.calls_total\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+}
+
+TEST(Metrics, ArmDisarmFlag) {
+  EXPECT_FALSE(obs::MetricsArmed());
+  obs::ArmMetrics(true);
+  EXPECT_TRUE(obs::MetricsArmed());
+  obs::ArmMetrics(false);
+  EXPECT_FALSE(obs::MetricsArmed());
+}
+
+TEST(Metrics, ThisThreadShardStableWithinThread) {
+  const std::size_t a = obs::ThisThreadShard(8);
+  const std::size_t b = obs::ThisThreadShard(8);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, 8u);
+}
+
+}  // namespace

@@ -1,0 +1,471 @@
+// trace_lint — validate machine-readable observability artifacts.
+//
+// Two modes:
+//   trace_lint <trace.json> [...]        strict chrome://tracing check:
+//     parses the file as JSON, requires a top-level object with a
+//     "traceEvents" array, and checks every event for the trace-event-format
+//     invariants Perfetto relies on (ph/name/ts present, "X" spans carry a
+//     dur, pid/tid are integers). Prints a per-file event census.
+//   trace_lint --any <file.json> [...]   plain JSON well-formedness only —
+//     used for BENCH_<name>.json files, whose schema is bench-specific.
+//
+// Self-contained recursive-descent JSON parser (no third-party deps); exits
+// non-zero on the first malformed file so CI fails loudly.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser. Numbers are kept as doubles plus an
+// "is_integer" flag (enough to validate pid/tid/ts fields).
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonPtr = std::unique_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0;
+  bool is_integer = false;
+  std::string string_value;
+  std::vector<JsonPtr> array;
+  std::vector<std::pair<std::string, JsonPtr>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return v.get();
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonPtr Parse(std::string* error) {
+    JsonPtr value = ParseValue();
+    if (!value) {
+      *error = error_;
+      return nullptr;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      *error = "trailing garbage at offset " + std::to_string(pos_);
+      return nullptr;
+    }
+    return value;
+  }
+
+ private:
+  JsonPtr Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return nullptr;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonPtr ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseKeyword(c == 't' ? "true" : "false");
+      case 'n':
+        return ParseKeyword("null");
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+          return ParseNumber();
+        }
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  JsonPtr ParseKeyword(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      return Fail("bad keyword");
+    }
+    pos_ += len;
+    auto value = std::make_unique<JsonValue>();
+    if (word[0] == 'n') {
+      value->kind = JsonValue::Kind::kNull;
+    } else {
+      value->kind = JsonValue::Kind::kBool;
+      value->bool_value = word[0] == 't';
+    }
+    return value;
+  }
+
+  JsonPtr ParseNumber() {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("digit expected after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("digit expected in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      return Fail("malformed number");
+    }
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kNumber;
+    value->number = std::stod(token);
+    value->is_integer = integral;
+    return value;
+  }
+
+  JsonPtr ParseString() {
+    if (!Consume('"')) {
+      return Fail("string expected");
+    }
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return value;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        value->string_value.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': value->string_value.push_back('"'); break;
+        case '\\': value->string_value.push_back('\\'); break;
+        case '/': value->string_value.push_back('/'); break;
+        case 'b': value->string_value.push_back('\b'); break;
+        case 'f': value->string_value.push_back('\f'); break;
+        case 'n': value->string_value.push_back('\n'); break;
+        case 'r': value->string_value.push_back('\r'); break;
+        case 't': value->string_value.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          // Validation only — keep the raw escape, no UTF-8 re-encode.
+          value->string_value.append(text_, pos_ - 2, 6);
+          pos_ += 4;
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  JsonPtr ParseArray() {
+    if (!Consume('[')) {
+      return Fail("array expected");
+    }
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kArray;
+    if (Consume(']')) {
+      return value;
+    }
+    while (true) {
+      JsonPtr element = ParseValue();
+      if (!element) {
+        return nullptr;
+      }
+      value->array.push_back(std::move(element));
+      if (Consume(']')) {
+        return value;
+      }
+      if (!Consume(',')) {
+        return Fail("',' or ']' expected in array");
+      }
+    }
+  }
+
+  JsonPtr ParseObject() {
+    if (!Consume('{')) {
+      return Fail("object expected");
+    }
+    auto value = std::make_unique<JsonValue>();
+    value->kind = JsonValue::Kind::kObject;
+    if (Consume('}')) {
+      return value;
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonPtr key = ParseString();
+      if (!key) {
+        return nullptr;
+      }
+      if (!Consume(':')) {
+        return Fail("':' expected after object key");
+      }
+      JsonPtr element = ParseValue();
+      if (!element) {
+        return nullptr;
+      }
+      value->object.emplace_back(std::move(key->string_value),
+                                 std::move(element));
+      if (Consume('}')) {
+        return value;
+      }
+      if (!Consume(',')) {
+        return Fail("',' or '}' expected in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace-event-format checks.
+// ---------------------------------------------------------------------------
+
+bool FieldIsIntegral(const JsonValue& event, const char* key,
+                     std::string* why) {
+  const JsonValue* field = event.Find(key);
+  if (field == nullptr) {
+    *why = std::string("missing \"") + key + "\"";
+    return false;
+  }
+  if (field->kind != JsonValue::Kind::kNumber || !field->is_integer) {
+    *why = std::string("\"") + key + "\" is not an integer";
+    return false;
+  }
+  return true;
+}
+
+bool LintTraceEvents(const JsonValue& root, const std::string& path) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
+    return false;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "%s: no \"traceEvents\" array\n", path.c_str());
+    return false;
+  }
+
+  std::map<std::string, std::size_t> phase_census;
+  std::map<std::string, std::size_t> name_census;
+  std::size_t index = 0;
+  for (const JsonPtr& event_ptr : events->array) {
+    const JsonValue& event = *event_ptr;
+    const std::string where = path + ": event " + std::to_string(index++);
+    if (event.kind != JsonValue::Kind::kObject) {
+      std::fprintf(stderr, "%s is not an object\n", where.c_str());
+      return false;
+    }
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString ||
+        ph->string_value.size() != 1) {
+      std::fprintf(stderr, "%s: missing/invalid \"ph\"\n", where.c_str());
+      return false;
+    }
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        name->string_value.empty()) {
+      std::fprintf(stderr, "%s: missing/empty \"name\"\n", where.c_str());
+      return false;
+    }
+    const char phase = ph->string_value[0];
+    std::string why;
+    if (!FieldIsIntegral(event, "pid", &why)) {
+      std::fprintf(stderr, "%s: %s\n", where.c_str(), why.c_str());
+      return false;
+    }
+    // Process-scoped metadata ('M' process_name) carries no tid; every
+    // thread-track event must.
+    if ((phase != 'M' || event.Find("tid") != nullptr) &&
+        !FieldIsIntegral(event, "tid", &why)) {
+      std::fprintf(stderr, "%s: %s\n", where.c_str(), why.c_str());
+      return false;
+    }
+    switch (phase) {
+      case 'X': {
+        const JsonValue* ts = event.Find("ts");
+        const JsonValue* dur = event.Find("dur");
+        if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+          std::fprintf(stderr, "%s: span missing \"ts\"\n", where.c_str());
+          return false;
+        }
+        if (dur == nullptr || dur->kind != JsonValue::Kind::kNumber ||
+            dur->number < 0) {
+          std::fprintf(stderr, "%s: span missing/negative \"dur\"\n",
+                       where.c_str());
+          return false;
+        }
+        break;
+      }
+      case 'i': {
+        const JsonValue* ts = event.Find("ts");
+        if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+          std::fprintf(stderr, "%s: instant missing \"ts\"\n", where.c_str());
+          return false;
+        }
+        break;
+      }
+      case 'M':
+        // Metadata (thread_name etc.) — pid/tid/name already checked.
+        break;
+      default:
+        std::fprintf(stderr, "%s: unexpected phase '%c'\n", where.c_str(),
+                     phase);
+        return false;
+    }
+    phase_census[ph->string_value]++;
+    if (phase != 'M') {
+      name_census[name->string_value]++;
+    }
+  }
+
+  std::printf("%s: OK — %zu events (", path.c_str(), events->array.size());
+  bool first = true;
+  for (const auto& [phase, count] : phase_census) {
+    std::printf("%s%s:%zu", first ? "" : " ", phase.c_str(), count);
+    first = false;
+  }
+  std::printf(")\n");
+  for (const auto& [event_name, count] : name_census) {
+    std::printf("  %-32s %zu\n", event_name.c_str(), count);
+  }
+  return true;
+}
+
+bool LintFile(const std::string& path, bool any_json) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "%s: empty file\n", path.c_str());
+    return false;
+  }
+
+  std::string error;
+  JsonParser parser(text);
+  JsonPtr root = parser.Parse(&error);
+  if (!root) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  if (any_json) {
+    std::printf("%s: OK — valid JSON (%zu bytes)\n", path.c_str(),
+                text.size());
+    return true;
+  }
+  return LintTraceEvents(*root, path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool any_json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--any") == 0) {
+      any_json = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: trace_lint [--any] file.json [...]\n"
+                  "  default: validate chrome://tracing trace-event files\n"
+                  "  --any  : only check JSON well-formedness (BENCH_*.json)\n");
+      return 0;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "trace_lint: no input files (see --help)\n");
+    return 2;
+  }
+  bool ok = true;
+  for (const std::string& path : paths) {
+    ok = LintFile(path, any_json) && ok;
+  }
+  return ok ? 0 : 1;
+}
