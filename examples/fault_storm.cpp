@@ -19,6 +19,7 @@
 //   * healthy shards never notice any of it.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -88,6 +89,60 @@ std::vector<net::StageSpec> BuildChain() {
   return spec;
 }
 
+// One per-interval scrape of both registries (the runtime's own and the
+// process-global one carrying sfi/ckpt/fault series). Printed after every
+// storm phase and collected into the delta-scrape JSON artifact, so CI can
+// see the fault *rates* of each phase instead of one end-of-run cumulative
+// blur.
+struct PhaseDelta {
+  int phase;
+  std::string label;
+  std::string runtime_json;
+  std::string global_json;
+};
+
+PhaseDelta ScrapePhase(int phase, const std::string& label,
+                       net::Runtime& rt) {
+  const obs::DeltaSnapshot runtime_delta = rt.registry().SnapshotDelta();
+  const obs::DeltaSnapshot global_delta =
+      obs::Registry::Global().SnapshotDelta();
+  std::printf("\n--- delta scrape, phase %d (%s, %.3fs) ---\n", phase,
+              label.c_str(), runtime_delta.interval_seconds);
+  auto print_deltas = [](const char* which, const obs::DeltaSnapshot& d) {
+    for (const auto& c : d.counters) {
+      if (c.delta == 0) continue;
+      std::printf("  %s %-34s +%llu (%.1f/s)\n", which, c.name.c_str(),
+                  static_cast<unsigned long long>(c.delta), c.rate);
+    }
+    for (const auto& h : d.histograms) {
+      if (h.delta.count == 0) continue;
+      std::printf("  %s %-34s n=+%llu p50=%.0f p99=%.0f cycles\n", which,
+                  h.name.c_str(),
+                  static_cast<unsigned long long>(h.delta.count),
+                  h.delta.Percentile(50.0), h.delta.Percentile(99.0));
+    }
+  };
+  print_deltas("rt ", runtime_delta);
+  print_deltas("glb", global_delta);
+  return PhaseDelta{phase, label, runtime_delta.ToJson(),
+                    global_delta.ToJson()};
+}
+
+bool WriteDeltaJson(const std::string& path,
+                    const std::vector<PhaseDelta>& phases) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << "{\"phases\":[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "{\"phase\":" << phases[i].phase << ",\"label\":\""
+        << phases[i].label << "\",\"runtime\":" << phases[i].runtime_json
+        << ",\"global\":" << phases[i].global_json << '}';
+  }
+  out << "]}\n";
+  return out.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,14 +150,19 @@ int main(int argc, char** argv) {
   constexpr std::size_t kBatch = 16;
   constexpr int kStormBatches = 1500;
 
-  // Optional trace path (default fault_storm_trace.json). The whole storm is
+  // Optional trace path (default fault_storm_trace.json) and delta-scrape
+  // artifact path (default fault_storm_delta.json). The whole storm is
   // traced: batches, faults, recoveries, and the quarantine land in one
-  // chrome://tracing / Perfetto timeline.
+  // chrome://tracing / Perfetto timeline, flow-correlated by async tracks.
   const char* trace_path =
       argc > 1 ? argv[1] : "fault_storm_trace.json";
+  const char* delta_path =
+      argc > 2 ? argv[2] : "fault_storm_delta.json";
   obs::ArmMetrics(true);
   obs::Tracer& tracer = obs::Tracer::Global();
-  tracer.Arm(/*ring_capacity=*/1 << 15);
+  // Ring sized so a full storm's async spans survive without wraparound
+  // splitting a 'b' from its 'e' (trace_lint enforces pairing).
+  tracer.Arm(/*ring_capacity=*/1 << 17);
   tracer.SetThreadName("storm-driver");
 
   // The storm plan. Everything is seeded: rerunning the binary replays the
@@ -125,6 +185,12 @@ int main(int argc, char** argv) {
   net::Runtime rt(cfg, BuildChain());
   rt.Start();
 
+  // Baseline both delta clocks right before the storm so phase 1's interval
+  // covers the storm itself, not runtime construction.
+  (void)rt.registry().SnapshotDelta();
+  (void)obs::Registry::Global().SnapshotDelta();
+  std::vector<PhaseDelta> phase_deltas;
+
   net::FlowSampler sampler(512, /*zipf_s=*/1.0, /*seed=*/2026);
   net::FlowFeeder feeder(&sampler);
   for (int i = 0; i < kStormBatches; ++i) {
@@ -135,6 +201,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
+  phase_deltas.push_back(ScrapePhase(1, "storm", rt));
 
   // Keep dispatching until worker 0's tap is quarantined (bounded wait —
   // with a 6-attempt budget this resolves in a few supervisor passes).
@@ -145,6 +212,7 @@ int main(int argc, char** argv) {
     rt.Dispatch(feeder.Next(kBatch));
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  phase_deltas.push_back(ScrapePhase(2, "quarantine", rt));
 
   // Calm after the storm: disarm everything and prove the degraded runtime
   // still forwards on every shard, including past the quarantined tap.
@@ -153,6 +221,7 @@ int main(int argc, char** argv) {
     rt.Dispatch(feeder.Next(kBatch));
   }
   rt.Shutdown();
+  phase_deltas.push_back(ScrapePhase(3, "calm", rt));
 
   const net::RuntimeStats stats = rt.Stats();
   std::printf("=== fault storm report ===\n%s\n", stats.Summary().c_str());
@@ -171,6 +240,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(tracer.dropped_events()));
   } else {
     std::fprintf(stderr, "failed to write trace to %s\n", trace_path);
+  }
+  if (WriteDeltaJson(delta_path, phase_deltas)) {
+    std::printf("delta scrapes: %s (%zu phases)\n", delta_path,
+                phase_deltas.size());
+  } else {
+    std::fprintf(stderr, "failed to write delta scrapes to %s\n", delta_path);
   }
 
   std::printf("\n--- degradation report ---\n");

@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "src/ckpt/checkpoint.h"
+#include "src/ckpt/obs.h"
 #include "src/ckpt/txn.h"
 #include "src/obs/trace.h"
+#include "src/util/cycles.h"
 #include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
@@ -46,6 +48,8 @@ class ReplicatedState {
       std::forward<Fn>(mutator)(primary_);
       txn.Commit();
     }
+    const bool armed = obs::MetricsArmed(obs::MetricGroup::kCkpt);
+    const std::uint64_t t0 = armed ? util::CycleStart() : 0;
     Snapshot snap = Checkpoint(primary_);
     for (T& replica : replicas_) {
       // Storm hook: a replica restore dying mid-propagation. The primary
@@ -55,6 +59,12 @@ class ReplicatedState {
       // boundary (Restore either completes or leaves the old value).
       LINSYS_FAULT_POINT("ckpt.replica_restore");
       replica = Restore<T>(snap);
+    }
+    if (armed) {
+      const CkptObs& m = CkptObs::Get();
+      m.replicate_cycles->RecordWithExemplar(util::CycleEnd() - t0,
+                                             obs::CurrentFlowId());
+      m.restores->Inc();
     }
     ++version_;
   }
@@ -72,6 +82,8 @@ class ReplicatedState {
   void Failover(std::size_t i) {
     LINSYS_ASSERT(i < replicas_.size(), "replica index out of range");
     LINSYS_TRACE_SPAN("ckpt.failover");
+    const bool armed = obs::MetricsArmed(obs::MetricGroup::kCkpt);
+    const std::uint64_t t0 = armed ? util::CycleStart() : 0;
     std::swap(primary_, replicas_[i]);
     // Storm hook: promotion happened (the swap is unconditional) but the
     // re-sync of the remaining replicas dies. The new primary is valid;
@@ -80,6 +92,12 @@ class ReplicatedState {
     Snapshot current = Checkpoint(primary_);
     for (T& replica : replicas_) {
       replica = Restore<T>(current);
+    }
+    if (armed) {
+      const CkptObs& m = CkptObs::Get();
+      m.failover_cycles->RecordWithExemplar(util::CycleEnd() - t0,
+                                            obs::CurrentFlowId());
+      m.restores->Inc();
     }
   }
 

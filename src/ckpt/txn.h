@@ -16,7 +16,9 @@
 #include <utility>
 
 #include "src/ckpt/checkpoint.h"
+#include "src/ckpt/obs.h"
 #include "src/obs/trace.h"
+#include "src/util/cycles.h"
 #include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
@@ -45,7 +47,15 @@ class Transaction {
     // Storm hook: a restore that dies mid-abort. The explicit-Abort caller
     // sees the panic with the state untouched (the undo snapshot survives).
     LINSYS_FAULT_POINT("ckpt.txn_restore");
+    const bool armed = obs::MetricsArmed(obs::MetricGroup::kCkpt);
+    const std::uint64_t t0 = armed ? util::CycleStart() : 0;
     *state_ = Restore<T>(undo_);
+    if (armed) {
+      const CkptObs& m = CkptObs::Get();
+      m.txn_restore_cycles->RecordWithExemplar(util::CycleEnd() - t0,
+                                               obs::CurrentFlowId());
+      m.restores->Inc();
+    }
     state_ = nullptr;
   }
 
@@ -64,7 +74,15 @@ class Transaction {
       if (std::uncaught_exceptions() == 0) {
         LINSYS_FAULT_POINT("ckpt.txn_restore");
       }
+      const bool armed = obs::MetricsArmed(obs::MetricGroup::kCkpt);
+      const std::uint64_t t0 = armed ? util::CycleStart() : 0;
       *state_ = Restore<T>(undo_);
+      if (armed) {
+        const CkptObs& m = CkptObs::Get();
+        m.txn_restore_cycles->RecordWithExemplar(util::CycleEnd() - t0,
+                                                 obs::CurrentFlowId());
+        m.restores->Inc();
+      }
     }
   }
 

@@ -269,6 +269,11 @@ class IsolatedPipeline {
   void Quarantine(Stage& stage) {
     stage.health.quarantined = true;
     LINSYS_TRACE_INSTANT("runtime.quarantine");
+    // Close the incident on the faulting flow's async track: the id comes
+    // from the domain's fault capture, since quarantine runs on the
+    // supervisor thread with no TLS flow context.
+    LINSYS_TRACE_ASYNC_INSTANT("flow.quarantine", "flow",
+                               stage.domain->last_fault_flow());
     // Terminal for the domain: rrefs expire, re-entry refused. The *stage*
     // keeps degrading traffic per its policy.
     mgr_->Retire(*stage.domain);

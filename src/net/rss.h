@@ -60,6 +60,16 @@ class BasicRssDispatcher {
       const std::size_t worker = WorkerFor(item);
       per_worker[worker].Push(std::move(item));
     }
+    // Flow-id propagation: batch types carrying a dispatch-assigned flow id
+    // (FlowBatch) stamp it onto every per-worker sub-batch, so the id
+    // follows the work across the channel and the worker can re-enter the
+    // flow's trace context. Batch types without one (PacketBatch) compile
+    // this out.
+    if constexpr (requires { per_worker[0].set_flow_id(batch.flow_id()); }) {
+      for (auto& sub : per_worker) {
+        sub.set_flow_id(batch.flow_id());
+      }
+    }
     std::size_t sent = 0;
     for (std::size_t w = 0; w < queues_.size(); ++w) {
       if (per_worker[w].empty()) {

@@ -62,6 +62,12 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
   telemetry_.stalls = registry_.GetCounter("runtime.stalls_total", shards);
   telemetry_.rejected_dispatches =
       registry_.GetCounter("runtime.rejected_dispatches_total");
+  telemetry_.dispatch_faults =
+      registry_.GetCounter("runtime.dispatch_faults_total");
+  // Producer-side, so TLS-sharded rather than per-worker (any thread may
+  // call Dispatch); only recorded while the net group is armed.
+  telemetry_.dispatch_cycles =
+      registry_.GetHistogram("runtime.dispatch_cycles", 4);
   telemetry_.queue_depth = registry_.GetGauge("runtime.queue_depth", shards);
   telemetry_.queue_hwm = registry_.GetGauge("runtime.queue_depth_hwm", shards);
   telemetry_.batch_cycles =
@@ -169,7 +175,16 @@ void Runtime::WorkerMain(Worker& w) {
     telemetry_.queue_depth->Set(w.index, static_cast<std::int64_t>(depth));
     telemetry_.queue_hwm->SetMax(w.index, static_cast<std::int64_t>(depth));
     w.busy.store(false, std::memory_order_release);
-    auto handle = queue.Recv();
+    std::optional<lin::Own<FlowBatch>> handle;
+    try {
+      handle = queue.Recv();
+    } catch (const util::PanicError&) {
+      // An injected channel.recv fault fires before the dequeue, so the
+      // message is still queued: count the fault and take it next iteration.
+      telemetry_.faults->Inc(w.index);
+      LINSYS_TRACE_INSTANT_ARG("runtime.recv_fault", w.index);
+      continue;
+    }
     if (!handle.has_value()) {
       break;  // closed and drained
     }
@@ -183,6 +198,11 @@ void Runtime::WorkerMain(Worker& w) {
 
 void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
   LINSYS_TRACE_SPAN("runtime.batch");
+  // Re-enter the flow's context on this worker: instrumentation below here
+  // (stage crossings, fault capture, exemplars) tags what it records with
+  // the dispatch-assigned id, and the batch span joins the flow's track.
+  obs::ScopedFlowId flow_scope(flows.flow_id());
+  LINSYS_TRACE_ASYNC_SPAN("flow.batch", "flow", flows.flow_id());
   // Materialize frames from this worker's own pool, on this thread —
   // the whole buffer lifecycle (alloc, fault-unwind, drop) is shard-local.
   PacketBatch batch(flows.size());
@@ -224,7 +244,8 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
     const std::uint64_t qdrop_delta =
         w.isolated.QuarantineDropPkts() - qdrop_before;
     lock.unlock();
-    telemetry_.batch_cycles->Record(w.index, util::CycleEnd() - t0);
+    telemetry_.batch_cycles->RecordWithExemplar(w.index, util::CycleEnd() - t0,
+                                                flows.flow_id());
     if (!result.ok()) {
       // The in-flight batch was reclaimed during unwinding (still on this
       // thread, still this worker's pool). kFault = a fresh panic, worth

@@ -63,6 +63,8 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sfi/manager.h"
+#include "src/util/cycles.h"
+#include "src/util/panic.h"
 #include "src/util/stats.h"
 
 namespace net {
@@ -92,8 +94,15 @@ class FlowBatch {
   auto begin() const { return work_.begin(); }
   auto end() const { return work_.end(); }
 
+  // Trace-correlation id assigned by Runtime::Dispatch (0 = unassigned).
+  // BasicRssDispatcher copies it onto every per-worker sub-batch, so the
+  // whole fan-out shares one async track.
+  std::uint64_t flow_id() const { return flow_id_; }
+  void set_flow_id(std::uint64_t id) { flow_id_ = id; }
+
  private:
   std::vector<FlowWork> work_;
+  std::uint64_t flow_id_ = 0;
 };
 
 // Sequence numbers ride in the first 8 payload bytes (host order).
@@ -232,7 +241,28 @@ class Runtime {
       return false;
     }
     LINSYS_TRACE_SPAN("runtime.dispatch");
-    rss_.Dispatch(std::move(batch));
+    // Flow correlation starts here: one process-unique id per dispatched
+    // batch, stamped onto the batch (and by RSS onto its per-worker
+    // sub-batches) and opening the flow's async track. Cost when tracing
+    // and net metrics are off: one relaxed RMW per *batch*.
+    const std::uint64_t flow_id = obs::NextFlowId();
+    batch.set_flow_id(flow_id);
+    LINSYS_TRACE_ASYNC_SPAN("flow.dispatch", "flow", flow_id);
+    const bool armed = obs::MetricsArmed(obs::MetricGroup::kNet);
+    const std::uint64_t t0 = armed ? util::CycleStart() : 0;
+    try {
+      rss_.Dispatch(std::move(batch));
+    } catch (const util::PanicError&) {
+      // An injected channel.send fault: the not-yet-sent sub-batches died
+      // with the unwind (flow descriptors only, no packet buffers) and the
+      // worker queues are untouched — count it and refuse the batch.
+      telemetry_.dispatch_faults->Inc();
+      return false;
+    }
+    if (armed) {
+      telemetry_.dispatch_cycles->RecordWithExemplar(util::CycleEnd() - t0,
+                                                     flow_id);
+    }
     return true;
   }
 
@@ -291,9 +321,11 @@ class Runtime {
     obs::Counter* recoveries = nullptr;
     obs::Counter* stalls = nullptr;
     obs::Counter* rejected_dispatches = nullptr;
+    obs::Counter* dispatch_faults = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* queue_hwm = nullptr;
     obs::Histogram* batch_cycles = nullptr;
+    obs::Histogram* dispatch_cycles = nullptr;  // kNet-armed only
   };
 
   void WorkerMain(Worker& w);

@@ -7,11 +7,21 @@
 namespace obs {
 
 namespace internal {
-std::atomic<bool> g_metrics_armed{false};
+std::atomic<std::uint32_t> g_metrics_armed_mask{0};
 }  // namespace internal
 
 void ArmMetrics(bool on) {
-  internal::g_metrics_armed.store(on, std::memory_order_relaxed);
+  internal::g_metrics_armed_mask.store(on ? kAllMetricGroups : 0u,
+                                       std::memory_order_relaxed);
+}
+
+void ArmMetricsGroup(MetricGroup g, bool on) {
+  const std::uint32_t bit = 1u << static_cast<unsigned>(g);
+  if (on) {
+    internal::g_metrics_armed_mask.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    internal::g_metrics_armed_mask.fetch_and(~bit, std::memory_order_relaxed);
+  }
 }
 
 std::size_t ThisThreadShard(std::size_t shards) {
@@ -72,7 +82,8 @@ std::int64_t Gauge::Max() const {
 
 Histogram::Histogram(std::size_t shards)
     : shard_count_(shards == 0 ? 1 : shards),
-      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+      shards_(std::make_unique<Shard[]>(shard_count_)),
+      exemplars_(std::make_unique<ExemplarCell[]>(kBuckets)) {}
 
 std::size_t Histogram::BucketIndex(std::uint64_t v) {
   constexpr std::uint64_t kSub = 1u << kSubBits;
@@ -140,6 +151,14 @@ HistogramSnapshot Histogram::Snapshot() const {
     snap.count += bucket_census;
     snap.sum += shard_sum;
     (void)c1;
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t id =
+        exemplars_[b].trace_id.load(std::memory_order_relaxed);
+    if (id != 0 && snap.buckets[b] != 0) {
+      snap.exemplars.push_back(
+          {b, exemplars_[b].value.load(std::memory_order_relaxed), id});
+    }
   }
   return snap;
 }
@@ -247,8 +266,12 @@ void Registry::RegisterGaugeFn(const std::string& name,
 }
 
 Snapshot Registry::Scrape() const {
-  Snapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
+  return ScrapeLocked();
+}
+
+Snapshot Registry::ScrapeLocked() const {
+  Snapshot snap;
   for (const auto& e : counters_) {
     Snapshot::CounterSample s;
     s.name = e.name;
@@ -282,6 +305,75 @@ Snapshot Registry::Scrape() const {
   return snap;
 }
 
+namespace {
+
+// Baseline lookup by name: metrics registered mid-interval delta from zero.
+template <typename Vec>
+const typename Vec::value_type* FindByName(const Vec& vec,
+                                           const std::string& name) {
+  for (const auto& s : vec) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+DeltaSnapshot Registry::SnapshotDelta() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot cur = ScrapeLocked();
+  const auto now = std::chrono::steady_clock::now();
+
+  DeltaSnapshot d;
+  d.interval_seconds =
+      std::chrono::duration<double>(now - delta_base_time_).count();
+
+  for (const auto& c : cur.counters) {
+    const auto* base = FindByName(delta_base_.counters, c.name);
+    const std::uint64_t before = base != nullptr ? base->value : 0;
+    DeltaSnapshot::CounterDelta cd;
+    cd.name = c.name;
+    cd.delta = c.value >= before ? c.value - before : 0;  // monotone; clamp
+    cd.rate = d.interval_seconds > 0.0
+                  ? static_cast<double>(cd.delta) / d.interval_seconds
+                  : 0.0;
+    d.counters.push_back(std::move(cd));
+  }
+
+  d.gauges = cur.gauges;  // gauges are levels, not rates: report current
+
+  for (const auto& h : cur.histograms) {
+    const auto* base = FindByName(delta_base_.histograms, h.name);
+    DeltaSnapshot::HistogramDelta hd;
+    hd.name = h.name;
+    hd.delta.buckets.assign(h.hist.buckets.size(), 0);
+    for (std::size_t b = 0; b < h.hist.buckets.size(); ++b) {
+      const std::uint64_t before =
+          base != nullptr && b < base->hist.buckets.size()
+              ? base->hist.buckets[b]
+              : 0;
+      const std::uint64_t cur_b = h.hist.buckets[b];
+      hd.delta.buckets[b] = cur_b >= before ? cur_b - before : 0;
+      hd.delta.count += hd.delta.buckets[b];  // sum(buckets) == count
+    }
+    const std::uint64_t sum_before = base != nullptr ? base->hist.sum : 0;
+    hd.delta.sum = h.hist.sum >= sum_before ? h.hist.sum - sum_before : 0;
+    for (const auto& ex : h.hist.exemplars) {
+      if (ex.bucket < hd.delta.buckets.size() &&
+          hd.delta.buckets[ex.bucket] != 0) {
+        hd.delta.exemplars.push_back(ex);
+      }
+    }
+    d.histograms.push_back(std::move(hd));
+  }
+
+  delta_base_ = std::move(cur);
+  delta_base_time_ = now;
+  return d;
+}
+
 // ---------------------------------------------------------------------------
 // Exporters
 
@@ -305,6 +397,47 @@ std::string Num(double v) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.3f", v);
   return buf;
+}
+
+std::string Hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+const HistogramSnapshot::BucketExemplar* ExemplarFor(
+    const HistogramSnapshot& h, std::size_t bucket) {
+  for (const auto& ex : h.exemplars) {
+    if (ex.bucket == bucket) {
+      return &ex;
+    }
+  }
+  return nullptr;
+}
+
+// The shared {count,sum,mean,p50,p95,p99[,exemplars]} histogram body used by
+// both the cumulative and the delta JSON exporters.
+void AppendHistogramJson(std::string& out, const HistogramSnapshot& h) {
+  out += "{\"count\":" + std::to_string(h.count) +
+         ",\"sum\":" + std::to_string(h.sum) + ",\"mean\":" + Num(h.Mean()) +
+         ",\"p50\":" + Num(h.Percentile(50)) +
+         ",\"p95\":" + Num(h.Percentile(95)) +
+         ",\"p99\":" + Num(h.Percentile(99));
+  if (!h.exemplars.empty()) {
+    out += ",\"exemplars\":[";
+    for (std::size_t i = 0; i < h.exemplars.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      const auto& ex = h.exemplars[i];
+      out += "{\"bucket_le\":" +
+             std::to_string(Histogram::BucketUpperBound(ex.bucket)) +
+             ",\"value\":" + std::to_string(ex.value) + ",\"trace_id\":\"" +
+             Hex(ex.trace_id) + "\"}";
+    }
+    out += ']';
+  }
+  out += '}';
 }
 
 }  // namespace
@@ -338,7 +471,14 @@ std::string Snapshot::ToPrometheus() const {
       cum += h.hist.buckets[b];
       out += n + "_bucket{le=\"" +
              std::to_string(Histogram::BucketUpperBound(b)) + "\"} " +
-             std::to_string(cum) + "\n";
+             std::to_string(cum);
+      // OpenMetrics-style exemplar: the bucket's most recent tagged sample
+      // and the trace/flow id it belongs to.
+      if (const auto* ex = ExemplarFor(h.hist, b)) {
+        out += " # {trace_id=\"" + Hex(ex->trace_id) + "\"} " +
+               std::to_string(ex->value);
+      }
+      out += "\n";
     }
     out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.hist.count) + "\n";
     out += n + "_sum " + std::to_string(h.hist.sum) + "\n";
@@ -370,13 +510,40 @@ std::string Snapshot::ToJson() const {
     if (i > 0) {
       out += ',';
     }
-    const HistogramSnapshot& h = histograms[i].hist;
     AppendJsonKey(out, histograms[i].name);
-    out += "{\"count\":" + std::to_string(h.count) +
-           ",\"sum\":" + std::to_string(h.sum) + ",\"mean\":" + Num(h.Mean()) +
-           ",\"p50\":" + Num(h.Percentile(50)) +
-           ",\"p95\":" + Num(h.Percentile(95)) +
-           ",\"p99\":" + Num(h.Percentile(99)) + "}";
+    AppendHistogramJson(out, histograms[i].hist);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string DeltaSnapshot::ToJson() const {
+  std::string out = "{\"interval_seconds\":" + Num(interval_seconds);
+  out += ",\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    AppendJsonKey(out, counters[i].name);
+    out += "{\"delta\":" + std::to_string(counters[i].delta) +
+           ",\"rate\":" + Num(counters[i].rate) + "}";
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    AppendJsonKey(out, gauges[i].name);
+    out += "{\"sum\":" + std::to_string(gauges[i].sum) +
+           ",\"max\":" + std::to_string(gauges[i].max) + "}";
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    AppendJsonKey(out, histograms[i].name);
+    AppendHistogramJson(out, histograms[i].delta);
   }
   out += "}}";
   return out;

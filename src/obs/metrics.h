@@ -28,6 +28,7 @@
 #define LINSYS_SRC_OBS_METRICS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -39,17 +40,38 @@
 namespace obs {
 
 namespace internal {
-extern std::atomic<bool> g_metrics_armed;
+extern std::atomic<std::uint32_t> g_metrics_armed_mask;
 }  // namespace internal
 
-// True while some harness wants per-event cycle metrics (per-crossing
-// histograms and the like). The check is the entire disarmed cost.
+// Metric groups, armable independently: a bench can arm just the sfi
+// crossing histograms while the net dispatch histograms stay disarmed, so
+// instrumentation in one subsystem never taxes a measurement of another.
+enum class MetricGroup : unsigned {
+  kSfi = 0,    // per-crossing / recovery cycle histograms (sfi::)
+  kNet = 1,    // dispatch / batch cycle histograms (net::Runtime)
+  kCkpt = 2,   // checkpoint/restore cycle histograms (ckpt::)
+  kFault = 3,  // per-site fault-fire counters (util::FaultInjector)
+};
+inline constexpr std::uint32_t kAllMetricGroups = 0xFu;
+
+// True while *any* group wants per-event cycle metrics. The check is the
+// entire disarmed cost: one relaxed load + a predictable branch.
 inline bool MetricsArmed() {
-  return internal::g_metrics_armed.load(std::memory_order_relaxed);
+  return internal::g_metrics_armed_mask.load(std::memory_order_relaxed) != 0;
 }
 
-// Arms/disarms per-event metrics globally. Cheap, safe from any thread.
+// True while group `g` is armed. Same disarmed cost as the global check —
+// one relaxed load; the mask test is a register AND against an immediate.
+inline bool MetricsArmed(MetricGroup g) {
+  return (internal::g_metrics_armed_mask.load(std::memory_order_relaxed) &
+          (1u << static_cast<unsigned>(g))) != 0;
+}
+
+// Arms/disarms every group at once (the PR 3 global flag, preserved).
 void ArmMetrics(bool on);
+
+// Arms/disarms one group, leaving the others as they are.
+void ArmMetricsGroup(MetricGroup g, bool on);
 
 // Stable per-thread shard assignment for metrics without a natural owner
 // index: threads are numbered in first-use order, folded onto [0, shards).
@@ -125,7 +147,17 @@ class Gauge {
 // Consistent read of one histogram (all shards pooled): bucket counts plus
 // total count and value sum, with sum(buckets) == count guaranteed.
 struct HistogramSnapshot {
+  // The most recent exemplar-tagged sample that landed in `bucket`: its value
+  // and the trace/flow id that was active when it was recorded. Links a p99
+  // bucket back to the one flow's track in the trace export.
+  struct BucketExemplar {
+    std::size_t bucket = 0;
+    std::uint64_t value = 0;
+    std::uint64_t trace_id = 0;
+  };
+
   std::vector<std::uint64_t> buckets;
+  std::vector<BucketExemplar> exemplars;  // sparse; at most one per bucket
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
 
@@ -164,6 +196,25 @@ class Histogram {
   }
   void Record(std::uint64_t v) { Record(ThisThreadShard(shard_count_), v); }
 
+  // Record plus exemplar: when `trace_id` != 0, stamps the sample's bucket
+  // exemplar cell with (v, trace_id) — two extra relaxed stores, no RMW,
+  // last writer wins. Cells are histogram-global rather than per-shard: a
+  // scrape wants "a recent sample's trace id per bucket", not one per
+  // worker, and the race between the two stores only ever mismatches one
+  // exemplar's value/id pairing, never the histogram itself.
+  void RecordWithExemplar(std::size_t shard, std::uint64_t v,
+                          std::uint64_t trace_id) {
+    Record(shard, v);
+    if (trace_id != 0) {
+      ExemplarCell& cell = exemplars_[BucketIndex(v)];
+      cell.value.store(v, std::memory_order_relaxed);
+      cell.trace_id.store(trace_id, std::memory_order_relaxed);
+    }
+  }
+  void RecordWithExemplar(std::uint64_t v, std::uint64_t trace_id) {
+    RecordWithExemplar(ThisThreadShard(shard_count_), v, trace_id);
+  }
+
   // Consistent snapshot: per shard, (count, buckets, count) are re-read
   // until the count is stable *and* the buckets sum to it — i.e. no record
   // was in flight across the reads. Bounded retries; on pathological writer
@@ -186,8 +237,13 @@ class Histogram {
     std::atomic<std::uint64_t> sum{0};
     std::atomic<std::uint64_t> buckets[kBuckets] = {};
   };
+  struct ExemplarCell {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> trace_id{0};
+  };
   std::size_t shard_count_;
   std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<ExemplarCell[]> exemplars_;  // kBuckets cells
 };
 
 // One scraped view of a registry: every metric, by kind, in registration
@@ -214,10 +270,39 @@ struct Snapshot {
   std::vector<HistogramSample> histograms;
 
   // Prometheus text exposition (names sanitized: '.' -> '_'; histograms as
-  // cumulative <name>_bucket{le=...} series plus _sum/_count).
+  // cumulative <name>_bucket{le=...} series plus _sum/_count; bucket
+  // exemplars appended OpenMetrics-style: `... 5 # {trace_id="0x2a"} 117`).
   std::string ToPrometheus() const;
   // Machine-readable JSON: {"counters":{...},"gauges":{...},
-  // "histograms":{name:{count,sum,mean,p50,p95,p99}}}.
+  // "histograms":{name:{count,sum,mean,p50,p95,p99,exemplars:[...]}}}.
+  std::string ToJson() const;
+};
+
+// One *interval* view of a registry: what changed between the previous
+// SnapshotDelta() call (or Registry construction) and now. Counters come
+// with per-second rates; histogram deltas are per-bucket increases, so
+// Percentile()/Summary() on them read as interval p50/p99 — "what did the
+// last storm phase look like", not "everything since boot".
+struct DeltaSnapshot {
+  struct CounterDelta {
+    std::string name;
+    std::uint64_t delta = 0;  // increase over the interval
+    double rate = 0.0;        // delta / interval_seconds
+  };
+  struct HistogramDelta {
+    std::string name;
+    // Per-bucket increases with sum(buckets) == count preserved; exemplars
+    // are the *current* cells for buckets that moved this interval.
+    HistogramSnapshot delta;
+  };
+
+  double interval_seconds = 0.0;
+  std::vector<CounterDelta> counters;
+  std::vector<Snapshot::GaugeSample> gauges;  // gauges are levels: current
+  std::vector<HistogramDelta> histograms;
+
+  // {"interval_seconds":...,"counters":{name:{delta,rate}},"gauges":{...},
+  //  "histograms":{name:{count,sum,mean,p50,p95,p99,exemplars:[...]}}}.
   std::string ToJson() const;
 };
 
@@ -250,6 +335,14 @@ class Registry {
 
   Snapshot Scrape() const;
 
+  // Interval scrape: everything that changed since the previous
+  // SnapshotDelta() (or since construction, the first time), advancing the
+  // stored baseline. Scrape + delta run under one mutex hold, so the
+  // baseline always matches exactly what the previous call returned.
+  // Deltas are name-matched (a metric registered mid-interval deltas from
+  // zero) and clamped at zero per bucket, preserving sum(buckets) == count.
+  DeltaSnapshot SnapshotDelta();
+
  private:
   template <typename M>
   struct Entry {
@@ -257,12 +350,17 @@ class Registry {
     std::unique_ptr<M> metric;
   };
 
+  Snapshot ScrapeLocked() const;  // requires mu_ held
+
   mutable std::mutex mu_;
   std::vector<Entry<Counter>> counters_;
   std::vector<Entry<Gauge>> gauges_;
   std::vector<Entry<Histogram>> histograms_;
   std::vector<std::pair<std::string, std::function<std::int64_t()>>>
       gauge_fns_;
+  Snapshot delta_base_;  // cumulative scrape taken by the previous call
+  std::chrono::steady_clock::time_point delta_base_time_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace obs

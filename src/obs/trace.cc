@@ -9,7 +9,13 @@ namespace obs {
 
 namespace internal {
 std::atomic<bool> g_trace_armed{false};
+thread_local std::uint64_t g_current_flow = 0;
 }  // namespace internal
+
+std::uint64_t NextFlowId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Tracer& Tracer::Global() {
   static Tracer* g = new Tracer();  // leaked: outlives static dtors
@@ -100,7 +106,7 @@ void Tracer::Span(const char* name, std::uint64_t ts_begin,
   }
   Ring* ring = RingForThisThread();
   TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
-  ev = TraceEvent{ts_begin, dur, name, 0, 'X', false};
+  ev = TraceEvent{ts_begin, dur, name, nullptr, 0, 0, 'X', false};
   ring->next++;
 }
 
@@ -110,7 +116,7 @@ void Tracer::Instant(const char* name) {
   }
   Ring* ring = RingForThisThread();
   TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
-  ev = TraceEvent{util::CycleEnd(), 0, name, 0, 'i', false};
+  ev = TraceEvent{util::CycleEnd(), 0, name, nullptr, 0, 0, 'i', false};
   ring->next++;
 }
 
@@ -120,7 +126,38 @@ void Tracer::InstantArg(const char* name, std::uint64_t arg) {
   }
   Ring* ring = RingForThisThread();
   TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
-  ev = TraceEvent{util::CycleEnd(), 0, name, arg, 'i', true};
+  ev = TraceEvent{util::CycleEnd(), 0, name, nullptr, 0, arg, 'i', true};
+  ring->next++;
+}
+
+void Tracer::AsyncBegin(const char* name, const char* cat, std::uint64_t id) {
+  if (!ArmedFast()) {
+    return;
+  }
+  Ring* ring = RingForThisThread();
+  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
+  ev = TraceEvent{util::CycleEnd(), 0, name, cat, id, 0, 'b', false};
+  ring->next++;
+}
+
+void Tracer::AsyncInstant(const char* name, const char* cat,
+                          std::uint64_t id) {
+  if (!ArmedFast()) {
+    return;
+  }
+  Ring* ring = RingForThisThread();
+  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
+  ev = TraceEvent{util::CycleEnd(), 0, name, cat, id, 0, 'n', false};
+  ring->next++;
+}
+
+void Tracer::AsyncEnd(const char* name, const char* cat, std::uint64_t id) {
+  if (!ArmedFast()) {
+    return;
+  }
+  Ring* ring = RingForThisThread();
+  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
+  ev = TraceEvent{util::CycleEnd(), 0, name, cat, id, 0, 'e', false};
   ring->next++;
 }
 
@@ -219,6 +256,16 @@ std::string Tracer::ExportChromeJson() const {
     if (f.ev.ph == 'X') {
       std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
                     static_cast<double>(f.ev.dur) / cpu);
+      out += buf;
+    } else if (f.ev.ph == 'b' || f.ev.ph == 'n' || f.ev.ph == 'e') {
+      // Async nestable events: (cat, id) keys the cross-thread track. The id
+      // is a JSON string (hex) — Perfetto accepts both and strings survive
+      // 64-bit ids that double-typed numbers would mangle.
+      out += ",\"cat\":\"";
+      out += f.ev.cat != nullptr ? f.ev.cat : "flow";
+      out += "\"";
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                    static_cast<unsigned long long>(f.ev.id));
       out += buf;
     } else {
       out += ",\"s\":\"t\"";

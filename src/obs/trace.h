@@ -46,9 +46,39 @@ struct TraceEvent {
   std::uint64_t ts = 0;   // cycles (CycleStart timebase)
   std::uint64_t dur = 0;  // cycles; 0 for instants
   const char* name = nullptr;
-  std::uint64_t arg = 0;  // exported as args.v when has_arg
-  char ph = 'i';          // 'X' complete span, 'i' instant
+  const char* cat = nullptr;  // async events only; (cat, id) keys the track
+  std::uint64_t id = 0;       // async track id; 0 for non-async events
+  std::uint64_t arg = 0;      // exported as args.v when has_arg
+  char ph = 'i';              // 'X' span, 'i' instant, 'b'/'n'/'e' async
   bool has_arg = false;
+};
+
+// Flow-correlation context: a 64-bit flow/batch id assigned at dispatch and
+// carried in TLS while that flow's work executes, so instrumentation deep in
+// the stack (sfi crossings, recovery, histogram exemplars) can tag what it
+// records with *which* flow it happened to. 0 means "no flow context".
+namespace internal {
+extern thread_local std::uint64_t g_current_flow;
+}  // namespace internal
+
+// Process-unique flow ids (monotone, never 0). Cheap: one relaxed RMW.
+std::uint64_t NextFlowId();
+
+inline std::uint64_t CurrentFlowId() { return internal::g_current_flow; }
+
+// RAII flow-context switch: restores the previous id on exit (nests).
+class ScopedFlowId {
+ public:
+  explicit ScopedFlowId(std::uint64_t id) : prev_(internal::g_current_flow) {
+    internal::g_current_flow = id;
+  }
+  ~ScopedFlowId() { internal::g_current_flow = prev_; }
+
+  ScopedFlowId(const ScopedFlowId&) = delete;
+  ScopedFlowId& operator=(const ScopedFlowId&) = delete;
+
+ private:
+  std::uint64_t prev_;
 };
 
 class Tracer {
@@ -85,6 +115,16 @@ class Tracer {
   void Span(const char* name, std::uint64_t ts_begin, std::uint64_t dur);
   void Instant(const char* name);
   void InstantArg(const char* name, std::uint64_t arg);
+
+  // Async (nestable) events: all events sharing (cat, id) render as one
+  // track in Perfetto regardless of which thread emitted them — this is how
+  // one flow's dispatch, worker batches, and recovery stitch together.
+  // `name` and `cat` must outlive the tracer (literals or Intern()).
+  // Pairing contract (validated by tools/trace_lint): every 'b' emitted for
+  // a (cat, id) must be matched by an 'e' for the same (cat, id).
+  void AsyncBegin(const char* name, const char* cat, std::uint64_t id);
+  void AsyncInstant(const char* name, const char* cat, std::uint64_t id);
+  void AsyncEnd(const char* name, const char* cat, std::uint64_t id);
 
   // Events currently buffered / appended since Arm / overwritten by
   // wraparound.
@@ -143,6 +183,34 @@ class TraceSpan {
   std::uint64_t start_ = 0;
 };
 
+// RAII async-span guard: emits 'b' on entry and the matching 'e' on exit
+// (all return paths and unwinds), keeping the trace_lint pairing contract
+// structural. No-op when `id` is 0 or the tracer is disarmed at entry.
+class AsyncSpan {
+ public:
+  AsyncSpan(const char* name, const char* cat, std::uint64_t id) {
+    if (id != 0 && Tracer::ArmedFast()) {
+      name_ = name;
+      cat_ = cat;
+      id_ = id;
+      Tracer::Global().AsyncBegin(name, cat, id);
+    }
+  }
+  ~AsyncSpan() {
+    if (name_ != nullptr && Tracer::ArmedFast()) {
+      Tracer::Global().AsyncEnd(name_, cat_, id_);
+    }
+  }
+
+  AsyncSpan(const AsyncSpan&) = delete;
+  AsyncSpan& operator=(const AsyncSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
 }  // namespace obs
 
 #define LINSYS_TRACE_CAT2(a, b) a##b
@@ -166,5 +234,22 @@ class TraceSpan {
       ::obs::Tracer::Global().InstantArg(name, value);   \
     }                                                    \
   } while (0)
+
+// Async-track events, skipped when id == 0 (no flow context) so call sites
+// can pass obs::CurrentFlowId() unconditionally.
+#define LINSYS_TRACE_ASYNC_INSTANT(name, cat, id)             \
+  do {                                                        \
+    const std::uint64_t linsys_trace_async_id_ = (id);        \
+    if (linsys_trace_async_id_ != 0 &&                        \
+        ::obs::Tracer::ArmedFast()) {                         \
+      ::obs::Tracer::Global().AsyncInstant(name, cat,         \
+                                           linsys_trace_async_id_); \
+    }                                                         \
+  } while (0)
+
+// Async span covering the enclosing scope ('b' now, matching 'e' at exit).
+#define LINSYS_TRACE_ASYNC_SPAN(name, cat, id) \
+  ::obs::AsyncSpan LINSYS_TRACE_CAT(linsys_trace_async_span_, __LINE__)( \
+      name, cat, id)
 
 #endif  // LINSYS_SRC_OBS_TRACE_H_

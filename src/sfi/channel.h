@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "src/lin/own.h"
+#include "src/util/fault_injector.h"
 
 namespace sfi {
 
@@ -35,6 +36,10 @@ class Channel {
   // Transfers ownership into the channel. Blocks while a bounded channel is
   // full. Returns false (dropping the message) if the channel is closed.
   bool Send(lin::Own<T> message) {
+    // Fault point fires *before* the lock and the enqueue: an injected panic
+    // leaves the channel untouched and `message` (still uniquely owned by
+    // this frame) is released by the unwind — no half-sent state.
+    LINSYS_FAULT_POINT("channel.send");
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [this] {
       return closed_ || capacity_ == 0 || queue_.size() < capacity_;
@@ -50,6 +55,9 @@ class Channel {
 
   // Blocks until a message or close; nullopt only after close-and-drained.
   std::optional<lin::Own<T>> Recv() {
+    // Same discipline as Send: fire before taking the lock, so a panicking
+    // receiver never dequeues (the message stays for the next Recv).
+    LINSYS_FAULT_POINT("channel.recv");
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
     if (queue_.empty()) {

@@ -80,7 +80,7 @@ class Domain {
     using R = std::invoke_result_t<F&&>;
     // Same armed-gated crossing instrumentation as RRef::Call: one relaxed
     // load when disarmed, a cycle histogram sample when armed.
-    const bool armed = obs::MetricsArmed();
+    const bool armed = obs::MetricsArmed(obs::MetricGroup::kSfi);
     const std::uint64_t t0 = armed ? util::CycleStart() : 0;
     if (state() != DomainState::kRunning) {
       return util::Err(CallError::kDomainFailed);
@@ -95,18 +95,24 @@ class Domain {
         stats_.calls_ok++;
         if (armed) {
           const SfiObs& m = SfiObs::Get();
-          m.crossing_cycles->Record(util::CycleEnd() - t0);
+          m.crossing_cycles->RecordWithExemplar(util::CycleEnd() - t0,
+                                                obs::CurrentFlowId());
           m.calls->Inc();
         }
+        LINSYS_TRACE_ASYNC_INSTANT("flow.execute", "flow",
+                                   obs::CurrentFlowId());
         return util::Result<void, CallError>::Ok();
       } else {
         R result = std::forward<F>(f)();
         stats_.calls_ok++;
         if (armed) {
           const SfiObs& m = SfiObs::Get();
-          m.crossing_cycles->Record(util::CycleEnd() - t0);
+          m.crossing_cycles->RecordWithExemplar(util::CycleEnd() - t0,
+                                                obs::CurrentFlowId());
           m.calls->Inc();
         }
+        LINSYS_TRACE_ASYNC_INSTANT("flow.execute", "flow",
+                                   obs::CurrentFlowId());
         return util::Result<R, CallError>::Ok(std::move(result));
       }
     } catch (const util::PanicError&) {
@@ -146,7 +152,11 @@ class Domain {
     // (paper: 4389 cycles), so the cycle cost is recorded whenever metrics
     // are armed and the span always lands in an armed trace.
     LINSYS_TRACE_SPAN("sfi.recover");
-    const bool armed = obs::MetricsArmed();
+    // Stitch the recovery onto the faulting flow's async track: this runs on
+    // the supervisor thread, so the id comes from the fault capture, not TLS.
+    const std::uint64_t fault_flow = last_fault_flow();
+    LINSYS_TRACE_ASYNC_SPAN("flow.recover", "flow", fault_flow);
+    const bool armed = obs::MetricsArmed(obs::MetricGroup::kSfi);
     const std::uint64_t t0 = armed ? util::CycleStart() : 0;
     ref_table_.Clear();
     state_.store(DomainState::kRunning, std::memory_order_release);
@@ -170,9 +180,12 @@ class Domain {
       const SfiObs& m = SfiObs::Get();
       m.recoveries->Inc();
       if (armed) {
-        m.recovery_cycles->Record(util::CycleEnd() - t0);
+        m.recovery_cycles->RecordWithExemplar(util::CycleEnd() - t0,
+                                              fault_flow);
       }
     }
+    // Incident resolved: the next fault belongs to a different flow.
+    last_fault_flow_.store(0, std::memory_order_relaxed);
     LINSYS_TRACE_INSTANT_ARG("sfi.recovered", id_);
     return true;
   }
@@ -191,10 +204,21 @@ class Domain {
   void MarkFailed() {
     state_.store(DomainState::kFailed, std::memory_order_release);
     stats_.faults++;
+    // The flow whose batch was in flight when the fault unwound: recovery
+    // and quarantine run later on the supervisor thread (no TLS flow
+    // context), so the id is parked here to stitch their spans onto the
+    // faulting flow's track.
+    last_fault_flow_.store(obs::CurrentFlowId(), std::memory_order_relaxed);
     // Fault paths are cold (a panic already unwound): always count, and
     // drop a trace instant carrying the failed domain's id.
     SfiObs::Get().faults->Inc();
     LINSYS_TRACE_INSTANT_ARG("sfi.fault", id_);
+    LINSYS_TRACE_ASYNC_INSTANT("flow.fault", "flow", obs::CurrentFlowId());
+  }
+
+  // Flow id captured by the most recent MarkFailed (0 = none / cleared).
+  std::uint64_t last_fault_flow() const {
+    return last_fault_flow_.load(std::memory_order_relaxed);
   }
 
   RefTable& ref_table() { return ref_table_; }
@@ -205,6 +229,7 @@ class Domain {
   DomainId id_;
   std::string name_;
   std::atomic<DomainState> state_{DomainState::kRunning};
+  std::atomic<std::uint64_t> last_fault_flow_{0};
   RefTable ref_table_;
   Policy policy_;
   RecoveryFn recovery_;

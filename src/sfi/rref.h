@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sfi/domain.h"
 #include "src/sfi/obs.h"
 #include "src/sfi/proxy.h"
@@ -45,7 +46,7 @@ class RRef {
     using R = std::invoke_result_t<F&&, T&>;
     // Disarmed cost of the instrumentation below: this one relaxed load and
     // predictable branches on `armed` (the Figure-2 budget, DESIGN.md §obs).
-    const bool armed = obs::MetricsArmed();
+    const bool armed = obs::MetricsArmed(obs::MetricGroup::kSfi);
     const std::uint64_t t0 = armed ? util::CycleStart() : 0;
     ProxyHandle strong = proxy_.Upgrade();
     if (!strong.has_value()) {
@@ -67,18 +68,24 @@ class RRef {
         owner->mutable_stats().calls_ok++;
         if (armed) {
           const SfiObs& m = SfiObs::Get();
-          m.crossing_cycles->Record(util::CycleEnd() - t0);
+          // The exemplar ties this crossing's histogram bucket to the flow
+          // whose batch was in flight (0 outside flow context = no exemplar).
+          m.crossing_cycles->RecordWithExemplar(util::CycleEnd() - t0,
+                                                obs::CurrentFlowId());
           m.calls->Inc();
         }
+        LINSYS_TRACE_ASYNC_INSTANT("flow.stage", "flow", obs::CurrentFlowId());
         return util::Result<void, CallError>::Ok();
       } else {
         R result = std::forward<F>(f)(proxy->object());
         owner->mutable_stats().calls_ok++;
         if (armed) {
           const SfiObs& m = SfiObs::Get();
-          m.crossing_cycles->Record(util::CycleEnd() - t0);
+          m.crossing_cycles->RecordWithExemplar(util::CycleEnd() - t0,
+                                                obs::CurrentFlowId());
           m.calls->Inc();
         }
+        LINSYS_TRACE_ASYNC_INSTANT("flow.stage", "flow", obs::CurrentFlowId());
         return util::Result<R, CallError>::Ok(std::move(result));
       }
     } catch (const util::PanicError&) {

@@ -133,9 +133,19 @@ void FaultInjector::Hit(std::string_view site) {
   // the global registry and, when tracing, as an instant named after the
   // site so the trace shows *which* fault point started an incident.
   obs::Registry::Global().GetCounter("fault.fires_total")->Inc();
+  // Per-site fire counters are the kFault metric group: finer-grained than
+  // the total (one registry series per site name), so only kept while a
+  // harness armed them. The registry lookup is fine here — firing unwinds.
+  if (obs::MetricsArmed(obs::MetricGroup::kFault)) {
+    obs::Registry::Global()
+        .GetCounter("fault.fires." + std::string(site))
+        ->Inc();
+  }
   if (obs::Tracer::ArmedFast()) {
     obs::Tracer& tracer = obs::Tracer::Global();
     tracer.Instant(tracer.Intern("fault:" + std::string(site)));
+    LINSYS_TRACE_ASYNC_INSTANT("flow.fault_fire", "flow",
+                               obs::CurrentFlowId());
   }
   // Throw outside the lock so unwinding never holds the registry mutex.
   Panic(kind, std::move(message));

@@ -15,6 +15,8 @@
 
 #include "src/net/operators/null_filter.h"
 #include "src/net/pktgen.h"
+#include "src/obs/trace.h"
+#include "src/util/fault_injector.h"
 
 namespace net {
 namespace {
@@ -363,6 +365,83 @@ TEST(Runtime, ShutdownIsIdempotent) {
   rt.Shutdown();
   rt.Shutdown();  // second call is a no-op
   EXPECT_EQ(rt.Stats().totals.faults, 0u);
+}
+
+// Flow correlation end to end: with the tracer armed, a faulting run must
+// produce async "flow" tracks whose events cover dispatch (driver thread),
+// worker batch execution, and recovery (supervisor thread) — and the
+// exported JSON must keep the 'b'/'e' pairing balanced.
+TEST(Runtime, FlowCorrelatedTraceSpansDispatchWorkersAndRecovery) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Disarm();
+  tracer.Reset();
+  tracer.Arm(1 << 15);
+  tracer.SetThreadName("flow-test-driver");
+
+  RuntimeConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_depth = 16;
+  std::vector<StageSpec> spec;
+  spec.push_back({"flaky-null", [](std::size_t worker) {
+                    return std::make_unique<NullFilter>(
+                        worker == 0 ? 3 : 0);
+                  }});
+  Runtime rt(cfg, spec);
+  rt.Start();
+  FlowSampler sampler(64, 0.0, 13);
+  FlowFeeder feeder(&sampler);
+  for (int i = 0; i < 200; ++i) {
+    rt.Dispatch(feeder.Next(16));
+  }
+  rt.Shutdown();
+  EXPECT_GE(rt.Stats().totals.recoveries, 1u);
+
+  const std::string json = tracer.ExportChromeJson();
+  tracer.Disarm();
+  tracer.Reset();
+  auto count_of = [&json](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_of("\"name\":\"flow.dispatch\""), 0u);
+  EXPECT_GT(count_of("\"name\":\"flow.batch\""), 0u);
+  EXPECT_GT(count_of("\"name\":\"flow.recover\""), 0u);
+  EXPECT_GT(count_of("\"cat\":\"flow\""), 0u);
+  EXPECT_EQ(count_of("\"ph\":\"b\""), count_of("\"ph\":\"e\""))
+      << "async begin/end pairing broke (see tools/trace_lint)";
+}
+
+// An injected channel.send fault surfaces as a failed Dispatch on the
+// driver thread — counted, contained, and the runtime keeps accepting.
+TEST(Runtime, ChannelSendFaultIsContainedAtDispatch) {
+  RuntimeConfig cfg;
+  cfg.workers = 2;
+  std::vector<StageSpec> spec;
+  spec.push_back(
+      {"null", [](std::size_t) { return std::make_unique<NullFilter>(); }});
+  Runtime rt(cfg, spec);
+  rt.Start();
+  FlowSampler sampler(64, 0.0, 17);
+  FlowFeeder feeder(&sampler);
+  ASSERT_TRUE(rt.Dispatch(feeder.Next(8)));
+
+  util::FaultInjector::Global().ArmOneShot("channel.send",
+                                           util::PanicKind::kExplicit);
+  EXPECT_FALSE(rt.Dispatch(feeder.Next(8)))
+      << "faulted dispatch must report failure, not throw";
+  EXPECT_EQ(
+      rt.registry().GetCounter("runtime.dispatch_faults_total")->Value(), 1u);
+
+  EXPECT_TRUE(rt.Dispatch(feeder.Next(8)));  // one-shot consumed, flow resumes
+  rt.Shutdown();
+  util::FaultInjector::Global().Reset();
+  const RuntimeStats stats = rt.Stats();
+  EXPECT_GT(stats.totals.packets, 0u);
+  EXPECT_EQ(stats.totals.faults, 0u) << "fault never reached a worker";
 }
 
 }  // namespace

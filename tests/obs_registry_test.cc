@@ -201,6 +201,169 @@ TEST(Metrics, ArmDisarmFlag) {
   EXPECT_FALSE(obs::MetricsArmed());
 }
 
+TEST(Metrics, PerGroupArmDisarm) {
+  // Groups arm independently; the plain MetricsArmed() is "any group on".
+  obs::ArmMetrics(false);
+  EXPECT_FALSE(obs::MetricsArmed());
+  obs::ArmMetricsGroup(obs::MetricGroup::kSfi, true);
+  EXPECT_TRUE(obs::MetricsArmed());
+  EXPECT_TRUE(obs::MetricsArmed(obs::MetricGroup::kSfi));
+  EXPECT_FALSE(obs::MetricsArmed(obs::MetricGroup::kNet));
+  EXPECT_FALSE(obs::MetricsArmed(obs::MetricGroup::kCkpt));
+  EXPECT_FALSE(obs::MetricsArmed(obs::MetricGroup::kFault));
+
+  // ArmMetrics(true) is "all groups"; a single group can then drop out.
+  obs::ArmMetrics(true);
+  EXPECT_TRUE(obs::MetricsArmed(obs::MetricGroup::kNet));
+  obs::ArmMetricsGroup(obs::MetricGroup::kNet, false);
+  EXPECT_FALSE(obs::MetricsArmed(obs::MetricGroup::kNet));
+  EXPECT_TRUE(obs::MetricsArmed(obs::MetricGroup::kSfi));
+  EXPECT_TRUE(obs::MetricsArmed());
+
+  obs::ArmMetrics(false);
+  EXPECT_FALSE(obs::MetricsArmed());
+  EXPECT_FALSE(obs::MetricsArmed(obs::MetricGroup::kSfi));
+}
+
+TEST(Histogram, ExemplarsLinkLastSampleToTraceId) {
+  obs::Histogram h(2);
+  h.Record(0, 100);  // plain record: no exemplar for this bucket
+  h.RecordWithExemplar(0, 5000, 0xabcULL);
+  h.RecordWithExemplar(1, 5100, 0xdefULL);  // same bucket: last writer wins
+
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count, 3u);
+  bool saw_exemplar = false;
+  for (const auto& ex : snap.exemplars) {
+    EXPECT_NE(ex.trace_id, 0u);  // trace_id 0 never surfaces
+    if (ex.value == 5100 && ex.trace_id == 0xdefULL) {
+      saw_exemplar = true;
+      EXPECT_EQ(obs::Histogram::BucketIndex(5100), ex.bucket);
+    }
+  }
+  EXPECT_TRUE(saw_exemplar);
+  // The 100-cycle bucket was only ever plain-Recorded: no exemplar for it.
+  for (const auto& ex : snap.exemplars) {
+    EXPECT_NE(ex.bucket, obs::Histogram::BucketIndex(100));
+  }
+}
+
+TEST(Registry, SnapshotDeltaReportsOnlyTheInterval) {
+  obs::Registry reg;
+  obs::Counter* c = reg.GetCounter("d.calls_total");
+  obs::Histogram* h = reg.GetHistogram("d.cycles");
+  reg.GetGauge("d.depth")->Set(0, 7);
+  c->Add(0, 10);
+  h->Record(0, 50);
+
+  const obs::DeltaSnapshot first = reg.SnapshotDelta();
+  EXPECT_GT(first.interval_seconds, 0.0);
+  ASSERT_EQ(first.counters.size(), 1u);
+  EXPECT_EQ(first.counters[0].delta, 10u);
+  EXPECT_GT(first.counters[0].rate, 0.0);
+  ASSERT_EQ(first.histograms.size(), 1u);
+  EXPECT_EQ(first.histograms[0].delta.count, 1u);
+
+  // Nothing happened since: the next delta is all-zero, but gauges still
+  // report their current level (a gauge has no meaningful delta).
+  const obs::DeltaSnapshot idle = reg.SnapshotDelta();
+  EXPECT_EQ(idle.counters[0].delta, 0u);
+  EXPECT_EQ(idle.histograms[0].delta.count, 0u);
+  bool saw_gauge = false;
+  for (const auto& g : idle.gauges) {
+    saw_gauge = saw_gauge || (g.name == "d.depth" && g.sum == 7);
+  }
+  EXPECT_TRUE(saw_gauge);
+
+  // Increment again: only the new work shows, not the cumulative total.
+  c->Add(0, 3);
+  h->Record(0, 60);
+  h->Record(0, 70);
+  const obs::DeltaSnapshot second = reg.SnapshotDelta();
+  EXPECT_EQ(second.counters[0].delta, 3u);
+  EXPECT_EQ(second.histograms[0].delta.count, 2u);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : second.histograms[0].delta.buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, 2u);
+}
+
+TEST(Registry, SnapshotDeltaJsonShape) {
+  obs::Registry reg;
+  reg.GetCounter("d.calls_total")->Add(0, 4);
+  reg.GetHistogram("d.cycles")->RecordWithExemplar(0, 900, 0x42ULL);
+  const obs::DeltaSnapshot d = reg.SnapshotDelta();
+  const std::string json = d.ToJson();
+  EXPECT_NE(json.find("\"interval_seconds\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"delta\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rate\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_id\":\"0x42\""), std::string::npos) << json;
+}
+
+// Delta scrapes under concurrent writers: every interval must be internally
+// consistent (bucket deltas sum to the count delta, never "negative" via
+// underflow wraparound) and the interval deltas must add back up to the
+// cumulative totals once the writers stop.
+TEST(Registry, SnapshotDeltaConsistentUnderConcurrentWriters) {
+  obs::Registry reg;
+  obs::Counter* c = reg.GetCounter("d.calls_total", 4);
+  obs::Histogram* h = reg.GetHistogram("d.cycles", 4);
+  (void)reg.SnapshotDelta();  // zero the baseline before the writers start
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      std::uint64_t v = static_cast<std::uint64_t>(t) + 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Inc(static_cast<std::size_t>(t));
+        h->Record(static_cast<std::size_t>(t), v & 0xffff);
+        v = v * 2862933555777941757ULL + 3037000493ULL;
+        v >>= 16;
+      }
+    });
+  }
+
+  std::uint64_t counter_delta_sum = 0;
+  std::uint64_t hist_delta_sum = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (int scrape = 0; scrape < 100 || counter_delta_sum == 0; ++scrape) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    const obs::DeltaSnapshot d = reg.SnapshotDelta();
+    ASSERT_EQ(d.counters.size(), 1u);
+    // uint64 underflow from a non-monotone read would produce a huge delta.
+    ASSERT_LT(d.counters[0].delta, 1ULL << 60) << "underflowed delta";
+    counter_delta_sum += d.counters[0].delta;
+    ASSERT_EQ(d.histograms.size(), 1u);
+    const obs::HistogramSnapshot& hd = d.histograms[0].delta;
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : hd.buckets) {
+      ASSERT_LT(b, 1ULL << 60) << "underflowed bucket delta";
+      bucket_total += b;
+    }
+    ASSERT_EQ(bucket_total, hd.count) << "torn delta at scrape " << scrape;
+    hist_delta_sum += hd.count;
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& w : writers) {
+    w.join();
+  }
+  // Drain the tail interval, then the per-interval deltas must reconstruct
+  // the cumulative totals exactly.
+  const obs::DeltaSnapshot tail = reg.SnapshotDelta();
+  counter_delta_sum += tail.counters[0].delta;
+  hist_delta_sum += tail.histograms[0].delta.count;
+  EXPECT_EQ(counter_delta_sum, c->Value());
+  EXPECT_EQ(hist_delta_sum, h->Snapshot().count);
+  EXPECT_GT(counter_delta_sum, 0u);
+}
+
 TEST(Metrics, ThisThreadShardStableWithinThread) {
   const std::size_t a = obs::ThisThreadShard(8);
   const std::size_t b = obs::ThisThreadShard(8);

@@ -162,6 +162,71 @@ TEST_F(TracerTest, ResetDropsBufferedEvents) {
   EXPECT_EQ(tracer.total_events(), 0u);
 }
 
+TEST_F(TracerTest, FlowIdContextNestsAndRestores) {
+  EXPECT_EQ(obs::CurrentFlowId(), 0u);
+  const std::uint64_t a = obs::NextFlowId();
+  const std::uint64_t b = obs::NextFlowId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  {
+    obs::ScopedFlowId outer(a);
+    EXPECT_EQ(obs::CurrentFlowId(), a);
+    {
+      obs::ScopedFlowId inner(b);
+      EXPECT_EQ(obs::CurrentFlowId(), b);
+    }
+    EXPECT_EQ(obs::CurrentFlowId(), a);  // inner scope restored the outer id
+  }
+  EXPECT_EQ(obs::CurrentFlowId(), 0u);
+  // Flow context is thread-local: another thread starts clean.
+  std::uint64_t other_thread_flow = 99;
+  {
+    obs::ScopedFlowId outer(a);
+    std::thread peek([&] { other_thread_flow = obs::CurrentFlowId(); });
+    peek.join();
+  }
+  EXPECT_EQ(other_thread_flow, 0u);
+}
+
+TEST_F(TracerTest, AsyncEventsExportCatAndHexId) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Arm(1 << 8);
+  tracer.SetThreadName("async-exporter");
+  tracer.AsyncBegin("flow.dispatch", "flow", 0x2aULL);
+  tracer.AsyncInstant("flow.stage", "flow", 0x2aULL);
+  tracer.AsyncEnd("flow.dispatch", "flow", 0x2aULL);
+
+  const std::string json = tracer.ExportChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"n\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos) << json;
+  // Ids export as hex strings: doubles would mangle full 64-bit ids.
+  EXPECT_NE(json.find("\"id\":\"0x2a\""), std::string::npos) << json;
+}
+
+TEST_F(TracerTest, AsyncSpanPairsBeginEndAndNoopsOnZeroId) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Arm(1 << 8);
+  {
+    obs::AsyncSpan span("flow.recover", "flow", 0x7ULL);
+  }
+  EXPECT_EQ(tracer.buffered_events(), 2u);  // one 'b' + one 'e'
+  {
+    obs::AsyncSpan span("flow.recover", "flow", 0);  // id 0: no-op
+  }
+  EXPECT_EQ(tracer.buffered_events(), 2u);
+  // The macro picks up arm state at entry; disarmed means nothing is
+  // emitted even if the tracer re-arms before scope exit.
+  tracer.Disarm();
+  tracer.Reset();
+  {
+    LINSYS_TRACE_ASYNC_SPAN("flow.skipped", "flow", 0x8ULL);
+    tracer.Arm(1 << 8);
+  }
+  EXPECT_EQ(tracer.buffered_events(), 0u);  // span stayed silent end to end
+}
+
 TEST(TracerCalibration, CyclesPerMicrosecondIsSane) {
   const double rate = obs::CyclesPerMicrosecond();
   // Real TSCs run 1e2..1e5 cycles/µs; the no-rdtsc fallback returns exactly

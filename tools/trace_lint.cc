@@ -1,305 +1,37 @@
 // trace_lint — validate machine-readable observability artifacts.
 //
-// Two modes:
+// Modes:
 //   trace_lint <trace.json> [...]        strict chrome://tracing check:
 //     parses the file as JSON, requires a top-level object with a
 //     "traceEvents" array, and checks every event for the trace-event-format
 //     invariants Perfetto relies on (ph/name/ts present, "X" spans carry a
-//     dur, pid/tid are integers). Prints a per-file event census.
+//     dur, pid/tid are integers, async 'b'/'n'/'e' events carry cat + id and
+//     every 'b' on a (cat, id) track has a matching 'e'). Prints a per-file
+//     event census.
+//   trace_lint --flow-check <trace.json>  additionally requires at least one
+//     async track that spans >= 2 threads and contains a recovery span —
+//     the flow-correlation acceptance gate for fault_storm exports.
 //   trace_lint --any <file.json> [...]   plain JSON well-formedness only —
 //     used for BENCH_<name>.json files, whose schema is bench-specific.
 //
-// Self-contained recursive-descent JSON parser (no third-party deps); exits
-// non-zero on the first malformed file so CI fails loudly.
-#include <cctype>
+// JSON parsing comes from tools/json_mini.h (self-contained, no third-party
+// deps); exits non-zero on the first malformed file so CI fails loudly.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
-#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/json_mini.h"
+
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value + parser. Numbers are kept as doubles plus an
-// "is_integer" flag (enough to validate pid/tid/ts fields).
-// ---------------------------------------------------------------------------
-
-struct JsonValue;
-using JsonPtr = std::unique_ptr<JsonValue>;
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool bool_value = false;
-  double number = 0;
-  bool is_integer = false;
-  std::string string_value;
-  std::vector<JsonPtr> array;
-  std::vector<std::pair<std::string, JsonPtr>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) {
-        return v.get();
-      }
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonPtr Parse(std::string* error) {
-    JsonPtr value = ParseValue();
-    if (!value) {
-      *error = error_;
-      return nullptr;
-    }
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      *error = "trailing garbage at offset " + std::to_string(pos_);
-      return nullptr;
-    }
-    return value;
-  }
-
- private:
-  JsonPtr Fail(const std::string& message) {
-    if (error_.empty()) {
-      error_ = message + " at offset " + std::to_string(pos_);
-    }
-    return nullptr;
-  }
-
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipWhitespace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonPtr ParseValue() {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) {
-      return Fail("unexpected end of input");
-    }
-    const char c = text_[pos_];
-    switch (c) {
-      case '{':
-        return ParseObject();
-      case '[':
-        return ParseArray();
-      case '"':
-        return ParseString();
-      case 't':
-      case 'f':
-        return ParseKeyword(c == 't' ? "true" : "false");
-      case 'n':
-        return ParseKeyword("null");
-      default:
-        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
-          return ParseNumber();
-        }
-        return Fail(std::string("unexpected character '") + c + "'");
-    }
-  }
-
-  JsonPtr ParseKeyword(const char* word) {
-    const std::size_t len = std::strlen(word);
-    if (text_.compare(pos_, len, word) != 0) {
-      return Fail("bad keyword");
-    }
-    pos_ += len;
-    auto value = std::make_unique<JsonValue>();
-    if (word[0] == 'n') {
-      value->kind = JsonValue::Kind::kNull;
-    } else {
-      value->kind = JsonValue::Kind::kBool;
-      value->bool_value = word[0] == 't';
-    }
-    return value;
-  }
-
-  JsonPtr ParseNumber() {
-    const std::size_t start = pos_;
-    bool integral = true;
-    if (pos_ < text_.size() && text_[pos_] == '-') {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    if (pos_ < text_.size() && text_[pos_] == '.') {
-      integral = false;
-      ++pos_;
-      if (pos_ >= text_.size() ||
-          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        return Fail("digit expected after decimal point");
-      }
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-    }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      integral = false;
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
-        ++pos_;
-      }
-      if (pos_ >= text_.size() ||
-          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        return Fail("digit expected in exponent");
-      }
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-    }
-    const std::string token = text_.substr(start, pos_ - start);
-    if (token.empty() || token == "-") {
-      return Fail("malformed number");
-    }
-    auto value = std::make_unique<JsonValue>();
-    value->kind = JsonValue::Kind::kNumber;
-    value->number = std::stod(token);
-    value->is_integer = integral;
-    return value;
-  }
-
-  JsonPtr ParseString() {
-    if (!Consume('"')) {
-      return Fail("string expected");
-    }
-    auto value = std::make_unique<JsonValue>();
-    value->kind = JsonValue::Kind::kString;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return value;
-      }
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return Fail("unescaped control character in string");
-      }
-      if (c != '\\') {
-        value->string_value.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        break;
-      }
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': value->string_value.push_back('"'); break;
-        case '\\': value->string_value.push_back('\\'); break;
-        case '/': value->string_value.push_back('/'); break;
-        case 'b': value->string_value.push_back('\b'); break;
-        case 'f': value->string_value.push_back('\f'); break;
-        case 'n': value->string_value.push_back('\n'); break;
-        case 'r': value->string_value.push_back('\r'); break;
-        case 't': value->string_value.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            return Fail("truncated \\u escape");
-          }
-          for (int i = 0; i < 4; ++i) {
-            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
-              return Fail("bad \\u escape");
-            }
-          }
-          // Validation only — keep the raw escape, no UTF-8 re-encode.
-          value->string_value.append(text_, pos_ - 2, 6);
-          pos_ += 4;
-          break;
-        }
-        default:
-          return Fail("bad escape character");
-      }
-    }
-    return Fail("unterminated string");
-  }
-
-  JsonPtr ParseArray() {
-    if (!Consume('[')) {
-      return Fail("array expected");
-    }
-    auto value = std::make_unique<JsonValue>();
-    value->kind = JsonValue::Kind::kArray;
-    if (Consume(']')) {
-      return value;
-    }
-    while (true) {
-      JsonPtr element = ParseValue();
-      if (!element) {
-        return nullptr;
-      }
-      value->array.push_back(std::move(element));
-      if (Consume(']')) {
-        return value;
-      }
-      if (!Consume(',')) {
-        return Fail("',' or ']' expected in array");
-      }
-    }
-  }
-
-  JsonPtr ParseObject() {
-    if (!Consume('{')) {
-      return Fail("object expected");
-    }
-    auto value = std::make_unique<JsonValue>();
-    value->kind = JsonValue::Kind::kObject;
-    if (Consume('}')) {
-      return value;
-    }
-    while (true) {
-      SkipWhitespace();
-      JsonPtr key = ParseString();
-      if (!key) {
-        return nullptr;
-      }
-      if (!Consume(':')) {
-        return Fail("':' expected after object key");
-      }
-      JsonPtr element = ParseValue();
-      if (!element) {
-        return nullptr;
-      }
-      value->object.emplace_back(std::move(key->string_value),
-                                 std::move(element));
-      if (Consume('}')) {
-        return value;
-      }
-      if (!Consume(',')) {
-        return Fail("',' or '}' expected in object");
-      }
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
-
-// ---------------------------------------------------------------------------
-// Trace-event-format checks.
-// ---------------------------------------------------------------------------
+using jsonmini::JsonParser;
+using jsonmini::JsonPtr;
+using jsonmini::JsonValue;
 
 bool FieldIsIntegral(const JsonValue& event, const char* key,
                      std::string* why) {
@@ -315,7 +47,16 @@ bool FieldIsIntegral(const JsonValue& event, const char* key,
   return true;
 }
 
-bool LintTraceEvents(const JsonValue& root, const std::string& path) {
+// Per-(cat, id) async-track bookkeeping for the pairing check.
+struct AsyncTrack {
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  std::set<double> tids;       // threads the track's events landed on
+  bool has_recovery = false;   // any event name containing "recover"
+};
+
+bool LintTraceEvents(const JsonValue& root, const std::string& path,
+                     bool flow_check) {
   if (root.kind != JsonValue::Kind::kObject) {
     std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
     return false;
@@ -328,6 +69,7 @@ bool LintTraceEvents(const JsonValue& root, const std::string& path) {
 
   std::map<std::string, std::size_t> phase_census;
   std::map<std::string, std::size_t> name_census;
+  std::map<std::string, AsyncTrack> async_tracks;  // key: cat \x1f id
   std::size_t index = 0;
   for (const JsonPtr& event_ptr : events->array) {
     const JsonValue& event = *event_ptr;
@@ -385,6 +127,58 @@ bool LintTraceEvents(const JsonValue& root, const std::string& path) {
         }
         break;
       }
+      case 'b':
+      case 'n':
+      case 'e': {
+        // Async nestable events: ts as usual, plus the (cat, id) pair that
+        // keys the cross-thread track. Perfetto accepts string or integer
+        // ids; our exporter writes hex strings.
+        const JsonValue* ts = event.Find("ts");
+        if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+          std::fprintf(stderr, "%s: async event missing \"ts\"\n",
+                       where.c_str());
+          return false;
+        }
+        const JsonValue* cat = event.Find("cat");
+        if (cat == nullptr || cat->kind != JsonValue::Kind::kString ||
+            cat->string_value.empty()) {
+          std::fprintf(stderr, "%s: async event missing/empty \"cat\"\n",
+                       where.c_str());
+          return false;
+        }
+        const JsonValue* id = event.Find("id");
+        std::string id_key;
+        if (id == nullptr) {
+          std::fprintf(stderr, "%s: async event missing \"id\"\n",
+                       where.c_str());
+          return false;
+        } else if (id->kind == JsonValue::Kind::kString &&
+                   !id->string_value.empty()) {
+          id_key = id->string_value;
+        } else if (id->kind == JsonValue::Kind::kNumber && id->is_integer) {
+          id_key = std::to_string(static_cast<long long>(id->number));
+        } else {
+          std::fprintf(stderr,
+                       "%s: async \"id\" is neither string nor integer\n",
+                       where.c_str());
+          return false;
+        }
+        AsyncTrack& track =
+            async_tracks[cat->string_value + '\x1f' + id_key];
+        if (phase == 'b') {
+          ++track.begins;
+        } else if (phase == 'e') {
+          ++track.ends;
+        }
+        const JsonValue* tid = event.Find("tid");
+        if (tid != nullptr && tid->kind == JsonValue::Kind::kNumber) {
+          track.tids.insert(tid->number);
+        }
+        if (name->string_value.find("recover") != std::string::npos) {
+          track.has_recovery = true;
+        }
+        break;
+      }
       case 'M':
         // Metadata (thread_name etc.) — pid/tid/name already checked.
         break;
@@ -399,6 +193,33 @@ bool LintTraceEvents(const JsonValue& root, const std::string& path) {
     }
   }
 
+  // Pairing contract: every 'b' emitted for a (cat, id) is matched by an
+  // 'e' for the same (cat, id). The AsyncSpan RAII guard makes this
+  // structural in the emitter; a mismatch here means ring wraparound split
+  // a span (grow the ring) or a hand-rolled emitter broke the contract.
+  std::size_t cross_thread_recovery_tracks = 0;
+  for (const auto& [key, track] : async_tracks) {
+    if (track.begins != track.ends) {
+      const std::size_t sep = key.find('\x1f');
+      std::fprintf(stderr,
+                   "%s: async track cat=\"%s\" id=%s has %zu 'b' but %zu "
+                   "'e' events\n",
+                   path.c_str(), key.substr(0, sep).c_str(),
+                   key.substr(sep + 1).c_str(), track.begins, track.ends);
+      return false;
+    }
+    if (track.tids.size() >= 2 && track.has_recovery) {
+      ++cross_thread_recovery_tracks;
+    }
+  }
+  if (flow_check && cross_thread_recovery_tracks == 0) {
+    std::fprintf(stderr,
+                 "%s: --flow-check: no async track spans >=2 threads with a "
+                 "recovery span (%zu async tracks total)\n",
+                 path.c_str(), async_tracks.size());
+    return false;
+  }
+
   std::printf("%s: OK — %zu events (", path.c_str(), events->array.size());
   bool first = true;
   for (const auto& [phase, count] : phase_census) {
@@ -406,13 +227,17 @@ bool LintTraceEvents(const JsonValue& root, const std::string& path) {
     first = false;
   }
   std::printf(")\n");
+  if (!async_tracks.empty()) {
+    std::printf("  async tracks: %zu paired, %zu cross-thread w/ recovery\n",
+                async_tracks.size(), cross_thread_recovery_tracks);
+  }
   for (const auto& [event_name, count] : name_census) {
     std::printf("  %-32s %zu\n", event_name.c_str(), count);
   }
   return true;
 }
 
-bool LintFile(const std::string& path, bool any_json) {
+bool LintFile(const std::string& path, bool any_json, bool flow_check) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "%s: cannot open\n", path.c_str());
@@ -439,21 +264,28 @@ bool LintFile(const std::string& path, bool any_json) {
                 text.size());
     return true;
   }
-  return LintTraceEvents(*root, path);
+  return LintTraceEvents(*root, path, flow_check);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool any_json = false;
+  bool flow_check = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--any") == 0) {
       any_json = true;
+    } else if (std::strcmp(argv[i], "--flow-check") == 0) {
+      flow_check = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: trace_lint [--any] file.json [...]\n"
-                  "  default: validate chrome://tracing trace-event files\n"
-                  "  --any  : only check JSON well-formedness (BENCH_*.json)\n");
+      std::printf(
+          "usage: trace_lint [--any] [--flow-check] file.json [...]\n"
+          "  default     : validate chrome://tracing trace-event files\n"
+          "                (incl. async 'b'/'e' pairing per cat+id track)\n"
+          "  --flow-check: additionally require an async track spanning\n"
+          "                >=2 threads with a recovery span\n"
+          "  --any       : only check JSON well-formedness (BENCH_*.json)\n");
       return 0;
     } else {
       paths.push_back(argv[i]);
@@ -465,7 +297,7 @@ int main(int argc, char** argv) {
   }
   bool ok = true;
   for (const std::string& path : paths) {
-    ok = LintFile(path, any_json) && ok;
+    ok = LintFile(path, any_json, flow_check) && ok;
   }
   return ok ? 0 : 1;
 }
