@@ -31,6 +31,8 @@
 #include "src/net/operators/null_filter.h"
 #include "src/net/pktgen.h"
 #include "src/net/runtime.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/bench_json.h"
 #include "src/util/cycles.h"
 
@@ -147,9 +149,48 @@ void SweepPipeline(const char* label, const char* label_key,
   }
 }
 
+// Zipf-skewed load through the paced rx thread. Pacing is what makes the
+// stealing comparison honest: the blocking Dispatch loop above holds the
+// steer lock (shared) across its whole fan-out, so thieves could only ever
+// steal in the sliver between dispatches. The rx thread instead sleeps —
+// lock-free — whenever a queue crosses the high-water mark, which is
+// exactly the window an idle worker uses to pull the hot shard's backlog.
+RunResult RunZipfPaced(std::size_t workers, bool stealing,
+                       std::uint64_t bursts,
+                       std::vector<net::StageSpec> spec) {
+  net::RuntimeConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_depth = 64;
+  cfg.pool_capacity = 8192;
+  cfg.isolated = true;
+  cfg.stealing.enabled = stealing;
+  cfg.paced_rx.enabled = true;
+  cfg.paced_rx.burst = kBatchSize;
+  cfg.paced_rx.high_water_frac = 0.75;
+  cfg.paced_rx.pause_us = 20;
+  net::Runtime rt(cfg, std::move(spec));
+
+  net::FlowSampler sampler(64, 1.0, 42);
+  net::FlowFeeder feeder(&sampler);
+
+  rt.Start();
+  const std::uint64_t begin = util::CycleStart();
+  rt.StartPacedRx(&feeder, bursts);
+  rt.WaitRxIdle();
+  rt.Shutdown();
+  const std::uint64_t end = util::CycleEnd();
+
+  RunResult r;
+  r.cycles = static_cast<double>(end - begin);
+  r.stats = rt.Stats();
+  r.packets = r.stats.totals.packets;
+  r.batches = r.stats.totals.batches;
+  return r;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   util::BenchReport report("parallel");
   report.AddLabel("checked", util::BenchCheckedLabel());
   report.AddLabel("quick", util::BenchQuickMode() ? "1" : "0");
@@ -170,6 +211,66 @@ int main() {
     const std::string suffix = zipf > 0 ? "_zipf" : "_uniform";
     report.AddSamples("packets_per_worker" + suffix,
                       r.stats.packets_per_worker);
+  }
+
+  // Zipf(1.0) with work stealing: the hot flow's home shard backs up, idle
+  // peers pull whole cold flows off it. On a multi-core host the stolen
+  // share turns into throughput; on a 1-core container the two numbers
+  // should track each other (the steal machinery riding along is the cost
+  // being measured).
+  std::printf("\n=== Zipf(1.0) skew, paced rx, 4 workers, Maglev: "
+              "stealing off vs on ===\n");
+  obs::ArmMetricsGroup(obs::MetricGroup::kNet, true);
+  double off_cycles = 0;
+  for (bool stealing : {false, true}) {
+    const RunResult r =
+        RunZipfPaced(4, stealing, static_cast<std::uint64_t>(kBatches),
+                     MaglevSpec());
+    const double throughput =
+        static_cast<double>(r.packets) / r.cycles * 1e6;
+    const char* key = stealing ? "on" : "off";
+    std::printf("stealing=%s  %s\n", key, r.stats.Summary().c_str());
+    g_report->AddScalar(std::string("zipf_mpkt_per_mcyc_steal_") + key,
+                        throughput);
+    g_report->AddScalar(std::string("zipf_batch_cycles_p50_steal_") + key,
+                        r.stats.batch_cycles.Percentile(50.0));
+    if (!stealing) {
+      off_cycles = r.cycles;
+    } else {
+      g_report->AddScalar("zipf_steals", static_cast<double>(r.stats.totals.steals));
+      g_report->AddScalar("zipf_stolen_items",
+                          static_cast<double>(r.stats.totals.stolen_items));
+      g_report->AddScalar("zipf_migrated_flows",
+                          static_cast<double>(r.stats.migrated_flows));
+      g_report->AddScalar("zipf_steal_cycles_p50",
+                          r.stats.steal_cycles.Percentile(50.0));
+      // >1.0 = stealing finished the same skewed load faster.
+      g_report->AddScalar("zipf_steal_speedup", off_cycles / r.cycles);
+      std::printf("steal speedup vs off: %.3fx\n", off_cycles / r.cycles);
+    }
+  }
+  obs::ArmMetricsGroup(obs::MetricGroup::kNet, false);
+
+  // Optional traced run (argv[1] = output path): stealing on plus a flaky
+  // replica on the hot home, with the tracer armed. The exported trace must
+  // satisfy `trace_lint --flow-check` — at least one flow's async track
+  // spanning the rx thread, a worker, and a recovery — with steal instants
+  // present on the same tracks.
+  if (argc > 1) {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Arm(/*ring_capacity=*/1 << 16);
+    tracer.SetThreadName("bench-driver");
+    std::vector<net::StageSpec> spec = MaglevSpec();
+    spec.push_back({"flaky", [](std::size_t worker) {
+                      return std::make_unique<net::NullFilter>(
+                          worker == 0 ? 31 : 0);
+                    }});
+    const RunResult r = RunZipfPaced(4, true, 500, std::move(spec));
+    if (tracer.WriteChromeJson(argv[1])) {
+      std::printf("\ntrace: %s (steals=%" PRIu64 " faults=%" PRIu64 ")\n",
+                  argv[1], r.stats.totals.steals, r.stats.totals.faults);
+    }
+    tracer.Disarm();
   }
 
   std::printf("\npaper reference: Figure 2 overhead 90..122 cyc/call; the "

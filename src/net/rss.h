@@ -17,13 +17,25 @@
 // Dispatch may be called from multiple producer threads concurrently
 // (sfi::Channel is MPMC); the steering counters are relaxed atomics so the
 // telemetry stays exact under concurrent dispatch.
+//
+// Work stealing (optional, ctor flag): an idle worker may move whole flows
+// from the most-loaded peer's queue onto its own replica via Steal(). A
+// steal-migration table (flow key -> new home) is consulted by WorkerFor so
+// every later dispatch of a stolen flow follows it; a flow's queued items
+// move wholesale and in order, so per-flow FIFO and single-home flow state
+// both survive the migration (see DESIGN.md "Flow pinning vs. stealing").
 #ifndef LINSYS_SRC_NET_RSS_H_
 #define LINSYS_SRC_NET_RSS_H_
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -38,11 +50,21 @@ namespace net {
 template <typename Batch>
 class BasicRssDispatcher {
  public:
+  // What one Steal() moved: per-source-sub-batch slices (oldest first, each
+  // preserving its source's flow id), the distinct flow keys migrated, and
+  // the item total.
+  struct StealResult {
+    std::vector<Batch> batches;
+    std::vector<std::uint64_t> keys;
+    std::size_t items = 0;
+  };
+
   // `queue_depth` bounds each worker channel (backpressure, like NIC ring
-  // sizes); 0 = unbounded.
-  explicit BasicRssDispatcher(std::size_t workers,
-                              std::size_t queue_depth = 64)
-      : seed_(0x5ca1ab1eULL), per_worker_steered_(workers) {
+  // sizes); 0 = unbounded. `stealing` arms the migration table and the
+  // steer lock; leave it off and the hash-only fast path is unchanged.
+  explicit BasicRssDispatcher(std::size_t workers, std::size_t queue_depth = 64,
+                              bool stealing = false)
+      : seed_(0x5ca1ab1eULL), stealing_(stealing), per_worker_steered_(workers) {
     LINSYS_ASSERT(workers > 0, "RSS needs at least one worker");
     for (std::size_t i = 0; i < workers; ++i) {
       queues_.push_back(std::make_unique<sfi::Channel<Batch>>(queue_depth));
@@ -51,13 +73,22 @@ class BasicRssDispatcher {
 
   // Steers every item of `batch` to its worker queue, grouped into one
   // sub-batch per worker per call. Consumes the input batch. Returns the
-  // number of sub-batches actually enqueued (a closed channel refuses its
-  // sub-batch, dropping those items).
+  // number of sub-batches actually enqueued. A closed channel refuses its
+  // sub-batch; the refusal and its item count are recorded in
+  // refused_sub_batches()/dropped_items() — never lost silently.
   std::size_t Dispatch(Batch batch) {
     dispatch_calls_.fetch_add(1, std::memory_order_relaxed);
+    // When stealing is armed, hold the steer lock (shared) across routing
+    // AND enqueue: a Steal() (exclusive) can then never repoint a flow
+    // while one of its items is in flight between WorkerFor and Send, which
+    // would strand the item on the old home behind the migrated queue tail.
+    std::shared_lock<std::shared_mutex> route_guard;
+    if (stealing_) {
+      route_guard = std::shared_lock<std::shared_mutex>(steer_mu_);
+    }
     std::vector<Batch> per_worker(queues_.size());
     for (auto& item : batch) {
-      const std::size_t worker = WorkerFor(item);
+      const std::size_t worker = WorkerForTupleLocked(item.Tuple());
       per_worker[worker].Push(std::move(item));
     }
     // Flow-id propagation: batch types carrying a dispatch-assigned flow id
@@ -75,22 +106,186 @@ class BasicRssDispatcher {
       if (per_worker[w].empty()) {
         continue;
       }
-      if (queues_[w]->Send(lin::Own<Batch>::Make(std::move(per_worker[w])))) {
+      const std::size_t items = per_worker[w].size();
+      auto result =
+          queues_[w]->Send(lin::Own<Batch>::Make(std::move(per_worker[w])));
+      if (result.ok) {
         sub_batches_steered_.fetch_add(1, std::memory_order_relaxed);
         per_worker_steered_[w].fetch_add(1, std::memory_order_relaxed);
         ++sent;
+      } else {
+        refused_sub_batches_.fetch_add(1, std::memory_order_relaxed);
+        dropped_items_.fetch_add(items, std::memory_order_relaxed);
       }
     }
     return sent;
   }
 
-  // Which worker an item's flow maps to — stable per flow.
+  // Which worker an item's flow maps to. Stable per flow between steals;
+  // a Steal() repoints every migrated flow atomically w.r.t. Dispatch.
   template <typename Item>
   std::size_t WorkerFor(const Item& item) const {
     return WorkerForTuple(item.Tuple());
   }
   std::size_t WorkerForTuple(const FiveTuple& tuple) const {
-    return static_cast<std::size_t>(tuple.Hash(seed_) % queues_.size());
+    if (stealing_ && migrated_count_.load(std::memory_order_relaxed) > 0) {
+      std::shared_lock<std::shared_mutex> lock(steer_mu_);
+      return WorkerForTupleLocked(tuple);
+    }
+    return HashHome(FlowKey(tuple));
+  }
+
+  // The flow key used by the migration table: the seeded 5-tuple hash. Two
+  // tuples that collide on the full 64-bit hash share a key and therefore
+  // co-migrate — conservative, never order-breaking.
+  std::uint64_t FlowKey(const FiveTuple& tuple) const {
+    return tuple.Hash(seed_);
+  }
+
+  // Work stealing. Moves every queued item of a chosen flow set from
+  // `victim`'s queue to the caller (worker `thief`) and repoints those flows
+  // in the migration table, all atomically w.r.t. Dispatch (steer lock held
+  // exclusive) and the victim's own receive loop (victim channel lock held).
+  //
+  // `excluded` is called under the victim's channel lock and must return
+  // the flow keys that are OFF-LIMITS — the victim's in-flight work (popped
+  // batch or a stolen chain it still holds). Stolen flows never overlap any
+  // in-flight work, so the thief may process them immediately: older items
+  // of those flows cannot exist anywhere else.
+  //
+  // `commit` is called with the StealResult while the locks are still held;
+  // the thief uses it to publish the stolen keys as its own in-flight set
+  // before anyone else can steal or route them.
+  //
+  // Flow choice: flows are accepted oldest-first (by first appearance in
+  // the queue) until roughly half the victim's queued items are taken.
+  template <typename ExcludedFn, typename CommitFn>
+  StealResult Steal(std::size_t victim, std::size_t thief,
+                    ExcludedFn&& excluded, CommitFn&& commit) {
+    StealResult result;
+    LINSYS_ASSERT(stealing_, "Steal() on a dispatcher built without stealing");
+    LINSYS_ASSERT(victim < queues_.size() && thief < queues_.size() &&
+                      victim != thief,
+                  "bad steal worker indices");
+    // Opportunistic only: Dispatch holds the steer lock shared across its
+    // (possibly blocking) Send fan-out, so a blocking exclusive wait here
+    // can cycle — dispatcher waits on this worker's full queue while this
+    // worker waits for the dispatcher to release the steer lock. A failed
+    // attempt just means the thief parks and retries.
+    std::unique_lock<std::shared_mutex> steer(steer_mu_, std::try_to_lock);
+    if (!steer.owns_lock()) {
+      return result;
+    }
+    queues_[victim]->WithQueueLocked([&](std::deque<lin::Own<Batch>>& q) {
+      if (q.empty()) {
+        return;
+      }
+      const std::unordered_set<std::uint64_t> off = excluded();
+      // Pass 1: per-flow queued item counts in first-seen (oldest) order.
+      std::vector<std::pair<std::uint64_t, std::size_t>> flows;
+      std::unordered_map<std::uint64_t, std::size_t> flow_index;
+      std::size_t total_items = 0;
+      for (const auto& own : q) {
+        for (const auto& item : *own) {
+          const std::uint64_t key = FlowKey(item.Tuple());
+          auto [it, fresh] = flow_index.try_emplace(key, flows.size());
+          if (fresh) {
+            flows.emplace_back(key, 0);
+          }
+          ++flows[it->second].second;
+          ++total_items;
+        }
+      }
+      // Choose stealable flows oldest-first up to ~half the queued items.
+      const std::size_t target = (total_items + 1) / 2;
+      std::unordered_set<std::uint64_t> chosen;
+      std::size_t chosen_items = 0;
+      for (const auto& [key, count] : flows) {
+        if (chosen_items >= target) {
+          break;
+        }
+        if (off.count(key) != 0) {
+          continue;
+        }
+        chosen.insert(key);
+        chosen_items += count;
+      }
+      if (chosen.empty()) {
+        return;
+      }
+      // Pass 2: extract the chosen flows' items from every sub-batch, in
+      // queue order, preserving each slice's source flow id for tracing.
+      std::deque<lin::Own<Batch>> rest;
+      for (auto& own : q) {
+        Batch source = own.Take();
+        Batch keep;
+        Batch take;
+        if constexpr (requires { keep.set_flow_id(source.flow_id()); }) {
+          keep.set_flow_id(source.flow_id());
+          take.set_flow_id(source.flow_id());
+        }
+        for (auto& item : source) {
+          if (chosen.count(FlowKey(item.Tuple())) != 0) {
+            take.Push(std::move(item));
+          } else {
+            keep.Push(std::move(item));
+          }
+        }
+        result.items += take.size();
+        if (!take.empty()) {
+          result.batches.push_back(std::move(take));
+        }
+        if (!keep.empty()) {
+          rest.push_back(lin::Own<Batch>::Make(std::move(keep)));
+        }
+      }
+      q.swap(rest);
+      result.keys.assign(chosen.begin(), chosen.end());
+      // Repoint the migrated flows. A key whose hash home IS the thief just
+      // falls off the table (steal-back cancels the migration entry).
+      for (const std::uint64_t key : chosen) {
+        if (HashHome(key) == thief) {
+          migrated_.erase(key);
+        } else {
+          migrated_[key] = thief;
+        }
+      }
+      migrated_count_.store(migrated_.size(), std::memory_order_relaxed);
+      commit(result);
+    });
+    return result;
+  }
+
+  // Victim selection: the worker (≠ self) with the deepest queue, if its
+  // depth reaches `min_depth`.
+  std::optional<std::size_t> MostLoadedOther(std::size_t self,
+                                             std::size_t min_depth) const {
+    std::optional<std::size_t> best;
+    std::size_t best_depth = min_depth == 0 ? 1 : min_depth;
+    for (std::size_t w = 0; w < queues_.size(); ++w) {
+      if (w == self) {
+        continue;
+      }
+      const std::size_t depth = queues_[w]->size();
+      if (depth >= best_depth) {
+        best = w;
+        best_depth = depth + 1;  // strictly deeper to replace
+      }
+    }
+    return best;
+  }
+
+  // Queue-depth spread across workers (max - min), the imbalance signal the
+  // stealing loop and the obs gauge both read.
+  std::size_t QueueImbalance() const {
+    std::size_t min_depth = SIZE_MAX;
+    std::size_t max_depth = 0;
+    for (const auto& queue : queues_) {
+      const std::size_t depth = queue->size();
+      min_depth = depth < min_depth ? depth : min_depth;
+      max_depth = depth > max_depth ? depth : max_depth;
+    }
+    return queues_.empty() ? 0 : max_depth - min_depth;
   }
 
   // The worker side: blocking receive of the next steered sub-batch.
@@ -106,6 +301,7 @@ class BasicRssDispatcher {
   }
 
   std::size_t worker_count() const { return queues_.size(); }
+  bool stealing_enabled() const { return stealing_; }
 
   // Number of Dispatch() calls — i.e. input batches steered. (This used to
   // count per-worker sub-batches, which over-reported by up to worker_count
@@ -123,13 +319,49 @@ class BasicRssDispatcher {
                   "worker index out of range");
     return per_worker_steered_[worker].load(std::memory_order_relaxed);
   }
+  // Sub-batches refused by a closed worker channel, and the items those
+  // refusals dropped. Nonzero only when Dispatch raced a Shutdown.
+  std::uint64_t refused_sub_batches() const {
+    return refused_sub_batches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped_items() const {
+    return dropped_items_.load(std::memory_order_relaxed);
+  }
+  // Live distinct flows currently homed away from their hash home.
+  std::size_t migrated_flows() const {
+    return migrated_count_.load(std::memory_order_relaxed);
+  }
 
  private:
+  std::size_t HashHome(std::uint64_t key) const {
+    return static_cast<std::size_t>(key % queues_.size());
+  }
+  // Requires steer_mu_ held (shared or exclusive) when stealing_ is set.
+  std::size_t WorkerForTupleLocked(const FiveTuple& tuple) const {
+    const std::uint64_t key = FlowKey(tuple);
+    if (stealing_ && !migrated_.empty()) {
+      auto it = migrated_.find(key);
+      if (it != migrated_.end()) {
+        return it->second;
+      }
+    }
+    return HashHome(key);
+  }
+
   std::uint64_t seed_;
+  const bool stealing_;
   std::vector<std::unique_ptr<sfi::Channel<Batch>>> queues_;
   std::atomic<std::uint64_t> dispatch_calls_{0};
   std::atomic<std::uint64_t> sub_batches_steered_{0};
+  std::atomic<std::uint64_t> refused_sub_batches_{0};
+  std::atomic<std::uint64_t> dropped_items_{0};
   std::vector<std::atomic<std::uint64_t>> per_worker_steered_;
+  // Steal-migration table: flow key -> current home, for flows moved off
+  // their hash home. Guarded by steer_mu_; migrated_count_ mirrors its size
+  // so the no-migrations fast path costs one relaxed load.
+  mutable std::shared_mutex steer_mu_;
+  std::unordered_map<std::uint64_t, std::size_t> migrated_;
+  std::atomic<std::size_t> migrated_count_{0};
 };
 
 // The classic NIC-shaped instantiation: steer already-built packets.

@@ -26,6 +26,20 @@ std::string RuntimeStats::Summary() const {
   if (rejected_dispatches > 0) {
     s += " rejected=" + std::to_string(rejected_dispatches);
   }
+  if (steer_refused_sub_batches > 0 || steer_dropped_items > 0) {
+    s += " steer_refused=" + std::to_string(steer_refused_sub_batches);
+    s += " steer_dropped=" + std::to_string(steer_dropped_items);
+  }
+  if (totals.steals > 0 || migrated_flows > 0) {
+    s += " steals=" + std::to_string(totals.steals);
+    s += " stolen_batches=" + std::to_string(totals.stolen_batches);
+    s += " stolen_items=" + std::to_string(totals.stolen_items);
+    s += " migrated_flows=" + std::to_string(migrated_flows);
+  }
+  if (rx_batches > 0) {
+    s += " rx_batches=" + std::to_string(rx_batches);
+    s += " rx_pauses=" + std::to_string(rx_pauses);
+  }
   s += " | load: " + packets_per_worker.Summary();
   s += "\n  batch_cycles: " + batch_cycles.Summary();
   s += "\n  mempool: in_use=" + std::to_string(mempool_in_use);
@@ -47,7 +61,8 @@ std::string RuntimeStats::Summary() const {
 }
 
 Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
-    : config_(config), rss_(config.workers, config.queue_depth) {
+    : config_(config),
+      rss_(config.workers, config.queue_depth, config.stealing.enabled) {
   LINSYS_ASSERT(config_.frame_len >= kPayloadOffset + kFlowSeqBytes,
                 "frame_len too small for the per-flow sequence stamp");
   // One shard per worker: worker w only ever touches cell w, so the packet
@@ -72,6 +87,20 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
   telemetry_.queue_hwm = registry_.GetGauge("runtime.queue_depth_hwm", shards);
   telemetry_.batch_cycles =
       registry_.GetHistogram("runtime.batch_cycles", shards);
+  telemetry_.steals = registry_.GetCounter("runtime.steals_total", shards);
+  telemetry_.stolen_batches =
+      registry_.GetCounter("runtime.stolen_sub_batches_total", shards);
+  telemetry_.stolen_items =
+      registry_.GetCounter("runtime.stolen_items_total", shards);
+  telemetry_.rx_batches = registry_.GetCounter("runtime.rx_batches_total");
+  telemetry_.rx_pauses = registry_.GetCounter("runtime.rx_pauses_total");
+  telemetry_.steal_cycles =
+      registry_.GetHistogram("runtime.steal_cycles", shards);
+  // Imbalance is computed from live queue depths at scrape time — the same
+  // signal the stealing loop's victim selection reads.
+  registry_.RegisterGaugeFn("runtime.queue_imbalance", [this] {
+    return static_cast<std::int64_t>(rss_.QueueImbalance());
+  });
   // Mempool occupancy is evaluated at scrape time against the pools'
   // always-on counters (no extra bookkeeping on the packet path).
   registry_.RegisterGaugeFn("runtime.mempool_in_use", [this] {
@@ -134,18 +163,24 @@ void Runtime::Shutdown() {
   }
   shut_down_ = true;
   accepting_.store(false, std::memory_order_release);
+  rx_stop_.store(true, std::memory_order_relaxed);
   if (!started_) {
     return;  // never ran; nothing to join — but Start is now refused too
   }
   // Closing the channels lets workers drain whatever is queued, then exit
   // (Channel::Recv returns nullopt only after close-and-drained). The
   // supervisor keeps running until after the join so in-flight faults are
-  // still recovered during the drain.
+  // still recovered during the drain. The rx thread (if any) sees rx_stop_
+  // at its next pause/dispatch check; a Send it is blocked in is woken by
+  // the close (and refused, which the steer counters record).
   rss_.Shutdown();
   for (auto& w : workers_) {
     if (w->thread.joinable()) {
       w->thread.join();
     }
+  }
+  if (rx_thread_.joinable()) {
+    rx_thread_.join();
   }
   {
     std::lock_guard<std::mutex> lock(sup_mu_);
@@ -170,6 +205,20 @@ void Runtime::WorkerMain(Worker& w) {
     obs::Tracer::Global().SetThreadName("worker" + std::to_string(w.index));
   }
   auto& queue = rss_.queue(w.index);
+  const bool stealing = config_.stealing.enabled;
+  const auto park = std::chrono::microseconds(
+      config_.stealing.idle_park_us == 0 ? 100 : config_.stealing.idle_park_us);
+  // Runs under the channel lock at every dequeue: publishes the popped
+  // sub-batch's flow keys as in flight *atomically with the pop*, so a
+  // thief scanning this queue can never see those flows as neither queued
+  // nor in flight.
+  auto publish = [this, &w](const FlowBatch& b) {
+    std::lock_guard<std::mutex> lock(w.guard_mu);
+    w.popped_flows.clear();
+    for (const FlowWork& fw : b) {
+      w.popped_flows.insert(rss_.FlowKey(fw.Tuple()));
+    }
+  };
   while (true) {
     const std::size_t depth = queue.size();
     telemetry_.queue_depth->Set(w.index, static_cast<std::int64_t>(depth));
@@ -177,7 +226,27 @@ void Runtime::WorkerMain(Worker& w) {
     w.busy.store(false, std::memory_order_release);
     std::optional<lin::Own<FlowBatch>> handle;
     try {
-      handle = queue.Recv();
+      if (stealing) {
+        // Idle loop: drain own queue first, then steal, then park briefly.
+        // The tri-state receive is what makes this terminate: kClosed ends
+        // the worker, kEmpty keeps it polling.
+        auto r = queue.TryRecv(publish);
+        if (r.status == sfi::RecvStatus::kEmpty) {
+          if (TrySteal(w)) {
+            continue;
+          }
+          r = queue.RecvFor(park, publish);
+        }
+        if (r.status == sfi::RecvStatus::kClosed) {
+          break;
+        }
+        if (r.status == sfi::RecvStatus::kEmpty) {
+          continue;
+        }
+        handle = std::move(r.value);
+      } else {
+        handle = queue.Recv();
+      }
     } catch (const util::PanicError&) {
       // An injected channel.recv fault fires before the dequeue, so the
       // message is still queued: count the fault and take it next iteration.
@@ -190,10 +259,137 @@ void Runtime::WorkerMain(Worker& w) {
     }
     w.busy.store(true, std::memory_order_release);
     ProcessFlows(w, handle->Take());
+    if (stealing) {
+      std::lock_guard<std::mutex> lock(w.guard_mu);
+      w.popped_flows.clear();
+    }
     w.heartbeat.fetch_add(1, std::memory_order_release);
   }
   w.busy.store(false, std::memory_order_release);
   telemetry_.queue_depth->Set(w.index, 0);
+}
+
+bool Runtime::TrySteal(Worker& w) {
+  const auto victim =
+      rss_.MostLoadedOther(w.index, config_.stealing.min_victim_depth);
+  if (!victim.has_value()) {
+    return false;
+  }
+  Worker& v = *workers_[*victim];
+  const bool armed = obs::MetricsArmed(obs::MetricGroup::kNet);
+  const std::uint64_t t0 = armed ? util::CycleStart() : 0;
+  auto result = rss_.Steal(
+      *victim, w.index,
+      // Off-limits set, read under the victim's channel lock: everything
+      // the victim holds outside its queue right now.
+      [&v] {
+        std::lock_guard<std::mutex> lock(v.guard_mu);
+        std::unordered_set<std::uint64_t> off = v.popped_flows;
+        off.insert(v.stolen_flows.begin(), v.stolen_flows.end());
+        return off;
+      },
+      // Publish the stolen flows as OUR in-flight set before the steer
+      // lock drops: from this instant they route to us, and nobody can
+      // re-steal them until we finish the chain.
+      [&w](const auto& r) {
+        std::lock_guard<std::mutex> lock(w.guard_mu);
+        w.stolen_flows.insert(r.keys.begin(), r.keys.end());
+      });
+  if (result.batches.empty()) {
+    return false;
+  }
+  telemetry_.steals->Inc(w.index);
+  telemetry_.stolen_batches->Add(w.index, result.batches.size());
+  telemetry_.stolen_items->Add(w.index, result.items);
+  if (armed) {
+    telemetry_.steal_cycles->RecordWithExemplar(
+        w.index, util::CycleEnd() - t0, result.batches.front().flow_id());
+  }
+  // Process the stolen slices in queue order, before touching our own
+  // queue: any same-flow work dispatched after the migration sits behind
+  // these slices by construction.
+  for (FlowBatch& slice : result.batches) {
+    // The slice keeps its source sub-batch's flow id, so the steal shows up
+    // on the original dispatch's async track.
+    LINSYS_TRACE_ASYNC_INSTANT("flow.steal", "flow", slice.flow_id());
+    w.busy.store(true, std::memory_order_release);
+    ProcessFlows(w, std::move(slice));
+    w.heartbeat.fetch_add(1, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> lock(w.guard_mu);
+    w.stolen_flows.clear();
+  }
+  return true;
+}
+
+std::size_t Runtime::MaxQueueDepth() {
+  std::size_t max_depth = 0;
+  for (std::size_t i = 0; i < rss_.worker_count(); ++i) {
+    max_depth = std::max(max_depth, rss_.queue(i).size());
+  }
+  return max_depth;
+}
+
+void Runtime::StartPacedRx(FlowFeeder* feeder, std::uint64_t batches) {
+  LINSYS_ASSERT(config_.paced_rx.enabled,
+                "StartPacedRx needs RuntimeConfig::paced_rx.enabled");
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  LINSYS_ASSERT(started_ && !shut_down_,
+                "StartPacedRx needs a started, un-shut-down runtime");
+  {
+    std::lock_guard<std::mutex> lock(rx_mu_);
+    LINSYS_ASSERT(!rx_active_, "one paced rx thread at a time");
+    rx_active_ = true;
+  }
+  rx_stop_.store(false, std::memory_order_relaxed);
+  if (rx_thread_.joinable()) {
+    rx_thread_.join();  // reap the previous run's exited thread
+  }
+  rx_thread_ =
+      std::thread([this, feeder, batches] { RxMain(feeder, batches); });
+}
+
+void Runtime::WaitRxIdle() {
+  std::unique_lock<std::mutex> lock(rx_mu_);
+  rx_cv_.wait(lock, [this] { return !rx_active_; });
+}
+
+void Runtime::RxMain(FlowFeeder* feeder, std::uint64_t batches) {
+  if (obs::Tracer::ArmedFast()) {
+    obs::Tracer::Global().SetThreadName("rx");
+  }
+  const PacedRxConfig& rx = config_.paced_rx;
+  // High-water mark in sub-batches. Dispatch adds at most one sub-batch per
+  // queue per burst, so queues never exceed mark+1 while rx is the sole
+  // producer — pacing replaces blocking inside a full channel.
+  const std::size_t mark =
+      config_.queue_depth > 0
+          ? std::max<std::size_t>(
+                1, static_cast<std::size_t>(rx.high_water_frac *
+                                            static_cast<double>(
+                                                config_.queue_depth)))
+          : 48;
+  const auto pause = std::chrono::microseconds(rx.pause_us == 0 ? 1 : rx.pause_us);
+  for (std::uint64_t i = 0; i < batches; ++i) {
+    while (!rx_stop_.load(std::memory_order_relaxed) &&
+           MaxQueueDepth() >= mark) {
+      telemetry_.rx_pauses->Inc();
+      std::this_thread::sleep_for(pause);
+    }
+    if (rx_stop_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    if (!Dispatch(feeder->Next(rx.burst))) {
+      break;  // runtime stopped accepting (shutdown)
+    }
+    telemetry_.rx_batches->Inc();
+  }
+  {
+    std::lock_guard<std::mutex> lock(rx_mu_);
+    rx_active_ = false;
+  }
+  rx_cv_.notify_all();
 }
 
 void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
@@ -387,6 +583,12 @@ RuntimeStats Runtime::Stats() const {
   s.dispatch_calls = rss_.batches_steered();
   s.sub_batches = rss_.sub_batches_steered();
   s.rejected_dispatches = telemetry_.rejected_dispatches->Value();
+  s.steer_refused_sub_batches = rss_.refused_sub_batches();
+  s.steer_dropped_items = rss_.dropped_items();
+  s.migrated_flows = rss_.migrated_flows();
+  s.rx_batches = telemetry_.rx_batches->Value();
+  s.rx_pauses = telemetry_.rx_pauses->Value();
+  s.steal_cycles = telemetry_.steal_cycles->Snapshot();
   // One consistent histogram snapshot for the whole stats call: buckets are
   // never torn (sum(buckets) == count) even while workers keep recording.
   s.batch_cycles = telemetry_.batch_cycles->Snapshot();
@@ -405,6 +607,9 @@ RuntimeStats Runtime::Stats() const {
     t.faults = telemetry_.faults->ShardValue(w->index);
     t.recoveries = telemetry_.recoveries->ShardValue(w->index);
     t.stalls = telemetry_.stalls->ShardValue(w->index);
+    t.steals = telemetry_.steals->ShardValue(w->index);
+    t.stolen_batches = telemetry_.stolen_batches->ShardValue(w->index);
+    t.stolen_items = telemetry_.stolen_items->ShardValue(w->index);
     t.queue_hwm = static_cast<std::size_t>(
         telemetry_.queue_hwm->ShardValue(w->index));
     const Mempool::CountersView pool = w->pool.Counters();
@@ -439,6 +644,9 @@ RuntimeStats Runtime::Stats() const {
     s.totals.recoveries += t.recoveries;
     s.totals.recovery_panics += t.recovery_panics;
     s.totals.stalls += t.stalls;
+    s.totals.steals += t.steals;
+    s.totals.stolen_batches += t.stolen_batches;
+    s.totals.stolen_items += t.stolen_items;
     s.totals.quarantined += t.quarantined;
     s.totals.queue_hwm = std::max(s.totals.queue_hwm, t.queue_hwm);
     s.packets_per_worker.Add(static_cast<double>(t.packets));

@@ -50,6 +50,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -162,6 +163,30 @@ struct SupervisionConfig {
   std::uint32_t watchdog_period_ms = 25;
 };
 
+// Work-stealing knobs. Off by default: the hash-pinned fast path is then
+// byte-for-byte the pre-stealing dispatcher.
+struct StealConfig {
+  bool enabled = false;
+  // A victim queue must hold at least this many sub-batches to be worth
+  // stealing from (below it, migration churn beats the balance gain).
+  std::size_t min_victim_depth = 2;
+  // How long an idle worker parks between steal attempts.
+  std::uint32_t idle_park_us = 100;
+};
+
+// Paced rx thread (RuntimeConfig::paced_rx): a dedicated producer that
+// pulls from a FlowFeeder and paces Dispatch against per-queue high-water
+// marks instead of blocking inside a full channel.
+struct PacedRxConfig {
+  bool enabled = false;
+  std::size_t burst = 32;        // flow descriptors per Dispatch
+  // Pause while any worker queue is at/above this fraction of queue_depth
+  // (in sub-batches). With queue_depth == 0 (unbounded) the mark falls back
+  // to 48 sub-batches.
+  double high_water_frac = 0.75;
+  std::uint32_t pause_us = 20;   // sleep quantum while above the mark
+};
+
 struct RuntimeConfig {
   std::size_t workers = 1;
   std::size_t queue_depth = 64;       // per-worker channel bound (0 = none)
@@ -170,6 +195,8 @@ struct RuntimeConfig {
   std::uint16_t frame_len = 64;
   bool isolated = true;               // IsolatedPipeline vs direct Pipeline
   SupervisionConfig supervision;
+  StealConfig stealing;
+  PacedRxConfig paced_rx;
 };
 
 // Snapshot of one worker's counters.
@@ -181,6 +208,9 @@ struct WorkerTelemetry {
   std::uint64_t recoveries = 0;  // stage domains re-exported for this worker
   std::uint64_t recovery_panics = 0;  // recovery fns contained mid-panic
   std::uint64_t stalls = 0;      // watchdog stuck-worker detections
+  std::uint64_t steals = 0;          // successful steals by this worker
+  std::uint64_t stolen_batches = 0;  // sub-batch slices it took
+  std::uint64_t stolen_items = 0;    // flow descriptors it took
   std::size_t quarantined = 0;   // stages currently quarantined on this shard
   std::size_t queue_hwm = 0;     // steering-queue depth high-water mark
 };
@@ -206,6 +236,15 @@ struct RuntimeStats {
   std::uint64_t dispatch_calls = 0;    // input batches steered
   std::uint64_t sub_batches = 0;       // per-worker sub-batches enqueued
   std::uint64_t rejected_dispatches = 0;  // Dispatch() outside Start..Shutdown
+  // Silent-loss accounting (bugfix): sub-batches a closed worker channel
+  // refused at dispatch, and the flow descriptors dropped with them.
+  std::uint64_t steer_refused_sub_batches = 0;
+  std::uint64_t steer_dropped_items = 0;
+  // Work stealing / paced rx.
+  std::size_t migrated_flows = 0;      // flows homed away from their hash home
+  std::uint64_t rx_batches = 0;        // bursts dispatched by the rx thread
+  std::uint64_t rx_pauses = 0;         // high-water pauses the rx thread took
+  obs::HistogramSnapshot steal_cycles; // cost of each successful steal
   util::Samples packets_per_worker;    // load distribution across shards
   // Pipeline latency per sub-batch, pooled over workers (consistent
   // histogram snapshot: sum(buckets) == count even while workers run).
@@ -266,10 +305,22 @@ class Runtime {
     return true;
   }
 
-  // Which worker a flow is pinned to (stable for the runtime's lifetime).
+  // Which worker a flow is pinned to. Stable for the runtime's lifetime
+  // when stealing is off; with stealing on, a steal may repoint a flow (the
+  // answer reflects the migration table at call time).
   std::size_t WorkerFor(const FiveTuple& tuple) const {
     return rss_.WorkerForTuple(tuple);
   }
+
+  // Starts the paced rx thread: it pulls `batches` bursts of
+  // config.paced_rx.burst descriptors from `feeder` and dispatches each,
+  // pausing while any worker queue sits at/above the high-water mark.
+  // Requires paced_rx.enabled, a started runtime, and at most one rx thread
+  // at a time. The thread also stops early at Shutdown.
+  void StartPacedRx(FlowFeeder* feeder, std::uint64_t batches);
+  // Blocks until the rx thread (if any) has dispatched its quota (or
+  // stopped at shutdown) and exited.
+  void WaitRxIdle();
 
   // Closes the steering queues, lets workers drain them, joins all
   // threads. Idempotent and safe to call concurrently (including with
@@ -305,6 +356,17 @@ class Runtime {
     // counters live in the runtime's registry, sharded by worker index.)
     std::atomic<bool> busy{false};
     std::atomic<std::uint64_t> heartbeat{0};
+    // In-flight flow registry: the flow keys of work this worker holds
+    // *outside* its queue — the sub-batch it just popped (published under
+    // the channel lock via the Recv on_pop hook) and any stolen chain it
+    // has not finished. Thieves read the union (under the victim's channel
+    // lock) and never steal an in-flight flow, which is what makes a stolen
+    // flow's items processable immediately: no older items of that flow can
+    // exist anywhere but the slices the thief now holds. See DESIGN.md
+    // "Flow pinning vs. work stealing".
+    std::mutex guard_mu;
+    std::unordered_set<std::uint64_t> popped_flows;
+    std::unordered_set<std::uint64_t> stolen_flows;
     std::thread thread;
 
     Worker(std::size_t idx, const RuntimeConfig& cfg)
@@ -322,14 +384,25 @@ class Runtime {
     obs::Counter* stalls = nullptr;
     obs::Counter* rejected_dispatches = nullptr;
     obs::Counter* dispatch_faults = nullptr;
+    obs::Counter* steals = nullptr;
+    obs::Counter* stolen_batches = nullptr;
+    obs::Counter* stolen_items = nullptr;
+    obs::Counter* rx_batches = nullptr;
+    obs::Counter* rx_pauses = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* queue_hwm = nullptr;
     obs::Histogram* batch_cycles = nullptr;
     obs::Histogram* dispatch_cycles = nullptr;  // kNet-armed only
+    obs::Histogram* steal_cycles = nullptr;
   };
 
   void WorkerMain(Worker& w);
   void ProcessFlows(Worker& w, FlowBatch flows);
+  // Attempts one steal for idle worker `w`; processes the stolen slices
+  // in order before returning. True if anything was stolen and processed.
+  bool TrySteal(Worker& w);
+  void RxMain(FlowFeeder* feeder, std::uint64_t batches);
+  std::size_t MaxQueueDepth();
   void SupervisorMain();
   void NotifyFault();
   // One supervisor recovery sweep over all workers; returns true while any
@@ -359,6 +432,14 @@ class Runtime {
   std::condition_variable sup_cv_;
   bool sup_stop_ = false;
   bool fault_pending_ = false;
+
+  // Paced rx thread state. rx_active_ gates StartPacedRx reentry; the
+  // atomic stop flag lets Shutdown cut a pause short.
+  std::mutex rx_mu_;
+  std::condition_variable rx_cv_;
+  bool rx_active_ = false;
+  std::atomic<bool> rx_stop_{false};
+  std::thread rx_thread_;
 };
 
 }  // namespace net

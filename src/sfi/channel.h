@@ -10,9 +10,14 @@
 // std::mutex/condition_variable directly rather than lin::Mutex (which has
 // no condvar integration by design — domains should not block on each other
 // except at explicit channel boundaries).
+//
+// Loss accounting contract: the channel never destroys a message silently.
+// A refused Send hands the still-owned message back in SendResult::rejected,
+// so the caller decides whether the loss is counted, retried, or rerouted.
 #ifndef LINSYS_SRC_SFI_CHANNEL_H_
 #define LINSYS_SRC_SFI_CHANNEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -25,6 +30,35 @@
 
 namespace sfi {
 
+// Tri-state receive outcome. kEmpty means "nothing *right now*" — the
+// channel is still open and a later receive may succeed; kClosed means the
+// channel is closed AND drained, so no receive will ever succeed again. A
+// spin-polling consumer (e.g. a work-stealing worker loop) terminates on
+// kClosed and keeps polling on kEmpty.
+enum class RecvStatus { kValue, kEmpty, kClosed };
+
+template <typename T>
+struct TryRecvResult {
+  RecvStatus status = RecvStatus::kEmpty;
+  std::optional<lin::Own<T>> value;  // engaged iff status == kValue
+
+  bool has_value() const { return status == RecvStatus::kValue; }
+  explicit operator bool() const { return has_value(); }
+  lin::Own<T>& operator*() { return *value; }
+  const lin::Own<T>& operator*() const { return *value; }
+};
+
+// Outcome of Send. On refusal (channel already closed, or a blocked bounded
+// Send woken by Close()) the unsent message comes back in `rejected` with
+// ownership intact — it was never enqueued and never destroyed.
+template <typename T>
+struct SendResult {
+  bool ok = false;
+  std::optional<lin::Own<T>> rejected;
+
+  explicit operator bool() const { return ok; }
+};
+
 template <typename T>
 class Channel {
  public:
@@ -34,8 +68,10 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   // Transfers ownership into the channel. Blocks while a bounded channel is
-  // full. Returns false (dropping the message) if the channel is closed.
-  bool Send(lin::Own<T> message) {
+  // full. If the channel is closed — whether at entry or while blocked on a
+  // full queue — the message is NOT destroyed: it is returned to the caller
+  // in SendResult::rejected, still uniquely owned and intact.
+  SendResult<T> Send(lin::Own<T> message) {
     // Fault point fires *before* the lock and the enqueue: an injected panic
     // leaves the channel untouched and `message` (still uniquely owned by
     // this frame) is released by the unwind — no half-sent state.
@@ -45,16 +81,23 @@ class Channel {
       return closed_ || capacity_ == 0 || queue_.size() < capacity_;
     });
     if (closed_) {
-      return false;
+      lock.unlock();
+      return SendResult<T>{false, std::move(message)};
     }
     queue_.push_back(std::move(message));
     lock.unlock();
     not_empty_.notify_one();
-    return true;
+    return SendResult<T>{true, std::nullopt};
   }
 
   // Blocks until a message or close; nullopt only after close-and-drained.
-  std::optional<lin::Own<T>> Recv() {
+  // `on_pop` runs under the channel lock with a const view of the message
+  // just before it is handed out: consumers use it to publish "this work is
+  // now in flight" atomically with the dequeue, so a concurrent steal (which
+  // also runs under this lock) can never observe the message as neither
+  // queued nor in flight.
+  template <typename OnPop>
+  std::optional<lin::Own<T>> Recv(OnPop&& on_pop) {
     // Same discipline as Send: fire before taking the lock, so a panicking
     // receiver never dequeues (the message stays for the next Recv).
     LINSYS_FAULT_POINT("channel.recv");
@@ -63,24 +106,73 @@ class Channel {
     if (queue_.empty()) {
       return std::nullopt;
     }
-    lin::Own<T> out = std::move(queue_.front());
-    queue_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return out;
+    return PopLocked(lock, on_pop);
   }
 
-  // Non-blocking receive.
-  std::optional<lin::Own<T>> TryRecv() {
+  std::optional<lin::Own<T>> Recv() {
+    return Recv([](const T&) {});
+  }
+
+  // Non-blocking tri-state receive (see RecvStatus). Does not fire the
+  // channel.recv fault point: the stealing loop calls this at high frequency
+  // and an every-Nth plan would alias with the blocking path's schedule.
+  template <typename OnPop>
+  TryRecvResult<T> TryRecv(OnPop&& on_pop) {
     std::unique_lock<std::mutex> lock(mu_);
     if (queue_.empty()) {
-      return std::nullopt;
+      return TryRecvResult<T>{closed_ ? RecvStatus::kClosed : RecvStatus::kEmpty,
+                              std::nullopt};
     }
-    lin::Own<T> out = std::move(queue_.front());
-    queue_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return out;
+    return TryRecvResult<T>{RecvStatus::kValue, PopLocked(lock, on_pop)};
+  }
+
+  TryRecvResult<T> TryRecv() {
+    return TryRecv([](const T&) {});
+  }
+
+  // Timed tri-state receive: parks up to `timeout`, returns kEmpty on
+  // timeout. Lets an idle worker sleep between steal attempts without
+  // missing a close.
+  template <typename Rep, typename Period, typename OnPop>
+  TryRecvResult<T> RecvFor(std::chrono::duration<Rep, Period> timeout,
+                           OnPop&& on_pop) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return TryRecvResult<T>{closed_ ? RecvStatus::kClosed : RecvStatus::kEmpty,
+                              std::nullopt};
+    }
+    return TryRecvResult<T>{RecvStatus::kValue, PopLocked(lock, on_pop)};
+  }
+
+  template <typename Rep, typename Period>
+  TryRecvResult<T> RecvFor(std::chrono::duration<Rep, Period> timeout) {
+    return RecvFor(timeout, [](const T&) {});
+  }
+
+  // Work-stealing hook: runs `fn(queue)` with the queue under the channel
+  // lock, giving the caller mutable access to every queued message at once
+  // (a thief inspects, partitions, and removes entries in place). Returns
+  // false without calling `fn` if the channel is closed — a draining queue
+  // belongs to its owner. Wakes blocked senders afterwards if `fn` shrank
+  // the queue.
+  template <typename Fn>
+  bool WithQueueLocked(Fn&& fn) {
+    bool shrank = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closed_) {
+        return false;
+      }
+      const std::size_t before = queue_.size();
+      fn(queue_);
+      shrank = queue_.size() < before;
+    }
+    if (shrank) {
+      not_full_.notify_all();
+    }
+    return true;
   }
 
   void Close() {
@@ -98,6 +190,16 @@ class Channel {
   }
 
  private:
+  template <typename OnPop>
+  lin::Own<T> PopLocked(std::unique_lock<std::mutex>& lock, OnPop&& on_pop) {
+    on_pop(*std::as_const(queue_.front()));
+    lin::Own<T> out = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;

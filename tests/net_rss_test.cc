@@ -7,9 +7,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/net/mempool.h"
@@ -255,6 +258,130 @@ TEST(Rss, MultiThreadedWorkersProcessEverything) {
       << "buffers still alive in the stashes";
   stashes.clear();  // owner thread returns every buffer
   EXPECT_EQ(pool.in_use(), 0u) << "all buffers returned after processing";
+}
+
+// Silent-loss bugfix: a sub-batch refused by a closed worker channel used
+// to disappear without a trace (`sent < expected` was invisible). The
+// refusal and its item count are now first-class counters.
+TEST(Rss, DispatchAfterShutdownCountsRefusalsAndDroppedItems) {
+  BasicRssDispatcher<FlowBatch> rss(2, /*queue_depth=*/0);
+  FlowSampler sampler(16, 0.0, 9);
+  FlowFeeder feeder(&sampler);
+  EXPECT_GE(rss.Dispatch(feeder.Next(32)), 1u);
+  EXPECT_EQ(rss.refused_sub_batches(), 0u);
+  EXPECT_EQ(rss.dropped_items(), 0u);
+
+  rss.Shutdown();
+  EXPECT_EQ(rss.Dispatch(feeder.Next(32)), 0u)
+      << "closed channels refuse every sub-batch";
+  EXPECT_GE(rss.refused_sub_batches(), 1u);
+  EXPECT_LE(rss.refused_sub_batches(), 2u);
+  EXPECT_EQ(rss.dropped_items(), 32u)
+      << "every dropped item must be accounted";
+  for (std::size_t w = 0; w < rss.worker_count(); ++w) {
+    while (rss.queue(w).TryRecv()) {
+    }
+  }
+}
+
+// Work stealing: a steal moves whole flows (every queued item of each
+// chosen flow, in order), repoints them in the migration table, and leaves
+// nothing of a stolen flow behind on the victim.
+TEST(Rss, StealMovesWholeFlowsRepointsHomeAndKeepsFifo) {
+  BasicRssDispatcher<FlowBatch> rss(2, /*queue_depth=*/0, /*stealing=*/true);
+  FlowSampler sampler(32, 0.0, 11);
+  FlowFeeder feeder(&sampler);
+  std::size_t dispatched = 0;
+  for (int i = 0; i < 8; ++i) {
+    FlowBatch batch = feeder.Next(32);
+    dispatched += batch.size();
+    rss.Dispatch(std::move(batch));
+  }
+
+  std::unordered_set<std::uint64_t> committed_keys;
+  auto result = rss.Steal(
+      /*victim=*/0, /*thief=*/1,
+      [] { return std::unordered_set<std::uint64_t>{}; },
+      [&committed_keys](const auto& r) {
+        committed_keys.insert(r.keys.begin(), r.keys.end());
+      });
+  ASSERT_GT(result.items, 0u) << "a loaded victim queue must yield a steal";
+  const std::unordered_set<std::uint64_t> stolen_keys(result.keys.begin(),
+                                                      result.keys.end());
+  EXPECT_EQ(committed_keys, stolen_keys)
+      << "commit must see the final key set while the locks are held";
+  EXPECT_EQ(rss.migrated_flows(), stolen_keys.size());
+
+  // Every stolen item belongs to a migrated flow, routes to the thief now,
+  // and per-flow sequence numbers stay strictly increasing across slices.
+  std::unordered_map<std::uint64_t, std::uint64_t> last_seq;
+  std::size_t stolen_items = 0;
+  for (const FlowBatch& slice : result.batches) {
+    for (const FlowWork& fw : slice) {
+      ++stolen_items;
+      const std::uint64_t key = rss.FlowKey(fw.tuple);
+      EXPECT_TRUE(stolen_keys.count(key) != 0);
+      EXPECT_EQ(rss.WorkerForTuple(fw.tuple), 1u) << "flow must follow steal";
+      auto [it, fresh] = last_seq.emplace(key, fw.seq);
+      if (!fresh) {
+        EXPECT_LT(it->second, fw.seq) << "per-flow FIFO broken by steal";
+        it->second = fw.seq;
+      }
+    }
+  }
+  EXPECT_EQ(stolen_items, result.items);
+
+  // Conservation: stolen + still-queued == dispatched, and the victim keeps
+  // no item of any stolen flow (a leftover would break per-flow ordering).
+  rss.Shutdown();
+  std::size_t remaining = 0;
+  for (std::size_t w = 0; w < rss.worker_count(); ++w) {
+    while (auto handle = rss.queue(w).TryRecv()) {
+      FlowBatch batch = (*handle).Take();
+      for (const FlowWork& fw : batch) {
+        if (w == 0) {
+          EXPECT_EQ(stolen_keys.count(rss.FlowKey(fw.tuple)), 0u)
+              << "victim kept an item of a stolen flow";
+        }
+      }
+      remaining += batch.size();
+    }
+  }
+  EXPECT_EQ(remaining + result.items, dispatched);
+}
+
+// The off-limits set (the victim's in-flight flows) is honoured: a steal
+// never touches an excluded flow, and excluding everything yields nothing.
+TEST(Rss, StealSkipsExcludedFlows) {
+  BasicRssDispatcher<FlowBatch> rss(2, /*queue_depth=*/0, /*stealing=*/true);
+  FlowSampler sampler(32, 0.0, 13);
+  FlowFeeder feeder(&sampler);
+  for (int i = 0; i < 4; ++i) {
+    rss.Dispatch(feeder.Next(32));
+  }
+  std::unordered_set<std::uint64_t> all_keys;
+  for (std::size_t i = 0; i < sampler.flow_count(); ++i) {
+    all_keys.insert(rss.FlowKey(sampler.FlowAt(i)));
+  }
+  bool committed = false;
+  auto result = rss.Steal(
+      0, 1, [&all_keys] { return all_keys; },
+      [&committed](const auto&) { committed = true; });
+  EXPECT_TRUE(result.batches.empty());
+  EXPECT_EQ(result.items, 0u);
+  EXPECT_FALSE(committed) << "an empty steal must not commit";
+  EXPECT_EQ(rss.migrated_flows(), 0u);
+  for (std::size_t i = 0; i < sampler.flow_count(); ++i) {
+    const FiveTuple tuple = sampler.FlowAt(i);
+    EXPECT_EQ(rss.WorkerForTuple(tuple),
+              static_cast<std::size_t>(rss.FlowKey(tuple) % 2))
+        << "no migration may happen when everything is off-limits";
+  }
+  rss.Shutdown();
+  for (std::size_t w = 0; w < rss.worker_count(); ++w) {
+    while (rss.queue(w).TryRecv()) {
+    }
+  }
 }
 
 TEST(Rss, ZeroWorkersRejected) {

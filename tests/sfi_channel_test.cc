@@ -43,12 +43,49 @@ TEST(Channel, FifoOrder) {
   }
 }
 
-TEST(Channel, TryRecvEmptyReturnsNullopt) {
+// Tri-state receive: kEmpty ("nothing right now") and kClosed ("never
+// again") are distinguishable, so a polling consumer can terminate. Before
+// the fix both cases collapsed into one nullopt and a spin-polling loop on
+// a closed channel never exited.
+TEST(Channel, TryRecvDistinguishesEmptyFromClosed) {
   Channel<int> ch;
-  EXPECT_FALSE(ch.TryRecv().has_value());
+  EXPECT_EQ(ch.TryRecv().status, RecvStatus::kEmpty);
   ch.Send(lin::Make<int>(1));
-  EXPECT_TRUE(ch.TryRecv().has_value());
-  EXPECT_FALSE(ch.TryRecv().has_value());
+  ch.Send(lin::Make<int>(2));
+  ch.Close();
+  // Closed but not drained: queued messages still come out...
+  auto got = ch.TryRecv();
+  ASSERT_EQ(got.status, RecvStatus::kValue);
+  EXPECT_EQ(*std::as_const(*got), 1);
+  ASSERT_TRUE(ch.TryRecv().has_value());
+  // ...and only the drained channel reports kClosed, forever.
+  EXPECT_EQ(ch.TryRecv().status, RecvStatus::kClosed);
+  EXPECT_EQ(ch.TryRecv().status, RecvStatus::kClosed);
+}
+
+TEST(Channel, RecvForTimesOutEmptyThenSeesClose) {
+  Channel<int> ch;
+  EXPECT_EQ(ch.RecvFor(std::chrono::microseconds(100)).status,
+            RecvStatus::kEmpty);
+  ch.Send(lin::Make<int>(7));
+  auto got = ch.RecvFor(std::chrono::microseconds(100));
+  ASSERT_EQ(got.status, RecvStatus::kValue);
+  EXPECT_EQ(*std::as_const(*got), 7);
+  ch.Close();
+  EXPECT_EQ(ch.RecvFor(std::chrono::microseconds(100)).status,
+            RecvStatus::kClosed);
+}
+
+// The on_pop hook runs under the channel lock with the message about to be
+// handed out — the dequeue and the callback's bookkeeping are atomic.
+TEST(Channel, OnPopSeesTheMessageBeforeHandout) {
+  Channel<int> ch;
+  ch.Send(lin::Make<int>(9));
+  int seen = 0;
+  auto got = ch.TryRecv([&seen](const int& v) { seen = v; });
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(seen, 9);
+  EXPECT_EQ(*std::as_const(*got), 9);
 }
 
 TEST(Channel, CloseUnblocksReceivers) {
@@ -61,11 +98,99 @@ TEST(Channel, CloseUnblocksReceivers) {
   receiver.join();
 }
 
-TEST(Channel, CloseDropsLaterSends) {
+// A refused send does not destroy the message: it comes back to the caller
+// in SendResult::rejected, ownership intact. Before the fix the Own<T> died
+// inside Send and the loss was invisible.
+TEST(Channel, SendToClosedReturnsTheMessage) {
   Channel<int> ch;
   ch.Close();
-  EXPECT_FALSE(ch.Send(lin::Make<int>(1)));
+  auto result = ch.Send(lin::Make<int>(41));
+  EXPECT_FALSE(result.ok);
+  ASSERT_TRUE(result.rejected.has_value());
+  EXPECT_EQ(*std::as_const(*result.rejected), 41);
   EXPECT_EQ(ch.size(), 0u);
+  // The returned handle is a normal Own: still usable, still linear.
+  lin::Own<int> back = std::move(*result.rejected);
+  EXPECT_EQ(*std::as_const(back), 41);
+}
+
+// The sharper variant of the same bug: a Send *blocked on a full bounded
+// channel* that Close() wakes must also hand the message back, not destroy
+// it on the way out.
+TEST(Channel, BlockedSendWokenByCloseReturnsTheMessage) {
+  Channel<int> ch(1);
+  ASSERT_TRUE(ch.Send(lin::Make<int>(1)).ok);
+  std::atomic<bool> woke{false};
+  SendResult<int> blocked_result;
+  std::thread producer([&] {
+    blocked_result = ch.Send(lin::Make<int>(2));  // blocks: channel is full
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(woke.load()) << "send must block while the channel is full";
+  ch.Close();
+  producer.join();
+  EXPECT_FALSE(blocked_result.ok);
+  ASSERT_TRUE(blocked_result.rejected.has_value());
+  EXPECT_EQ(*std::as_const(*blocked_result.rejected), 2);
+  // The message that was already queued still drains normally.
+  auto got = ch.TryRecv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*std::as_const(*got), 1);
+}
+
+// Multi-producer close-while-full race (the TSan job runs this suite):
+// producers hammer a tiny bounded channel while the main thread closes it
+// mid-stream. Conservation must be exact — every message is either
+// delivered to the consumer or handed back in SendResult::rejected; none
+// vanish, none double up.
+TEST(Channel, MultiProducerCloseWhileFullLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  Channel<int> ch(2);
+  std::atomic<int> accepted{0};
+  std::atomic<int> returned{0};
+  std::atomic<long> returned_sum{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, &accepted, &returned, &returned_sum, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto r = ch.Send(lin::Make<int>(p * kPerProducer + i));
+        if (r.ok) {
+          ++accepted;
+        } else {
+          ++returned;
+          returned_sum += *std::as_const(*r.rejected);
+        }
+      }
+    });
+  }
+  std::atomic<int> delivered{0};
+  std::atomic<long> delivered_sum{0};
+  std::thread consumer([&] {
+    while (true) {
+      auto got = ch.Recv();
+      if (!got.has_value()) {
+        return;
+      }
+      ++delivered;
+      delivered_sum += *std::as_const(*got);
+    }
+  });
+  // Let the pipe move a bit, then slam it shut under the producers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ch.Close();
+  for (auto& t : producers) {
+    t.join();
+  }
+  consumer.join();
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(accepted.load() + returned.load(), total);
+  EXPECT_EQ(delivered.load(), accepted.load())
+      << "an accepted message must be drained, a refused one returned";
+  const long all_sum = static_cast<long>(total) * (total - 1) / 2;
+  EXPECT_EQ(delivered_sum.load() + returned_sum.load(), all_sum)
+      << "payloads must be conserved exactly across the close race";
 }
 
 TEST(Channel, DrainsQueuedMessagesAfterClose) {
@@ -155,7 +280,7 @@ TEST_F(ChannelFaultPointTest, SendFaultLeavesQueueUntouched) {
   EXPECT_THROW(ch.Send(lin::Make<int>(1)), util::PanicError);
   EXPECT_EQ(ch.size(), 0u);  // the faulted send enqueued nothing
   // One-shot consumed: the channel works normally afterwards.
-  EXPECT_TRUE(ch.Send(lin::Make<int>(2)));
+  EXPECT_TRUE(ch.Send(lin::Make<int>(2)).ok);
   auto got = ch.Recv();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*std::as_const(*got), 2);
