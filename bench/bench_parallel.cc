@@ -19,6 +19,7 @@
 // cores to back them (the header prints the host's concurrency so a flat
 // curve on a 1-core container is interpretable); overhead/call stays a
 // small constant comparable to bench_fig2_isolation's numbers.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
@@ -35,6 +36,7 @@
 #include "src/obs/trace.h"
 #include "src/util/bench_json.h"
 #include "src/util/cycles.h"
+#include "src/util/overhead.h"
 
 namespace {
 
@@ -122,15 +124,13 @@ void SweepPipeline(const char* label, const char* label_key,
     if (workers == 1) {
       base_isolated = isolated.cycles;
     }
-    // Per-remote-invocation overhead: total extra cycles across the run,
-    // attributed to batches * stages remote calls. Worker parallelism
-    // shrinks the *wall* delta, so scale it back by the worker count to
-    // approximate per-core cost (exact at full saturation, conservative
-    // below it).
-    const double overhead_per_call =
-        (isolated.cycles - direct.cycles) * static_cast<double>(workers) /
-        (static_cast<double>(isolated.batches) *
-         static_cast<double>(stages));
+    // Per-remote-invocation overhead from batch-matched per-batch costs;
+    // signed — negative means the isolated run beat the direct baseline
+    // (noise-dominated on oversubscribed hosts). See util/overhead.h for
+    // the full convention.
+    const double overhead_per_call = util::OverheadPerCall(
+        isolated.cycles, isolated.batches, direct.cycles, direct.batches,
+        stages, workers);
     const double throughput =
         static_cast<double>(isolated.packets) / isolated.cycles;
     const double scaling = base_isolated / isolated.cycles;
@@ -221,34 +221,62 @@ int main(int argc, char** argv) {
   std::printf("\n=== Zipf(1.0) skew, paced rx, 4 workers, Maglev: "
               "stealing off vs on ===\n");
   obs::ArmMetricsGroup(obs::MetricGroup::kNet, true);
-  double off_cycles = 0;
-  for (bool stealing : {false, true}) {
-    const RunResult r =
-        RunZipfPaced(4, stealing, static_cast<std::uint64_t>(kBatches),
-                     MaglevSpec());
-    const double throughput =
-        static_cast<double>(r.packets) / r.cycles * 1e6;
-    const char* key = stealing ? "on" : "off";
-    std::printf("stealing=%s  %s\n", key, r.stats.Summary().c_str());
-    g_report->AddScalar(std::string("zipf_mpkt_per_mcyc_steal_") + key,
-                        throughput);
-    g_report->AddScalar(std::string("zipf_batch_cycles_p50_steal_") + key,
-                        r.stats.batch_cycles.Percentile(50.0));
-    if (!stealing) {
-      off_cycles = r.cycles;
-    } else {
-      g_report->AddScalar("zipf_steals", static_cast<double>(r.stats.totals.steals));
-      g_report->AddScalar("zipf_stolen_items",
-                          static_cast<double>(r.stats.totals.stolen_items));
-      g_report->AddScalar("zipf_migrated_flows",
-                          static_cast<double>(r.stats.migrated_flows));
-      g_report->AddScalar("zipf_steal_cycles_p50",
-                          r.stats.steal_cycles.Percentile(50.0));
-      // >1.0 = stealing finished the same skewed load faster.
-      g_report->AddScalar("zipf_steal_speedup", off_cycles / r.cycles);
-      std::printf("steal speedup vs off: %.3fx\n", off_cycles / r.cycles);
+  // Interleaved repetitions, compared on the per-arm BEST (minimum) wall
+  // cycles: a single off/on pair is at the mercy of scheduler noise (this
+  // runs on oversubscribed 1-core CI), interleaving keeps slow drift
+  // (thermal, background load) from biasing one arm, and — since preemption
+  // noise is strictly additive — the minimum is the lowest-variance
+  // estimator of each arm's true cost. The best-of ratio drives the speedup
+  // scalar the regression gate watches.
+  constexpr int kZipfReps = 5;
+  std::vector<double> arm_cycles[2];
+  double throughput[2] = {0, 0};
+  double batch_p50[2] = {0, 0};
+  RunResult last_on;
+  for (int rep = 0; rep < kZipfReps; ++rep) {
+    for (bool stealing : {false, true}) {
+      RunResult r =
+          RunZipfPaced(4, stealing, static_cast<std::uint64_t>(kBatches),
+                       MaglevSpec());
+      if (rep == 0) {
+        std::printf("stealing=%s  %s\n", stealing ? "on" : "off",
+                    r.stats.Summary().c_str());
+      }
+      arm_cycles[stealing].push_back(r.cycles);
+      throughput[stealing] = static_cast<double>(r.packets) / r.cycles * 1e6;
+      batch_p50[stealing] = r.stats.batch_cycles.Percentile(50.0);
+      if (stealing) {
+        last_on = std::move(r);
+      }
     }
   }
+  const double off_best =
+      *std::min_element(arm_cycles[0].begin(), arm_cycles[0].end());
+  const double on_best =
+      *std::min_element(arm_cycles[1].begin(), arm_cycles[1].end());
+  for (bool stealing : {false, true}) {
+    const char* key = stealing ? "on" : "off";
+    g_report->AddScalar(std::string("zipf_mpkt_per_mcyc_steal_") + key,
+                        throughput[stealing]);
+    g_report->AddScalar(std::string("zipf_batch_cycles_p50_steal_") + key,
+                        batch_p50[stealing]);
+  }
+  g_report->AddScalar("zipf_steals",
+                      static_cast<double>(last_on.stats.totals.steals));
+  g_report->AddScalar("zipf_steals_skipped",
+                      static_cast<double>(last_on.stats.totals.steals_skipped));
+  g_report->AddScalar("zipf_migration_evictions",
+                      static_cast<double>(last_on.stats.migration_evictions));
+  g_report->AddScalar("zipf_stolen_items",
+                      static_cast<double>(last_on.stats.totals.stolen_items));
+  g_report->AddScalar("zipf_migrated_flows",
+                      static_cast<double>(last_on.stats.migrated_flows));
+  g_report->AddScalar("zipf_steal_cycles_p50",
+                      last_on.stats.steal_cycles.Percentile(50.0));
+  // >1.0 = stealing finished the same skewed load faster (best of reps).
+  g_report->AddScalar("zipf_steal_speedup", off_best / on_best);
+  std::printf("steal speedup vs off (best of %d): %.3fx\n", kZipfReps,
+              off_best / on_best);
   obs::ArmMetricsGroup(obs::MetricGroup::kNet, false);
 
   // Optional traced run (argv[1] = output path): stealing on plus a flaky

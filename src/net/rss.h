@@ -19,14 +19,22 @@
 // telemetry stays exact under concurrent dispatch.
 //
 // Work stealing (optional, ctor flag): an idle worker may move whole flows
-// from the most-loaded peer's queue onto its own replica via Steal(). A
-// steal-migration table (flow key -> new home) is consulted by WorkerFor so
-// every later dispatch of a stolen flow follows it; a flow's queued items
-// move wholesale and in order, so per-flow FIFO and single-home flow state
-// both survive the migration (see DESIGN.md "Flow pinning vs. stealing").
+// from a loaded peer's queue onto its own replica via Steal(). A
+// steal-migration table (flow key -> new home) is consulted on every later
+// dispatch of a stolen flow; a flow's queued items move wholesale and in
+// order, so per-flow FIFO and single-home flow state both survive the
+// migration (see DESIGN.md "Flow pinning vs. stealing").
+//
+// The table is published as an immutable sorted flat vector, republished by
+// the writers (Steal, EvictStaleMigrations) only while no Dispatch is in
+// flight — so the dispatch fast path reads it with no lock at all, and the
+// no-migration case costs one relaxed load per routed item. Entries carry
+// the dispatch epoch of their last steal and are evicted once stale and
+// quiescent, keeping the table bounded under flow churn.
 #ifndef LINSYS_SRC_NET_RSS_H_
 #define LINSYS_SRC_NET_RSS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -61,7 +69,8 @@ class BasicRssDispatcher {
 
   // `queue_depth` bounds each worker channel (backpressure, like NIC ring
   // sizes); 0 = unbounded. `stealing` arms the migration table and the
-  // steer lock; leave it off and the hash-only fast path is unchanged.
+  // steal/dispatch gate; leave it off and the hash-only fast path is
+  // unchanged.
   explicit BasicRssDispatcher(std::size_t workers, std::size_t queue_depth = 64,
                               bool stealing = false)
       : seed_(0x5ca1ab1eULL), stealing_(stealing), per_worker_steered_(workers) {
@@ -76,63 +85,53 @@ class BasicRssDispatcher {
   // number of sub-batches actually enqueued. A closed channel refuses its
   // sub-batch; the refusal and its item count are recorded in
   // refused_sub_batches()/dropped_items() — never lost silently.
+  //
+  // With stealing armed, routing must be atomic w.r.t. a Steal repointing a
+  // flow (an item routed with the old table but enqueued after the steal
+  // extracted the flow would land *behind* the migration and break per-flow
+  // FIFO). Instead of a per-dispatch shared_mutex, Dispatch announces
+  // itself in `active_dispatches_` and a Steal refuses to publish while any
+  // dispatch is in flight; the announcement is one uncontended RMW pair per
+  // *call*, and routing itself reads the published flat table lock-free.
+  // Only when a steal is mid-publish does a dispatch fall back to the steer
+  // lock and wait it out.
   std::size_t Dispatch(Batch batch) {
     dispatch_calls_.fetch_add(1, std::memory_order_relaxed);
-    // When stealing is armed, hold the steer lock (shared) across routing
-    // AND enqueue: a Steal() (exclusive) can then never repoint a flow
-    // while one of its items is in flight between WorkerFor and Send, which
-    // would strand the item on the old home behind the migrated queue tail.
-    std::shared_lock<std::shared_mutex> route_guard;
-    if (stealing_) {
-      route_guard = std::shared_lock<std::shared_mutex>(steer_mu_);
+    if (!stealing_) {
+      return FanOut(std::move(batch));
     }
-    std::vector<Batch> per_worker(queues_.size());
-    for (auto& item : batch) {
-      const std::size_t worker = WorkerForTupleLocked(item.Tuple());
-      per_worker[worker].Push(std::move(item));
+    // Dekker handshake with Steal: we announce, then check for a writer;
+    // the writer announces, then checks for us. Both sides seq_cst, so
+    // "both proceed" is impossible — either the steal sees our count and
+    // aborts, or we see its flag and serialize behind the steer lock.
+    active_dispatches_.fetch_add(1, std::memory_order_seq_cst);
+    if (steal_in_progress_.load(std::memory_order_seq_cst)) {
+      active_dispatches_.fetch_sub(1, std::memory_order_release);
+      std::shared_lock<std::shared_mutex> lock(steer_mu_);
+      return FanOut(std::move(batch));
     }
-    // Flow-id propagation: batch types carrying a dispatch-assigned flow id
-    // (FlowBatch) stamp it onto every per-worker sub-batch, so the id
-    // follows the work across the channel and the worker can re-enter the
-    // flow's trace context. Batch types without one (PacketBatch) compile
-    // this out.
-    if constexpr (requires { per_worker[0].set_flow_id(batch.flow_id()); }) {
-      for (auto& sub : per_worker) {
-        sub.set_flow_id(batch.flow_id());
-      }
-    }
-    std::size_t sent = 0;
-    for (std::size_t w = 0; w < queues_.size(); ++w) {
-      if (per_worker[w].empty()) {
-        continue;
-      }
-      const std::size_t items = per_worker[w].size();
-      auto result =
-          queues_[w]->Send(lin::Own<Batch>::Make(std::move(per_worker[w])));
-      if (result.ok) {
-        sub_batches_steered_.fetch_add(1, std::memory_order_relaxed);
-        per_worker_steered_[w].fetch_add(1, std::memory_order_relaxed);
-        ++sent;
-      } else {
-        refused_sub_batches_.fetch_add(1, std::memory_order_relaxed);
-        dropped_items_.fetch_add(items, std::memory_order_relaxed);
-      }
-    }
-    return sent;
+    struct Gate {
+      std::atomic<std::uint64_t>* c;
+      ~Gate() { c->fetch_sub(1, std::memory_order_release); }
+    } gate{&active_dispatches_};
+    return FanOut(std::move(batch));
   }
 
   // Which worker an item's flow maps to. Stable per flow between steals;
   // a Steal() repoints every migrated flow atomically w.r.t. Dispatch.
+  // (Reads outside Dispatch take the steer lock when the table is
+  // non-empty; the answer reflects the migration table at call time.)
   template <typename Item>
   std::size_t WorkerFor(const Item& item) const {
     return WorkerForTuple(item.Tuple());
   }
   std::size_t WorkerForTuple(const FiveTuple& tuple) const {
+    const std::uint64_t key = FlowKey(tuple);
     if (stealing_ && migrated_count_.load(std::memory_order_relaxed) > 0) {
       std::shared_lock<std::shared_mutex> lock(steer_mu_);
-      return WorkerForTupleLocked(tuple);
+      return RouteKey(key);
     }
-    return HashHome(FlowKey(tuple));
+    return HashHome(key);
   }
 
   // The flow key used by the migration table: the seeded 5-tuple hash. Two
@@ -142,10 +141,24 @@ class BasicRssDispatcher {
     return tuple.Hash(seed_);
   }
 
+  // Per-item key on hot scan paths: items that carry a fan-out-stamped
+  // cached key (FlowWork) hand it back for free; anything else falls back
+  // to hashing the tuple. Every queued item passed through FanOut, so the
+  // cache is always populated when present.
+  template <typename Item>
+  std::uint64_t ItemKey(const Item& item) const {
+    if constexpr (requires { item.flow_key(); }) {
+      return item.flow_key();
+    } else {
+      return FlowKey(item.Tuple());
+    }
+  }
+
   // Work stealing. Moves every queued item of a chosen flow set from
   // `victim`'s queue to the caller (worker `thief`) and repoints those flows
-  // in the migration table, all atomically w.r.t. Dispatch (steer lock held
-  // exclusive) and the victim's own receive loop (victim channel lock held).
+  // in the migration table, all atomically w.r.t. Dispatch (no dispatch in
+  // flight, steer lock held exclusive) and the victim's own receive loop
+  // (victim channel lock held).
   //
   // `excluded` is called under the victim's channel lock and must return
   // the flow keys that are OFF-LIMITS — the victim's in-flight work (popped
@@ -158,23 +171,29 @@ class BasicRssDispatcher {
   // before anyone else can steal or route them.
   //
   // Flow choice: flows are accepted oldest-first (by first appearance in
-  // the queue) until roughly half the victim's queued items are taken.
+  // the queue) until `max_fraction` of the victim's queued items are taken
+  // — the steal quantum. Opportunistic only: a held steer lock or an
+  // in-flight dispatch aborts the attempt (the thief parks and retries).
   template <typename ExcludedFn, typename CommitFn>
   StealResult Steal(std::size_t victim, std::size_t thief,
-                    ExcludedFn&& excluded, CommitFn&& commit) {
+                    ExcludedFn&& excluded, CommitFn&& commit,
+                    double max_fraction = 0.5) {
     StealResult result;
     LINSYS_ASSERT(stealing_, "Steal() on a dispatcher built without stealing");
     LINSYS_ASSERT(victim < queues_.size() && thief < queues_.size() &&
                       victim != thief,
                   "bad steal worker indices");
-    // Opportunistic only: Dispatch holds the steer lock shared across its
-    // (possibly blocking) Send fan-out, so a blocking exclusive wait here
-    // can cycle — dispatcher waits on this worker's full queue while this
-    // worker waits for the dispatcher to release the steer lock. A failed
-    // attempt just means the thief parks and retries.
+    // try_lock only: Dispatch's slow path holds the steer lock shared
+    // across its (possibly blocking) Send fan-out, so a blocking exclusive
+    // wait here can cycle — dispatcher waits on this worker's full queue
+    // while this worker waits for the dispatcher to release the steer lock.
     std::unique_lock<std::shared_mutex> steer(steer_mu_, std::try_to_lock);
     if (!steer.owns_lock()) {
       return result;
+    }
+    WriterGate gate(this);
+    if (!gate.clear()) {
+      return result;  // a dispatch is mid-route; retry later
     }
     queues_[victim]->WithQueueLocked([&](std::deque<lin::Own<Batch>>& q) {
       if (q.empty()) {
@@ -187,7 +206,7 @@ class BasicRssDispatcher {
       std::size_t total_items = 0;
       for (const auto& own : q) {
         for (const auto& item : *own) {
-          const std::uint64_t key = FlowKey(item.Tuple());
+          const std::uint64_t key = ItemKey(item);
           auto [it, fresh] = flow_index.try_emplace(key, flows.size());
           if (fresh) {
             flows.emplace_back(key, 0);
@@ -196,8 +215,10 @@ class BasicRssDispatcher {
           ++total_items;
         }
       }
-      // Choose stealable flows oldest-first up to ~half the queued items.
-      const std::size_t target = (total_items + 1) / 2;
+      // Choose stealable flows oldest-first up to the steal quantum.
+      const std::size_t target = std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(total_items) *
+                                      max_fraction));
       std::unordered_set<std::uint64_t> chosen;
       std::size_t chosen_items = 0;
       for (const auto& [key, count] : flows) {
@@ -225,7 +246,7 @@ class BasicRssDispatcher {
           take.set_flow_id(source.flow_id());
         }
         for (auto& item : source) {
-          if (chosen.count(FlowKey(item.Tuple())) != 0) {
+          if (chosen.count(ItemKey(item)) != 0) {
             take.Push(std::move(item));
           } else {
             keep.Push(std::move(item));
@@ -241,23 +262,77 @@ class BasicRssDispatcher {
       }
       q.swap(rest);
       result.keys.assign(chosen.begin(), chosen.end());
-      // Repoint the migrated flows. A key whose hash home IS the thief just
-      // falls off the table (steal-back cancels the migration entry).
+      // Repoint the migrated flows, stamped with the current dispatch epoch
+      // for TTL eviction. A key whose hash home IS the thief just falls off
+      // the table (steal-back cancels the migration entry).
+      const std::uint64_t now = dispatch_calls_.load(std::memory_order_relaxed);
       for (const std::uint64_t key : chosen) {
         if (HashHome(key) == thief) {
           migrated_.erase(key);
         } else {
-          migrated_[key] = thief;
+          migrated_[key] = Migration{thief, now};
         }
       }
-      migrated_count_.store(migrated_.size(), std::memory_order_relaxed);
+      Republish();
       commit(result);
     });
     return result;
   }
 
+  // Migration-table eviction: erases entries homed at `home` whose last
+  // steal is at least `ttl` Dispatch() calls old, provided `home`'s queue is
+  // currently empty. Caller contract: `home`'s worker is idle (it holds no
+  // popped batch and no stolen chain) — in practice the worker itself calls
+  // this from its idle loop. Safety: single-homing means an evicted flow's
+  // items could only live in `home`'s queue or in-flight set; both are
+  // empty and no dispatch is mid-route (writer gate), so the flow has no
+  // work anywhere and future dispatches simply land back on the hash home.
+  // Returns the number of entries evicted (0 on contention, a closed or
+  // non-empty queue, or nothing stale). ttl == 0 disables eviction.
+  std::size_t EvictStaleMigrations(std::size_t home, std::uint64_t ttl) {
+    if (!stealing_ || ttl == 0 ||
+        migrated_count_.load(std::memory_order_relaxed) == 0) {
+      return 0;
+    }
+    LINSYS_ASSERT(home < queues_.size(), "worker index out of range");
+    std::unique_lock<std::shared_mutex> steer(steer_mu_, std::try_to_lock);
+    if (!steer.owns_lock()) {
+      return 0;
+    }
+    WriterGate gate(this);
+    if (!gate.clear()) {
+      return 0;
+    }
+    const std::uint64_t now = dispatch_calls_.load(std::memory_order_relaxed);
+    std::size_t evicted = 0;
+    // Under the channel lock for the closed check: a draining queue at
+    // shutdown belongs to its owner, and eviction there is pointless.
+    queues_[home]->WithQueueLocked([&](std::deque<lin::Own<Batch>>& q) {
+      if (!q.empty()) {
+        return;
+      }
+      for (auto it = migrated_.begin(); it != migrated_.end();) {
+        if (it->second.home == home && now - it->second.epoch >= ttl) {
+          it = migrated_.erase(it);
+          ++evicted;
+        } else {
+          ++it;
+        }
+      }
+      if (evicted > 0) {
+        Republish();
+      }
+    });
+    if (evicted > 0) {
+      evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    }
+    return evicted;
+  }
+
   // Victim selection: the worker (≠ self) with the deepest queue, if its
-  // depth reaches `min_depth`.
+  // depth reaches `min_depth`. (net::Runtime weighs depth by each worker's
+  // measured service time instead; this depth-only flavour remains for
+  // callers without service estimates.)
   std::optional<std::size_t> MostLoadedOther(std::size_t self,
                                              std::size_t min_depth) const {
     std::optional<std::size_t> best;
@@ -305,7 +380,8 @@ class BasicRssDispatcher {
 
   // Number of Dispatch() calls — i.e. input batches steered. (This used to
   // count per-worker sub-batches, which over-reported by up to worker_count
-  // per call; sub-batch counts live in sub_batches_steered() now.)
+  // per call; sub-batch counts live in sub_batches_steered() now.) Doubles
+  // as the migration-table eviction epoch.
   std::uint64_t batches_steered() const {
     return dispatch_calls_.load(std::memory_order_relaxed);
   }
@@ -331,21 +407,118 @@ class BasicRssDispatcher {
   std::size_t migrated_flows() const {
     return migrated_count_.load(std::memory_order_relaxed);
   }
+  // Migration entries erased by TTL eviction since construction.
+  std::uint64_t migration_evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct Migration {
+    std::size_t home = 0;
+    std::uint64_t epoch = 0;  // dispatch_calls_ at the stamping steal
+  };
+  struct FlatEntry {
+    std::uint64_t key = 0;
+    std::size_t home = 0;
+  };
+
+  // Writer-side half of the Dekker handshake (see Dispatch). Constructed
+  // with the steer lock already held exclusive; clear() is true when no
+  // dispatch is in flight, i.e. the table may be mutated and republished.
+  class WriterGate {
+   public:
+    explicit WriterGate(BasicRssDispatcher* rss) : rss_(rss) {
+      rss_->steal_in_progress_.store(true, std::memory_order_seq_cst);
+      clear_ =
+          rss_->active_dispatches_.load(std::memory_order_seq_cst) == 0;
+    }
+    ~WriterGate() {
+      rss_->steal_in_progress_.store(false, std::memory_order_release);
+    }
+    bool clear() const { return clear_; }
+
+   private:
+    BasicRssDispatcher* rss_;
+    bool clear_ = false;
+  };
+
   std::size_t HashHome(std::uint64_t key) const {
     return static_cast<std::size_t>(key % queues_.size());
   }
-  // Requires steer_mu_ held (shared or exclusive) when stealing_ is set.
-  std::size_t WorkerForTupleLocked(const FiveTuple& tuple) const {
-    const std::uint64_t key = FlowKey(tuple);
-    if (stealing_ && !migrated_.empty()) {
-      auto it = migrated_.find(key);
-      if (it != migrated_.end()) {
-        return it->second;
+
+  // Routes one flow key through the published flat table. Callers must hold
+  // the steer lock OR be inside the dispatch gate (either excludes a
+  // concurrent republish). The no-migration path is one relaxed load.
+  std::size_t RouteKey(std::uint64_t key) const {
+    if (migrated_count_.load(std::memory_order_relaxed) > 0) {
+      const auto it = std::lower_bound(
+          flat_.begin(), flat_.end(), key,
+          [](const FlatEntry& e, std::uint64_t k) { return e.key < k; });
+      if (it != flat_.end() && it->key == key) {
+        return it->home;
       }
     }
     return HashHome(key);
+  }
+
+  // Rebuilds the published flat table from the authoritative map. Requires
+  // the steer lock exclusive and a clear writer gate.
+  void Republish() {
+    flat_.clear();
+    flat_.reserve(migrated_.size());
+    for (const auto& [key, m] : migrated_) {
+      flat_.push_back(FlatEntry{key, m.home});
+    }
+    std::sort(flat_.begin(), flat_.end(),
+              [](const FlatEntry& a, const FlatEntry& b) {
+                return a.key < b.key;
+              });
+    migrated_count_.store(flat_.size(), std::memory_order_release);
+  }
+
+  // Routing + enqueue fan-out shared by every Dispatch path. Safe whenever
+  // a concurrent republish is excluded (stealing off, dispatch gate open,
+  // or steer lock held shared).
+  std::size_t FanOut(Batch batch) {
+    std::vector<Batch> per_worker(queues_.size());
+    for (auto& item : batch) {
+      const std::uint64_t key = FlowKey(item.Tuple());
+      // Cache the key on items that can carry it (FlowWork): the worker's
+      // pop-time publish and the thief's queue scans reuse it instead of
+      // re-hashing the tuple per item.
+      if constexpr (requires { item.set_flow_key(key); }) {
+        item.set_flow_key(key);
+      }
+      per_worker[RouteKey(key)].Push(std::move(item));
+    }
+    // Flow-id propagation: batch types carrying a dispatch-assigned flow id
+    // (FlowBatch) stamp it onto every per-worker sub-batch, so the id
+    // follows the work across the channel and the worker can re-enter the
+    // flow's trace context. Batch types without one (PacketBatch) compile
+    // this out.
+    if constexpr (requires { per_worker[0].set_flow_id(batch.flow_id()); }) {
+      for (auto& sub : per_worker) {
+        sub.set_flow_id(batch.flow_id());
+      }
+    }
+    std::size_t sent = 0;
+    for (std::size_t w = 0; w < queues_.size(); ++w) {
+      if (per_worker[w].empty()) {
+        continue;
+      }
+      const std::size_t items = per_worker[w].size();
+      auto result =
+          queues_[w]->Send(lin::Own<Batch>::Make(std::move(per_worker[w])));
+      if (result.ok) {
+        sub_batches_steered_.fetch_add(1, std::memory_order_relaxed);
+        per_worker_steered_[w].fetch_add(1, std::memory_order_relaxed);
+        ++sent;
+      } else {
+        refused_sub_batches_.fetch_add(1, std::memory_order_relaxed);
+        dropped_items_.fetch_add(items, std::memory_order_relaxed);
+      }
+    }
+    return sent;
   }
 
   std::uint64_t seed_;
@@ -355,13 +528,21 @@ class BasicRssDispatcher {
   std::atomic<std::uint64_t> sub_batches_steered_{0};
   std::atomic<std::uint64_t> refused_sub_batches_{0};
   std::atomic<std::uint64_t> dropped_items_{0};
+  std::atomic<std::uint64_t> evictions_{0};
   std::vector<std::atomic<std::uint64_t>> per_worker_steered_;
-  // Steal-migration table: flow key -> current home, for flows moved off
-  // their hash home. Guarded by steer_mu_; migrated_count_ mirrors its size
-  // so the no-migrations fast path costs one relaxed load.
+  // Steal-migration state. `migrated_` (authoritative, with eviction
+  // epochs) and `flat_` (the sorted snapshot the routing path reads) are
+  // only written under steer_mu_ exclusive AND a clear writer gate, so
+  // gate-protected dispatches read flat_ without any lock. migrated_count_
+  // mirrors flat_.size(): the no-migrations routing path is one relaxed
+  // load per item, and one uncontended RMW pair per Dispatch call for the
+  // gate itself.
   mutable std::shared_mutex steer_mu_;
-  std::unordered_map<std::uint64_t, std::size_t> migrated_;
+  std::unordered_map<std::uint64_t, Migration> migrated_;
+  std::vector<FlatEntry> flat_;
   std::atomic<std::size_t> migrated_count_{0};
+  std::atomic<std::uint64_t> active_dispatches_{0};
+  std::atomic<bool> steal_in_progress_{false};
 };
 
 // The classic NIC-shaped instantiation: steer already-built packets.

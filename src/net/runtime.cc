@@ -30,11 +30,14 @@ std::string RuntimeStats::Summary() const {
     s += " steer_refused=" + std::to_string(steer_refused_sub_batches);
     s += " steer_dropped=" + std::to_string(steer_dropped_items);
   }
-  if (totals.steals > 0 || migrated_flows > 0) {
+  if (totals.steals > 0 || totals.steals_skipped > 0 || migrated_flows > 0 ||
+      migration_evictions > 0) {
     s += " steals=" + std::to_string(totals.steals);
+    s += " steals_skipped=" + std::to_string(totals.steals_skipped);
     s += " stolen_batches=" + std::to_string(totals.stolen_batches);
     s += " stolen_items=" + std::to_string(totals.stolen_items);
     s += " migrated_flows=" + std::to_string(migrated_flows);
+    s += " migration_evictions=" + std::to_string(migration_evictions);
   }
   if (rx_batches > 0) {
     s += " rx_batches=" + std::to_string(rx_batches);
@@ -92,6 +95,10 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
       registry_.GetCounter("runtime.stolen_sub_batches_total", shards);
   telemetry_.stolen_items =
       registry_.GetCounter("runtime.stolen_items_total", shards);
+  telemetry_.steal_skipped =
+      registry_.GetCounter("runtime.steal_skipped_total", shards);
+  telemetry_.migration_evictions =
+      registry_.GetCounter("runtime.migration_evictions_total", shards);
   telemetry_.rx_batches = registry_.GetCounter("runtime.rx_batches_total");
   telemetry_.rx_pauses = registry_.GetCounter("runtime.rx_pauses_total");
   telemetry_.steal_cycles =
@@ -206,19 +213,34 @@ void Runtime::WorkerMain(Worker& w) {
   }
   auto& queue = rss_.queue(w.index);
   const bool stealing = config_.stealing.enabled;
-  const auto park = std::chrono::microseconds(
-      config_.stealing.idle_park_us == 0 ? 100 : config_.stealing.idle_park_us);
   // Runs under the channel lock at every dequeue: publishes the popped
   // sub-batch's flow keys as in flight *atomically with the pop*, so a
   // thief scanning this queue can never see those flows as neither queued
   // nor in flight.
-  auto publish = [this, &w](const FlowBatch& b) {
-    std::lock_guard<std::mutex> lock(w.guard_mu);
+  // No guard_mu here: popped_flows is serialized by the channel lock alone —
+  // this hook runs under it, and so does the thief's off-limits read (inside
+  // Steal's WithQueueLocked on this same channel). The registry is also never
+  // cleared after the batch completes: the next pop overwrites it wholesale,
+  // and until then the stale entries only make a thief skip flows this worker
+  // *recently* held — exclusion is allowed to be a superset. Both choices
+  // keep the per-batch cost to a vector rewrite of pre-computed keys.
+  auto publish = [&w](const FlowBatch& b) {
     w.popped_flows.clear();
     for (const FlowWork& fw : b) {
-      w.popped_flows.insert(rss_.FlowKey(fw.Tuple()));
+      // Fan-out already stamped the flow key on the item; publishing is a
+      // handful of vector appends, not per-item tuple hashing.
+      w.popped_flows.push_back(fw.flow_key());
     }
   };
+  // With or without stealing, a worker with nothing to do sleeps in a plain
+  // blocking Recv — zero wakeups, zero polling. This is what makes stealing
+  // free when it cannot win: the original poll-park loop (timed receives
+  // plus a victim scan on every momentary queue drain) cost the Zipf bench
+  // ~16% in pure context-switch churn even with ZERO steals executed. Steal
+  // attempts are instead initiated by the supervisor, which wakes on its own
+  // watchdog cadence anyway: when it finds this worker idle next to a deep
+  // peer queue it enqueues an empty FlowBatch — a *steal nudge* — and the
+  // ordinary Recv wakeup runs the gated TrySteal below.
   while (true) {
     const std::size_t depth = queue.size();
     telemetry_.queue_depth->Set(w.index, static_cast<std::int64_t>(depth));
@@ -226,27 +248,7 @@ void Runtime::WorkerMain(Worker& w) {
     w.busy.store(false, std::memory_order_release);
     std::optional<lin::Own<FlowBatch>> handle;
     try {
-      if (stealing) {
-        // Idle loop: drain own queue first, then steal, then park briefly.
-        // The tri-state receive is what makes this terminate: kClosed ends
-        // the worker, kEmpty keeps it polling.
-        auto r = queue.TryRecv(publish);
-        if (r.status == sfi::RecvStatus::kEmpty) {
-          if (TrySteal(w)) {
-            continue;
-          }
-          r = queue.RecvFor(park, publish);
-        }
-        if (r.status == sfi::RecvStatus::kClosed) {
-          break;
-        }
-        if (r.status == sfi::RecvStatus::kEmpty) {
-          continue;
-        }
-        handle = std::move(r.value);
-      } else {
-        handle = queue.Recv();
-      }
+      handle = stealing ? queue.Recv(publish) : queue.Recv();
     } catch (const util::PanicError&) {
       // An injected channel.recv fault fires before the dequeue, so the
       // message is still queued: count the fault and take it next iteration.
@@ -257,34 +259,124 @@ void Runtime::WorkerMain(Worker& w) {
     if (!handle.has_value()) {
       break;  // closed and drained
     }
-    w.busy.store(true, std::memory_order_release);
-    ProcessFlows(w, handle->Take());
-    if (stealing) {
-      std::lock_guard<std::mutex> lock(w.guard_mu);
-      w.popped_flows.clear();
+    FlowBatch batch = handle->Take();
+    if (stealing && batch.empty()) {
+      // Supervisor steal nudge (real sub-batches are never empty: FanOut
+      // only enqueues non-empty per-worker groups). Not counted as a batch
+      // — the dispatch-path counters must stay byte-identical to a
+      // stealing-off run when the gate never opens.
+      if (!TrySteal(w)) {
+        // Nothing worth stealing: an idle beat is also the safe moment to
+        // expire this worker's stale migration entries (its queue and
+        // in-flight set are empty, so an evicted flow has no work here).
+        const std::size_t evicted = rss_.EvictStaleMigrations(
+            w.index, config_.stealing.migration_ttl_dispatches);
+        if (evicted > 0) {
+          telemetry_.migration_evictions->Add(w.index, evicted);
+        }
+      }
+      // popped_flows is already empty: popping the nudge ran publish on an
+      // empty batch under the channel lock.
+      continue;
     }
+    w.busy.store(true, std::memory_order_release);
+    ProcessFlows(w, std::move(batch));
     w.heartbeat.fetch_add(1, std::memory_order_release);
   }
   w.busy.store(false, std::memory_order_release);
   telemetry_.queue_depth->Set(w.index, 0);
 }
 
+// Supervisor-side steal trigger: for every idle worker (empty queue, not
+// mid-batch) with at least one peer queue at min_victim_depth, enqueue an
+// empty FlowBatch as a steal nudge. The worker's ordinary blocking-Recv
+// wakeup then runs the gated TrySteal on its own thread (the gate and the
+// victim choice are re-evaluated there, with fresh depths). A worker whose
+// queue is non-empty is skipped — that also naturally dedupes nudges, since
+// an unconsumed nudge keeps the queue non-empty until the worker wakes.
+void Runtime::NudgeIdleThieves() {
+  const StealConfig& sc = config_.stealing;
+  const std::size_t min_depth =
+      sc.min_victim_depth == 0 ? 1 : sc.min_victim_depth;
+  std::size_t max_depth = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    max_depth = std::max(max_depth, rss_.queue(i).size());
+  }
+  if (max_depth < min_depth) {
+    return;
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = *workers_[i];
+    if (w.busy.load(std::memory_order_acquire) ||
+        rss_.queue(i).size() != 0) {
+      continue;
+    }
+    // Refused after shutdown (channel closed) — the returned batch carries
+    // no items, so dropping the rejection is loss-free.
+    (void)rss_.queue(i).Send(lin::Own<FlowBatch>::Make(FlowBatch{}));
+  }
+}
+
 bool Runtime::TrySteal(Worker& w) {
-  const auto victim =
-      rss_.MostLoadedOther(w.index, config_.stealing.min_victim_depth);
-  if (!victim.has_value()) {
+  const StealConfig& sc = config_.stealing;
+  // Service-time-weighted victim selection: score each peer by estimated
+  // backlog drain cycles (queue depth × that worker's per-sub-batch service
+  // EWMA), not raw depth — depth 10 on a replica grinding 150k-cycle
+  // batches is a far better steal than depth 30 on one doing 600-cycle
+  // batches. Workers with no completed batch yet score on the config seed.
+  std::size_t victim_idx = SIZE_MAX;
+  double best_score = 0.0;
+  const std::size_t min_depth =
+      sc.min_victim_depth == 0 ? 1 : sc.min_victim_depth;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (i == w.index) {
+      continue;
+    }
+    const std::size_t depth = rss_.queue(i).size();
+    if (depth < min_depth) {
+      continue;
+    }
+    const std::uint64_t service =
+        workers_[i]->service_ewma_cycles.load(std::memory_order_relaxed);
+    const double score =
+        static_cast<double>(depth) *
+        static_cast<double>(service == 0 ? sc.service_seed_cycles : service);
+    if (score > best_score) {
+      best_score = score;
+      victim_idx = i;
+    }
+  }
+  if (victim_idx == SIZE_MAX) {
     return false;
   }
-  Worker& v = *workers_[*victim];
+  // Adaptive enablement: the thief is empty, so the victim's depth IS this
+  // worker's share of the queue_imbalance gauge. Steal only when the
+  // stealable slice of that backlog amortizes the measured cost of a steal
+  // — otherwise stealing self-disables and the refusal is counted.
+  const std::uint64_t cost_ewma =
+      steal_cost_ewma_.load(std::memory_order_relaxed);
+  const double steal_cost = static_cast<double>(
+      cost_ewma == 0 ? sc.steal_cost_seed_cycles : cost_ewma);
+  if (best_score * sc.max_fraction < sc.min_gain_factor * steal_cost) {
+    telemetry_.steal_skipped->Inc(w.index);
+    return false;
+  }
+  Worker& v = *workers_[victim_idx];
   const bool armed = obs::MetricsArmed(obs::MetricGroup::kNet);
-  const std::uint64_t t0 = armed ? util::CycleStart() : 0;
+  // Cycle the steal unconditionally: the cost EWMA needs every sample, not
+  // just armed-phase ones; the histogram stays gated on arming.
+  const std::uint64_t t0 = util::CycleStart();
   auto result = rss_.Steal(
-      *victim, w.index,
+      victim_idx, w.index,
       // Off-limits set, read under the victim's channel lock: everything
-      // the victim holds outside its queue right now.
+      // the victim holds (or recently held — stale entries are a safe
+      // superset) outside its queue. popped_flows is protected by that
+      // channel lock itself; guard_mu covers stolen_flows, which other
+      // thieves write outside it.
       [&v] {
+        std::unordered_set<std::uint64_t> off(v.popped_flows.begin(),
+                                              v.popped_flows.end());
         std::lock_guard<std::mutex> lock(v.guard_mu);
-        std::unordered_set<std::uint64_t> off = v.popped_flows;
         off.insert(v.stolen_flows.begin(), v.stolen_flows.end());
         return off;
       },
@@ -294,16 +386,23 @@ bool Runtime::TrySteal(Worker& w) {
       [&w](const auto& r) {
         std::lock_guard<std::mutex> lock(w.guard_mu);
         w.stolen_flows.insert(r.keys.begin(), r.keys.end());
-      });
+      },
+      sc.max_fraction);
   if (result.batches.empty()) {
     return false;
   }
+  const std::uint64_t steal_cycles = util::CycleEnd() - t0;
+  // EWMA alpha 1/8; the racy read-modify-write only ever loses an update.
+  const std::uint64_t prev = steal_cost_ewma_.load(std::memory_order_relaxed);
+  steal_cost_ewma_.store(
+      prev == 0 ? steal_cycles : prev - prev / 8 + steal_cycles / 8,
+      std::memory_order_relaxed);
   telemetry_.steals->Inc(w.index);
   telemetry_.stolen_batches->Add(w.index, result.batches.size());
   telemetry_.stolen_items->Add(w.index, result.items);
   if (armed) {
     telemetry_.steal_cycles->RecordWithExemplar(
-        w.index, util::CycleEnd() - t0, result.batches.front().flow_id());
+        w.index, steal_cycles, result.batches.front().flow_id());
   }
   // Process the stolen slices in queue order, before touching our own
   // queue: any same-flow work dispatched after the migration sits behind
@@ -440,8 +539,16 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
     const std::uint64_t qdrop_delta =
         w.isolated.QuarantineDropPkts() - qdrop_before;
     lock.unlock();
-    telemetry_.batch_cycles->RecordWithExemplar(w.index, util::CycleEnd() - t0,
+    const std::uint64_t batch_cycles = util::CycleEnd() - t0;
+    telemetry_.batch_cycles->RecordWithExemplar(w.index, batch_cycles,
                                                 flows.flow_id());
+    // Feed the per-worker service estimate steal-victim scoring reads
+    // (alpha 1/8; single writer — this worker).
+    const std::uint64_t ewma =
+        w.service_ewma_cycles.load(std::memory_order_relaxed);
+    w.service_ewma_cycles.store(
+        ewma == 0 ? batch_cycles : ewma - ewma / 8 + batch_cycles / 8,
+        std::memory_order_relaxed);
     if (!result.ok()) {
       // The in-flight batch was reclaimed during unwinding (still on this
       // thread, still this worker's pool). kFault = a fresh panic, worth
@@ -467,7 +574,13 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
     try {
       const std::uint64_t t0 = util::CycleStart();
       PacketBatch out = w.direct.Run(std::move(batch));
-      telemetry_.batch_cycles->Record(w.index, util::CycleEnd() - t0);
+      const std::uint64_t batch_cycles = util::CycleEnd() - t0;
+      telemetry_.batch_cycles->Record(w.index, batch_cycles);
+      const std::uint64_t ewma =
+          w.service_ewma_cycles.load(std::memory_order_relaxed);
+      w.service_ewma_cycles.store(
+          ewma == 0 ? batch_cycles : ewma - ewma / 8 + batch_cycles / 8,
+          std::memory_order_relaxed);
       telemetry_.packets->Add(w.index, out.size());
       telemetry_.batches->Inc(w.index);
     } catch (const util::PanicError&) {
@@ -574,6 +687,12 @@ void Runtime::SupervisorMain() {
       last_beat[i] = beat;
     }
 
+    // Steal nudges ride the same wake: stealing costs nothing while every
+    // worker is busy or every queue is shallow, because nobody polls.
+    if (config_.stealing.enabled) {
+      NudgeIdleThieves();
+    }
+
     lock.lock();
   }
 }
@@ -586,6 +705,7 @@ RuntimeStats Runtime::Stats() const {
   s.steer_refused_sub_batches = rss_.refused_sub_batches();
   s.steer_dropped_items = rss_.dropped_items();
   s.migrated_flows = rss_.migrated_flows();
+  s.migration_evictions = rss_.migration_evictions();
   s.rx_batches = telemetry_.rx_batches->Value();
   s.rx_pauses = telemetry_.rx_pauses->Value();
   s.steal_cycles = telemetry_.steal_cycles->Snapshot();
@@ -608,6 +728,7 @@ RuntimeStats Runtime::Stats() const {
     t.recoveries = telemetry_.recoveries->ShardValue(w->index);
     t.stalls = telemetry_.stalls->ShardValue(w->index);
     t.steals = telemetry_.steals->ShardValue(w->index);
+    t.steals_skipped = telemetry_.steal_skipped->ShardValue(w->index);
     t.stolen_batches = telemetry_.stolen_batches->ShardValue(w->index);
     t.stolen_items = telemetry_.stolen_items->ShardValue(w->index);
     t.queue_hwm = static_cast<std::size_t>(
@@ -645,6 +766,7 @@ RuntimeStats Runtime::Stats() const {
     s.totals.recovery_panics += t.recovery_panics;
     s.totals.stalls += t.stalls;
     s.totals.steals += t.steals;
+    s.totals.steals_skipped += t.steals_skipped;
     s.totals.stolen_batches += t.stolen_batches;
     s.totals.stolen_items += t.stolen_items;
     s.totals.quarantined += t.quarantined;

@@ -76,8 +76,15 @@ namespace net {
 struct FlowWork {
   FiveTuple tuple;
   std::uint64_t seq = 0;
+  // Seeded tuple hash, stamped once by the dispatcher's fan-out (which
+  // computes it anyway to route the item). The worker's pop-time publish
+  // and the thief's queue scans reuse it instead of re-running FNV over the
+  // tuple bytes per item on the hot path.
+  std::uint64_t cached_key = 0;
 
   const FiveTuple& Tuple() const { return tuple; }
+  std::uint64_t flow_key() const { return cached_key; }
+  void set_flow_key(std::uint64_t key) { cached_key = key; }
 };
 
 // Batch of flow descriptors — the Batch concept BasicRssDispatcher needs.
@@ -168,10 +175,36 @@ struct SupervisionConfig {
 struct StealConfig {
   bool enabled = false;
   // A victim queue must hold at least this many sub-batches to be worth
-  // stealing from (below it, migration churn beats the balance gain).
+  // stealing from (below it, migration churn beats the balance gain) — and
+  // for the supervisor to nudge an idle worker at all. Idle workers do not
+  // poll for victims: they sleep in a plain blocking receive, and the
+  // supervisor (on its watchdog cadence, SupervisionConfig::
+  // watchdog_period_ms) wakes one with an empty "nudge" batch when a peer
+  // queue is this deep. Steal latency is therefore bounded by the watchdog
+  // period, and steal overhead on a balanced system is zero.
   std::size_t min_victim_depth = 2;
-  // How long an idle worker parks between steal attempts.
-  std::uint32_t idle_park_us = 100;
+  // Adaptive enablement: a steal is only attempted when the chosen victim's
+  // estimated stealable backlog — queue depth (the worker's share of the
+  // runtime.queue_imbalance gauge; the thief is empty) × its EWMA per-sub-
+  // batch service cycles × max_fraction — exceeds min_gain_factor × the
+  // EWMA-estimated cost of one steal. Below that, stealing self-disables
+  // and the attempt is counted in runtime.steal_skipped_total. 0 restores
+  // unconditional stealing.
+  double min_gain_factor = 2.0;
+  // Seeds for the two EWMAs before their first real sample: the amortized
+  // cost of one steal (the committed BENCH_parallel baseline put its p50 at
+  // ~25.6k cycles) and a worker's per-sub-batch service time.
+  std::uint64_t steal_cost_seed_cycles = 25000;
+  std::uint64_t service_seed_cycles = 2000;
+  // Steal quantum: the fraction of the victim's queued items one steal may
+  // take. Half the queue (the original quantum) re-homes far more flows
+  // than the imbalance warrants; a quarter keeps migration churn bounded.
+  double max_fraction = 0.25;
+  // Migration-table TTL in Dispatch() calls: an entry not refreshed by a
+  // steal for this long is evicted once its home worker is idle with an
+  // empty queue (the flow then simply re-homes to its hash slot on its next
+  // dispatch). 0 = never evict.
+  std::uint64_t migration_ttl_dispatches = 4096;
 };
 
 // Paced rx thread (RuntimeConfig::paced_rx): a dedicated producer that
@@ -211,6 +244,7 @@ struct WorkerTelemetry {
   std::uint64_t steals = 0;          // successful steals by this worker
   std::uint64_t stolen_batches = 0;  // sub-batch slices it took
   std::uint64_t stolen_items = 0;    // flow descriptors it took
+  std::uint64_t steals_skipped = 0;  // attempts the adaptive gate refused
   std::size_t quarantined = 0;   // stages currently quarantined on this shard
   std::size_t queue_hwm = 0;     // steering-queue depth high-water mark
 };
@@ -242,6 +276,7 @@ struct RuntimeStats {
   std::uint64_t steer_dropped_items = 0;
   // Work stealing / paced rx.
   std::size_t migrated_flows = 0;      // flows homed away from their hash home
+  std::uint64_t migration_evictions = 0;  // stale table entries TTL-evicted
   std::uint64_t rx_batches = 0;        // bursts dispatched by the rx thread
   std::uint64_t rx_pauses = 0;         // high-water pauses the rx thread took
   obs::HistogramSnapshot steal_cycles; // cost of each successful steal
@@ -356,16 +391,32 @@ class Runtime {
     // counters live in the runtime's registry, sharded by worker index.)
     std::atomic<bool> busy{false};
     std::atomic<std::uint64_t> heartbeat{0};
+    // EWMA of this worker's per-sub-batch service time in cycles (0 until
+    // the first completed batch). Written by the owning worker only, read
+    // relaxed by idle peers scoring steal victims: a deep queue on a slow
+    // replica is worth far more to a thief than the same depth on a fast
+    // one. An estimator, so torn precision is acceptable; torn values are
+    // not (hence the atomic).
+    std::atomic<std::uint64_t> service_ewma_cycles{0};
     // In-flight flow registry: the flow keys of work this worker holds
-    // *outside* its queue — the sub-batch it just popped (published under
-    // the channel lock via the Recv on_pop hook) and any stolen chain it
-    // has not finished. Thieves read the union (under the victim's channel
-    // lock) and never steal an in-flight flow, which is what makes a stolen
-    // flow's items processable immediately: no older items of that flow can
-    // exist anywhere but the slices the thief now holds. See DESIGN.md
-    // "Flow pinning vs. work stealing".
+    // *outside* its queue — the sub-batch it most recently popped (published
+    // under the channel lock via the Recv on_pop hook) and any stolen chain
+    // it has not finished. Thieves read the union (under the victim's
+    // channel lock) and never steal an in-flight flow, which is what makes a
+    // stolen flow's items processable immediately: no older items of that
+    // flow can exist anywhere but the slices the thief now holds. See
+    // DESIGN.md "Flow pinning vs. work stealing".
+    //
+    // Synchronization is asymmetric, tuned for the pop path: popped_flows is
+    // a flat vector of fan-out-cached keys, rewritten wholesale at every pop
+    // and serialized by the worker's *channel lock* (publish runs under it;
+    // so does the thief's off-limits read, inside Steal's WithQueueLocked).
+    // It is never cleared after a batch completes — stale entries are a
+    // conservative superset, the next pop overwrites them. guard_mu covers
+    // only stolen_flows, which a thief writes from its own thread while
+    // other thieves read it under the victim's channel lock.
     std::mutex guard_mu;
-    std::unordered_set<std::uint64_t> popped_flows;
+    std::vector<std::uint64_t> popped_flows;
     std::unordered_set<std::uint64_t> stolen_flows;
     std::thread thread;
 
@@ -387,6 +438,8 @@ class Runtime {
     obs::Counter* steals = nullptr;
     obs::Counter* stolen_batches = nullptr;
     obs::Counter* stolen_items = nullptr;
+    obs::Counter* steal_skipped = nullptr;
+    obs::Counter* migration_evictions = nullptr;
     obs::Counter* rx_batches = nullptr;
     obs::Counter* rx_pauses = nullptr;
     obs::Gauge* queue_depth = nullptr;
@@ -400,7 +453,14 @@ class Runtime {
   void ProcessFlows(Worker& w, FlowBatch flows);
   // Attempts one steal for idle worker `w`; processes the stolen slices
   // in order before returning. True if anything was stolen and processed.
+  // Victim choice is service-time-weighted (depth × the victim's service
+  // EWMA) and the attempt is skipped — counted in steal_skipped_total —
+  // when the stealable backlog is not worth the EWMA-estimated steal cost.
   bool TrySteal(Worker& w);
+  // Supervisor-side: wakes each idle worker with an empty nudge batch when
+  // some peer queue reaches min_victim_depth; the worker then runs the
+  // gated TrySteal on its own thread.
+  void NudgeIdleThieves();
   void RxMain(FlowFeeder* feeder, std::uint64_t batches);
   std::size_t MaxQueueDepth();
   void SupervisorMain();
@@ -411,6 +471,11 @@ class Runtime {
 
   RuntimeConfig config_;
   BasicRssDispatcher<FlowBatch> rss_;
+  // EWMA of the measured cost of one successful steal, in cycles (0 until
+  // the first steal; the gate then falls back to
+  // StealConfig::steal_cost_seed_cycles). Updated racily by thieves — an
+  // estimator, not an invariant.
+  std::atomic<std::uint64_t> steal_cost_ewma_{0};
   // Declared before workers_ so worker threads (joined in ~Worker via
   // Shutdown) can never outlive the metrics they write to.
   obs::Registry registry_;

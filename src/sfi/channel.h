@@ -17,6 +17,7 @@
 #ifndef LINSYS_SRC_SFI_CHANNEL_H_
 #define LINSYS_SRC_SFI_CHANNEL_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -85,6 +86,7 @@ class Channel {
       return SendResult<T>{false, std::move(message)};
     }
     queue_.push_back(std::move(message));
+    depth_.store(queue_.size(), std::memory_order_relaxed);
     lock.unlock();
     not_empty_.notify_one();
     return SendResult<T>{true, std::nullopt};
@@ -167,6 +169,7 @@ class Channel {
       }
       const std::size_t before = queue_.size();
       fn(queue_);
+      depth_.store(queue_.size(), std::memory_order_relaxed);
       shrank = queue_.size() < before;
     }
     if (shrank) {
@@ -184,10 +187,13 @@ class Channel {
     not_full_.notify_all();
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return queue_.size();
-  }
+  // Advisory queue depth: a lock-free snapshot maintained by the locked
+  // push/pop paths. Load-balancing heuristics (victim scans, the imbalance
+  // gauge, paced-rx high-water checks) poll this at high frequency; taking
+  // the queue mutex for a momentary depth would make every scan contend
+  // with the very workers it is sizing up. Authoritative decisions still
+  // happen under the lock (WithQueueLocked re-reads the real queue).
+  std::size_t size() const { return depth_.load(std::memory_order_relaxed); }
 
  private:
   template <typename OnPop>
@@ -195,6 +201,7 @@ class Channel {
     on_pop(*std::as_const(queue_.front()));
     lin::Own<T> out = std::move(queue_.front());
     queue_.pop_front();
+    depth_.store(queue_.size(), std::memory_order_relaxed);
     lock.unlock();
     not_full_.notify_one();
     return out;
@@ -204,6 +211,7 @@ class Channel {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<lin::Own<T>> queue_;
+  std::atomic<std::size_t> depth_{0};  // == queue_.size(), see size()
   std::size_t capacity_;  // 0 = unbounded
   bool closed_ = false;
 };

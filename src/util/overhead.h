@@ -1,0 +1,52 @@
+// Per-remote-invocation overhead computation shared by bench_parallel and
+// its unit test.
+//
+// The Figure-2 style overhead number answers "how many extra cycles does
+// one isolated stage invocation cost over the direct call?". The naive
+// version — (isolated_total - direct_total) / calls — has two bugs this
+// helper fixes:
+//
+//   * The two runs do not necessarily retire the same number of batches
+//     (drops under backpressure differ between modes), so totals must be
+//     normalized to per-batch cost *before* subtracting. Subtracting raw
+//     totals with mismatched batch counts silently attributes the missing
+//     batches' cycles to "overhead".
+//   * The result is *signed* and stays signed. On an oversubscribed host
+//     the parallel isolated run can genuinely finish ahead of the direct
+//     baseline (scheduling noise dwarfs the per-call cost), which makes
+//     the delta negative. That is a measurement outcome, not an underflow
+//     to clamp: positive = isolation costs cycles per call, negative =
+//     the run beat the baseline and the number is noise-dominated, treat
+//     its magnitude as an error bar rather than a cost.
+//
+// Worker parallelism shrinks the *wall-clock* delta, so the per-batch
+// delta is scaled back by the worker count to approximate per-core cost
+// (exact at full saturation, conservative below it), then divided by the
+// stage count to get per-call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace util {
+
+// Signed per-call isolation overhead in cycles. See the sign convention
+// above. Returns 0.0 when either batch count or the stage count is zero
+// (no calls happened, so no per-call cost is attributable).
+inline double OverheadPerCall(double isolated_cycles,
+                              std::uint64_t isolated_batches,
+                              double direct_cycles,
+                              std::uint64_t direct_batches,
+                              std::size_t stages, std::size_t workers) {
+  if (isolated_batches == 0 || direct_batches == 0 || stages == 0) {
+    return 0.0;
+  }
+  const double iso_per_batch =
+      isolated_cycles / static_cast<double>(isolated_batches);
+  const double dir_per_batch =
+      direct_cycles / static_cast<double>(direct_batches);
+  return (iso_per_batch - dir_per_batch) * static_cast<double>(workers) /
+         static_cast<double>(stages);
+}
+
+}  // namespace util

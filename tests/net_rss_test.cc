@@ -384,6 +384,71 @@ TEST(Rss, StealSkipsExcludedFlows) {
   }
 }
 
+// Migration-table lifecycle under flow churn: before eviction existed,
+// every flow ever stolen kept its table entry forever (only a steal-back
+// removed a key), so churning through fresh flows grew the table without
+// bound. With epoch/TTL eviction the table holds only recently-stolen
+// flows, and an evicted flow routes back to its hash home.
+TEST(Rss, MigrationTableEvictsQuietFlows) {
+  constexpr std::size_t kRounds = 8;
+  constexpr std::size_t kFlowsPerRound = 16;
+  constexpr std::uint64_t kTtl = 4;  // dispatches per round below
+  BasicRssDispatcher<FlowBatch> rss(2, /*queue_depth=*/0, /*stealing=*/true);
+
+  auto drain = [&rss] {
+    for (std::size_t w = 0; w < rss.worker_count(); ++w) {
+      while (rss.queue(w).TryRecv().status == sfi::RecvStatus::kValue) {
+      }
+    }
+  };
+
+  std::size_t total_stolen_keys = 0;
+  std::size_t peak_table = 0;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    // A fresh flow population every round — the churn that used to leak.
+    FlowSampler sampler(kFlowsPerRound, 0.0,
+                        static_cast<std::uint64_t>(100 + round));
+    FlowFeeder feeder(&sampler);
+    for (int i = 0; i < 4; ++i) {
+      rss.Dispatch(feeder.Next(kFlowsPerRound));
+    }
+    const auto result = rss.Steal(
+        /*victim=*/0, /*thief=*/1,
+        [] { return std::unordered_set<std::uint64_t>{}; },
+        [](const auto&) {});
+    total_stolen_keys += result.keys.size();
+    drain();
+    // The idle thief sweeps its own stale entries; this round's are too
+    // young (epoch == now), earlier rounds' are >= kTtl dispatches old.
+    rss.EvictStaleMigrations(/*home=*/1, kTtl);
+    peak_table = std::max(peak_table, rss.migrated_flows());
+  }
+  ASSERT_GT(total_stolen_keys, kFlowsPerRound)
+      << "churn must actually migrate flows across rounds";
+  EXPECT_LE(peak_table, 2 * kFlowsPerRound)
+      << "table must stay bounded by the live flow population, not by the "
+         "cumulative churn";
+  EXPECT_LT(rss.migrated_flows(), total_stolen_keys);
+  EXPECT_GT(rss.migration_evictions(), 0u);
+
+  // Age out the final round too: advance the epoch past the TTL with empty
+  // dispatches, then sweep. The table must empty and every flow must route
+  // by hash again.
+  for (std::uint64_t i = 0; i < kTtl; ++i) {
+    rss.Dispatch(FlowBatch{});
+  }
+  rss.EvictStaleMigrations(/*home=*/1, kTtl);
+  EXPECT_EQ(rss.migrated_flows(), 0u);
+  FlowSampler probe(kFlowsPerRound, 0.0, 100);  // round 0's population
+  for (std::size_t i = 0; i < probe.flow_count(); ++i) {
+    const FiveTuple tuple = probe.FlowAt(i);
+    EXPECT_EQ(rss.WorkerForTuple(tuple),
+              static_cast<std::size_t>(rss.FlowKey(tuple) % 2))
+        << "evicted flow must fall back to its hash home";
+  }
+  rss.Shutdown();
+}
+
 TEST(Rss, ZeroWorkersRejected) {
   EXPECT_THROW(RssDispatcher rss(0), util::PanicError);
 }

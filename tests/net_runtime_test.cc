@@ -537,6 +537,9 @@ TEST(Runtime, StealingBalancesPinnedLoadAndPreservesPerFlowOrdering) {
   cfg.queue_depth = 0;  // unbounded: the whole load lands before Shutdown
   cfg.stealing.enabled = true;
   cfg.stealing.min_victim_depth = 2;
+  // Steal nudges ride the supervisor wake; tighten its cadence so several
+  // land while the pinned backlog persists.
+  cfg.supervision.watchdog_period_ms = 5;
   std::vector<StageSpec> spec;
   spec.push_back({"check", [&shared](std::size_t) {
                     return std::make_unique<GlobalSeqCheck>(&shared);
@@ -605,6 +608,7 @@ TEST(Runtime, StealUnderFaultNeitherStrandsNorDoubleProcesses) {
   cfg.queue_depth = 0;  // unbounded: the whole load lands before Shutdown
   cfg.stealing.enabled = true;
   cfg.supervision.max_recovery_attempts = 2;
+  cfg.supervision.watchdog_period_ms = 5;
   std::vector<StageSpec> spec;
   spec.push_back({"check", [&shared](std::size_t) {
                     return std::make_unique<GlobalSeqCheck>(&shared);
@@ -650,6 +654,117 @@ TEST(Runtime, StealUnderFaultNeitherStrandsNorDoubleProcesses) {
   EXPECT_EQ(stats.totals.packets + stats.totals.drops,
             kBatches * kBatchSize)
       << "a stolen sub-batch was stranded by the fault";
+}
+
+// Adaptive gate, closed: stealing configured on but with a gain bar no
+// backlog can clear must behave exactly like stealing disabled — zero
+// steals, zero migrations, and the dispatch path producing identical
+// per-worker counters (one steal would re-home flows and break equality).
+TEST(Runtime, AdaptiveGateClosedMatchesStealingDisabled) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr int kBatches = 200;
+  constexpr std::size_t kBatchSize = 16;
+
+  auto run = [&](bool enabled, double min_gain_factor) {
+    RuntimeConfig cfg;
+    cfg.workers = kWorkers;
+    cfg.queue_depth = 0;
+    cfg.stealing.enabled = enabled;
+    cfg.stealing.min_gain_factor = min_gain_factor;
+    std::vector<StageSpec> spec;
+    // Worker 0 is slow so a stealable backlog exists the whole run: the
+    // gated run must *refuse* real opportunities, not merely never see one.
+    spec.push_back(
+        {"slow", [](std::size_t worker) -> std::unique_ptr<Operator> {
+           if (worker == 0) {
+             return std::make_unique<SpinStage>(std::chrono::microseconds(50));
+           }
+           return std::make_unique<NullFilter>();
+         }});
+    Runtime rt(cfg, spec);
+    const std::vector<FiveTuple> flows = FlowsPinnedTo(rt, 0, 12);
+    rt.Start();
+    PinnedFeeder feeder(flows);
+    for (int i = 0; i < kBatches; ++i) {
+      rt.Dispatch(feeder.Next(kBatchSize));
+    }
+    for (int i = 0; i < 5000; ++i) {
+      if (rt.Stats().totals.packets >= kBatches * kBatchSize) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    rt.Shutdown();
+    return rt.Stats();
+  };
+
+  const RuntimeStats off = run(/*enabled=*/false, 2.0);
+  // min_gain_factor so high no finite backlog opens the gate.
+  const RuntimeStats gated = run(/*enabled=*/true, 1e9);
+
+  EXPECT_EQ(gated.totals.steals, 0u) << "closed gate must suppress steals";
+  EXPECT_EQ(gated.totals.stolen_items, 0u);
+  EXPECT_EQ(gated.migrated_flows, 0u);
+  ASSERT_EQ(off.workers.size(), gated.workers.size());
+  for (std::size_t w = 0; w < off.workers.size(); ++w) {
+    EXPECT_EQ(off.workers[w].packets, gated.workers[w].packets)
+        << "worker " << w << ": gated dispatch routed differently than "
+        << "stealing-off dispatch";
+    EXPECT_EQ(off.workers[w].batches, gated.workers[w].batches)
+        << "worker " << w << ": sub-batch fan-out differs";
+  }
+  EXPECT_EQ(off.totals.packets, gated.totals.packets);
+  EXPECT_EQ(gated.totals.packets, kBatches * kBatchSize);
+}
+
+// Steal storm, suppressed: under near-uniform load with a closed gate, an
+// idle worker keeps *finding* victims above min_victim_depth but must skip
+// every one — the refusals land in steal_skipped_total and no work moves.
+TEST(Runtime, UniformLoadWithClosedGateCountsSkippedSteals) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr int kBatches = 200;
+  constexpr std::size_t kBatchSize = 16;
+
+  RuntimeConfig cfg;
+  cfg.workers = kWorkers;
+  cfg.queue_depth = 0;
+  cfg.stealing.enabled = true;
+  cfg.stealing.min_gain_factor = 1e9;  // gate never opens
+  cfg.supervision.watchdog_period_ms = 2;  // several nudges per backlog
+  std::vector<StageSpec> spec;
+  // Worker 0 is the fast one: it drains its share quickly, goes idle, and
+  // then repeatedly sizes up its slow peers' backlogs.
+  spec.push_back(
+      {"uneven", [](std::size_t worker) -> std::unique_ptr<Operator> {
+         if (worker == 0) {
+           return std::make_unique<NullFilter>();
+         }
+         return std::make_unique<SpinStage>(std::chrono::microseconds(20));
+       }});
+  Runtime rt(cfg, spec);
+  rt.Start();
+
+  FlowSampler sampler(64, 0.0, 17);  // uniform across all workers
+  FlowFeeder feeder(&sampler);
+  for (int i = 0; i < kBatches; ++i) {
+    rt.Dispatch(feeder.Next(kBatchSize));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    if (rt.Stats().totals.packets >= kBatches * kBatchSize) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  rt.Shutdown();
+
+  const RuntimeStats stats = rt.Stats();
+  EXPECT_EQ(stats.totals.packets, kBatches * kBatchSize)
+      << "skipped steals must not lose work";
+  EXPECT_EQ(stats.totals.steals, 0u);
+  EXPECT_EQ(stats.migrated_flows, 0u);
+  EXPECT_GE(stats.totals.steals_skipped, 1u)
+      << "an idle worker staring at deep peers must record its refusals";
+  EXPECT_NE(stats.Summary().find("steals_skipped="), std::string::npos);
 }
 
 // Paced rx: the rx thread must keep every queue at/below the high-water

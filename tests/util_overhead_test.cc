@@ -1,0 +1,50 @@
+// Unit tests for util::OverheadPerCall — the signed, batch-matched
+// per-remote-invocation overhead used by bench_parallel.
+#include "src/util/overhead.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(OverheadPerCall, PositiveWhenIsolationCostsCycles) {
+  // 100 batches each, 5 stages, 1 worker: isolated run spends 500 extra
+  // cycles per batch -> 100 cycles per call.
+  const double v = util::OverheadPerCall(/*isolated_cycles=*/150000, 100,
+                                         /*direct_cycles=*/100000, 100,
+                                         /*stages=*/5, /*workers=*/1);
+  EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(OverheadPerCall, SignedWhenIsolatedRunBeatsBaseline) {
+  // The isolated run finishing faster yields a *negative* overhead — the
+  // documented noise signal, not a clamped zero.
+  const double v = util::OverheadPerCall(90000, 100, 100000, 100, 5, 1);
+  EXPECT_DOUBLE_EQ(v, -20.0);
+  EXPECT_LT(v, 0.0);
+}
+
+TEST(OverheadPerCall, NormalizesMismatchedBatchCounts) {
+  // Direct run retired twice the batches in the same wall time. Raw-total
+  // subtraction would report (100000-100000)=0 extra cycles; per-batch
+  // matching sees the isolated run costing 2x per batch.
+  const double v = util::OverheadPerCall(/*isolated_cycles=*/100000, 50,
+                                         /*direct_cycles=*/100000, 100,
+                                         /*stages=*/1, /*workers=*/1);
+  EXPECT_DOUBLE_EQ(v, 1000.0);  // 2000 - 1000 per batch
+}
+
+TEST(OverheadPerCall, ScalesByWorkersDividesByStages) {
+  const double one = util::OverheadPerCall(120000, 100, 100000, 100, 1, 1);
+  const double w4 = util::OverheadPerCall(120000, 100, 100000, 100, 1, 4);
+  const double s4 = util::OverheadPerCall(120000, 100, 100000, 100, 4, 1);
+  EXPECT_DOUBLE_EQ(w4, one * 4.0);
+  EXPECT_DOUBLE_EQ(s4, one / 4.0);
+}
+
+TEST(OverheadPerCall, ZeroGuards) {
+  EXPECT_DOUBLE_EQ(util::OverheadPerCall(1000, 0, 500, 10, 5, 1), 0.0);
+  EXPECT_DOUBLE_EQ(util::OverheadPerCall(1000, 10, 500, 0, 5, 1), 0.0);
+  EXPECT_DOUBLE_EQ(util::OverheadPerCall(1000, 10, 500, 10, 0, 1), 0.0);
+}
+
+}  // namespace

@@ -12,8 +12,22 @@
 //                      (same unit as the metric, i.e. cycles) — the 1-core
 //                      CI runner jitters small numbers
 //   --ignore SUB       skip metrics whose name contains SUB (repeatable)
+//   --only SUB         compare only metrics whose name contains SUB
+//                      (repeatable; the CI hard gates use this to promote
+//                      a few metrics without dragging the noisy rest in)
+//   --min NAME=V       fail unless the fresh run's metric NAME (exact
+//                      match) is present, numeric, and >= V — the floor
+//                      gate for higher-is-better metrics like
+//                      zipf_steal_speedup, which the higher-is-worse delta
+//                      comparison cannot express (repeatable)
 //   --warn-only        report regressions but exit 0 (parallel benches on
-//                      the 1-core runner)
+//                      the 1-core runner); --min floors still fail
+//   --refresh-baselines
+//                      instead of gating, overwrite baseline.json with the
+//                      fresh run (after printing the per-metric deltas, so
+//                      the accepted changes are on the record). --min
+//                      floors still apply: a fresh run that violates a
+//                      floor is refused, not committed.
 //
 // Metrics are read from the "metrics" object: plain numbers compare
 // directly, Samples-style objects compare their "mean". Higher is worse
@@ -23,8 +37,13 @@
 // 2 usage or parse error.
 //
 // Baseline refresh: re-run the bench with LINSYS_BENCH_QUICK=1 on the CI
-// runner class and commit the new BENCH_*.json under bench/baselines/ (see
-// README §Observability).
+// runner class, then
+//
+//   bench_compare --refresh-baselines [--min ...] \
+//       bench/baselines/BENCH_<name>.json fresh.json
+//
+// prints the accepted deltas and overwrites the committed baseline (see
+// README §Observability). No hand-copying JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,12 +65,20 @@ struct MetricRule {
   double threshold_pct = 0;
 };
 
+struct MinRule {
+  std::string name;  // exact metric name
+  double floor = 0;
+};
+
 struct Options {
   double threshold_pct = 10.0;
   double noise_floor = 0.0;
   std::vector<MetricRule> metric_rules;
   std::vector<std::string> ignores;
+  std::vector<std::string> onlys;
+  std::vector<MinRule> min_rules;
   bool warn_only = false;
+  bool refresh = false;
   std::string baseline_path;
   std::string fresh_path;
 };
@@ -105,6 +132,14 @@ bool Ignored(const Options& opt, const std::string& name) {
       return true;
     }
   }
+  if (!opt.onlys.empty()) {
+    for (const std::string& sub : opt.onlys) {
+      if (name.find(sub) != std::string::npos) {
+        return false;
+      }
+    }
+    return true;  // an --only allowlist excludes everything else
+  }
   return false;
 }
 
@@ -112,8 +147,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: bench_compare [--threshold P] [--metric SUB=P] "
-      "[--noise-floor A] [--ignore SUB] [--warn-only] baseline.json "
-      "fresh.json\n");
+      "[--noise-floor A] [--ignore SUB] [--only SUB] [--min NAME=V] "
+      "[--warn-only] [--refresh-baselines] baseline.json fresh.json\n");
   return 2;
 }
 
@@ -153,8 +188,23 @@ int main(int argc, char** argv) {
       const char* v = next("--ignore");
       if (v == nullptr) return Usage();
       opt.ignores.push_back(v);
+    } else if (arg == "--only") {
+      const char* v = next("--only");
+      if (v == nullptr) return Usage();
+      opt.onlys.push_back(v);
+    } else if (arg == "--min") {
+      const char* v = next("--min");
+      if (v == nullptr) return Usage();
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr || eq == v) {
+        std::fprintf(stderr, "bench_compare: --min wants NAME=V, got %s\n", v);
+        return Usage();
+      }
+      opt.min_rules.push_back({std::string(v, eq - v), std::atof(eq + 1)});
     } else if (arg == "--warn-only") {
       opt.warn_only = true;
+    } else if (arg == "--refresh-baselines") {
+      opt.refresh = true;
     } else if (arg == "--help") {
       Usage();
       return 0;
@@ -245,9 +295,66 @@ int main(int argc, char** argv) {
       ++regressions;
     }
   }
-  std::printf("bench_compare: %zu compared, %zu regression%s%s\n", compared,
+  // Floor gates run against the fresh run only: a floor is an absolute
+  // requirement ("stealing must not be slower than off"), not a delta, so
+  // neither --warn-only nor --refresh-baselines waives it.
+  std::size_t floor_failures = 0;
+  for (const MinRule& rule : opt.min_rules) {
+    const JsonValue* entry = fresh_metrics->Find(rule.name);
+    double value = 0;
+    if (entry == nullptr || !MetricValue(*entry, &value)) {
+      std::printf("  FLOOR    %-36s absent or non-numeric, need >= %.3f\n",
+                  rule.name.c_str(), rule.floor);
+      ++floor_failures;
+      continue;
+    }
+    const bool under = value < rule.floor;
+    std::printf("  %s  %-36s %12.3f (floor %.3f)\n",
+                under ? "FLOOR  " : "     ok", rule.name.c_str(), value,
+                rule.floor);
+    if (under) {
+      ++floor_failures;
+    }
+  }
+
+  std::printf("bench_compare: %zu compared, %zu regression%s%s", compared,
               regressions, regressions == 1 ? "" : "s",
-              opt.warn_only && regressions > 0 ? " (warn-only)" : "");
+              (opt.warn_only || opt.refresh) && regressions > 0
+                  ? " (not gating)"
+                  : "");
+  if (!opt.min_rules.empty()) {
+    std::printf(", %zu floor failure%s", floor_failures,
+                floor_failures == 1 ? "" : "s");
+  }
+  std::printf("\n");
+
+  if (floor_failures > 0) {
+    if (opt.refresh) {
+      std::fprintf(stderr,
+                   "bench_compare: refusing to refresh %s — the fresh run "
+                   "violates a --min floor\n",
+                   opt.baseline_path.c_str());
+    }
+    return 1;
+  }
+  if (opt.refresh) {
+    // The deltas above are the record of what is being accepted; now make
+    // the fresh run the committed baseline, byte for byte.
+    std::ifstream in(opt.fresh_path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::ofstream out(opt.baseline_path,
+                      std::ios::binary | std::ios::trunc);
+    out << buffer.str();
+    if (!out) {
+      std::fprintf(stderr, "bench_compare: cannot write %s\n",
+                   opt.baseline_path.c_str());
+      return 2;
+    }
+    std::printf("bench_compare: refreshed %s from %s\n",
+                opt.baseline_path.c_str(), opt.fresh_path.c_str());
+    return 0;
+  }
   if (regressions > 0 && !opt.warn_only) {
     return 1;
   }
