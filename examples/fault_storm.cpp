@@ -16,6 +16,12 @@
 //   * transient faults are recovered under backoff and measured (MTTR);
 //   * the crash-looping tap burns its retry budget, is quarantined, and its
 //     kPassthrough policy lets worker 0's traffic flow around the corpse;
+//   * probation keeps probing the quarantined tap; every probe fails (the
+//     crash loop is deterministic) so it stays down under doubling cool-down
+//     instead of flapping back into service;
+//   * live checkpoint epochs complete while the storm is still firing, and a
+//     forced worker failover — its first resync attempt sabotaged — re-homes
+//     the victim's flows and restores its stage state from the snapshot;
 //   * healthy shards never notice any of it.
 #include <chrono>
 #include <cstdio>
@@ -181,6 +187,14 @@ int main(int argc, char** argv) {
   cfg.supervision.backoff_initial_us = 50;
   cfg.supervision.backoff_max_us = 500;
   cfg.supervision.watchdog_period_ms = 5;
+  // Probation: the supervisor probes quarantined replicas after a cool-down.
+  // The tap's crash loop is deterministic, so every probe fails and the
+  // cool-down doubles — the storm proves probation can't flap a dead stage
+  // back into service.
+  cfg.supervision.probation_cooldown_batches = 64;
+  // Live checkpointing on: the storm ends with epochs under fire plus a
+  // forced failover resync.
+  cfg.ckpt.enabled = true;
 
   net::Runtime rt(cfg, BuildChain());
   rt.Start();
@@ -214,6 +228,25 @@ int main(int argc, char** argv) {
   }
   phase_deltas.push_back(ScrapePhase(2, "quarantine", rt));
 
+  // Checkpoint/failover storm: with the injectors still armed, drive live
+  // checkpoint epochs against the degraded runtime (quarantined tap and
+  // all), then kill worker 1 and resync it from the last snapshot. The
+  // first failover attempt is sabotaged with a one-shot fault to show a
+  // failed resync is a contained, retryable refusal — not an abort.
+  std::uint64_t live_epochs = 0;
+  for (int i = 0; i < 600 && live_epochs < 3; ++i) {
+    rt.Dispatch(feeder.Next(kBatch));
+    if (i % 50 == 49 && rt.CheckpointLive()) {
+      ++live_epochs;
+    }
+  }
+  inj.ArmOneShot("ckpt.failover_resync", util::PanicKind::kExplicit);
+  bool failed_over = false;
+  for (int i = 0; i < 100 && !failed_over; ++i) {
+    failed_over = rt.FailoverWorker(1);
+  }
+  phase_deltas.push_back(ScrapePhase(3, "ckpt_failover", rt));
+
   // Calm after the storm: disarm everything and prove the degraded runtime
   // still forwards on every shard, including past the quarantined tap.
   inj.Reset();
@@ -221,7 +254,7 @@ int main(int argc, char** argv) {
     rt.Dispatch(feeder.Next(kBatch));
   }
   rt.Shutdown();
-  phase_deltas.push_back(ScrapePhase(3, "calm", rt));
+  phase_deltas.push_back(ScrapePhase(4, "calm", rt));
 
   const net::RuntimeStats stats = rt.Stats();
   std::printf("=== fault storm report ===\n%s\n", stats.Summary().c_str());
@@ -266,17 +299,25 @@ int main(int argc, char** argv) {
 
   // The report doubles as the acceptance check: the storm fired, nothing
   // aborted the process (we are here), the crash-looper was quarantined,
-  // and every shard kept forwarding.
+  // at least one live checkpoint epoch and one failover resync completed
+  // under fire, and every shard kept forwarding.
   bool ok = stats.totals.faults > 0;
   ok = ok && stats.totals.quarantined >= 1;
+  ok = ok && stats.ckpt_epochs >= 1;
+  ok = ok && stats.failovers >= 1;
   for (const net::WorkerTelemetry& w : stats.workers) {
     ok = ok && w.packets > 0;
   }
   std::printf("\nstorm absorbed: %s (faults=%llu recoveries=%llu "
-              "quarantined=%zu)\n",
+              "quarantined=%zu ckpt_epochs=%llu failovers=%llu "
+              "failover_failures=%llu requarantines=%llu)\n",
               ok ? "yes" : "NO",
               static_cast<unsigned long long>(stats.totals.faults),
               static_cast<unsigned long long>(stats.totals.recoveries),
-              stats.totals.quarantined);
+              stats.totals.quarantined,
+              static_cast<unsigned long long>(stats.ckpt_epochs),
+              static_cast<unsigned long long>(stats.failovers),
+              static_cast<unsigned long long>(stats.failover_failures),
+              static_cast<unsigned long long>(stats.requarantines));
   return ok ? 0 : 1;
 }

@@ -21,6 +21,9 @@ struct CkptObs {
   obs::Histogram* txn_restore_cycles;   // per Transaction abort/rollback
   obs::Histogram* replicate_cycles;     // per Apply propagation fan-out
   obs::Histogram* failover_cycles;      // per Failover promote + resync
+  // Live-runtime checkpointing (net::Runtime::CheckpointLive): cycles from
+  // epoch open to snapshot installed, i.e. quiesce + capture + replicate.
+  obs::Histogram* runtime_epoch_cycles;
 
   static const CkptObs& Get() {
     static const CkptObs s = [] {
@@ -31,6 +34,8 @@ struct CkptObs {
       m.txn_restore_cycles = r.GetHistogram("ckpt.txn_restore_cycles", kShards);
       m.replicate_cycles = r.GetHistogram("ckpt.replicate_cycles", kShards);
       m.failover_cycles = r.GetHistogram("ckpt.failover_cycles", kShards);
+      m.runtime_epoch_cycles =
+          r.GetHistogram("ckpt.runtime_epoch_cycles", kShards);
       return m;
     }();
     return s;

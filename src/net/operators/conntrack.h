@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/traits.h"
 #include "src/net/headers.h"
 #include "src/net/maglev.h"
 #include "src/net/pipeline.h"
@@ -20,7 +21,7 @@
 
 namespace net {
 
-class MaglevConnTrack : public Operator {
+class MaglevConnTrack : public Operator, public CkptStage {
  public:
   MaglevConnTrack(Maglev table, std::vector<std::uint32_t> backend_ips,
                   std::size_t max_flows = 1 << 20)
@@ -87,9 +88,20 @@ class MaglevConnTrack : public Operator {
   // Flow-state export for checkpoint/replication consumers.
   struct State {
     std::unordered_map<std::uint64_t, std::uint32_t> flows;
+    LINSYS_CHECKPOINT_FIELDS(flows)
   };
   State ExportState() const { return State{flows_}; }
   void ImportState(State state) { flows_ = std::move(state.flows); }
+
+  // Live-runtime checkpointing serializes only the per-flow affinity table:
+  // the Maglev table itself is config (rebuilt from the stage factory), while
+  // the pinned flows are the state a failover must not lose.
+  void SaveState(ckpt::Writer& w) const override {
+    ckpt::Traits<State>::Save(ExportState(), w);
+  }
+  void LoadState(ckpt::Reader& r) override {
+    ImportState(ckpt::Traits<State>::Load(r));
+  }
 
   std::size_t flow_count() const { return flows_.size(); }
   std::uint64_t hits() const { return hits_; }

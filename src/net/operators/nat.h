@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "src/ckpt/traits.h"
 #include "src/net/headers.h"
 #include "src/net/pipeline.h"
 #include "src/util/fault_injector.h"
@@ -15,7 +16,7 @@
 
 namespace net {
 
-class NatRewrite : public Operator {
+class NatRewrite : public Operator, public CkptStage {
  public:
   explicit NatRewrite(std::uint32_t public_ip, std::uint16_t port_base = 20000)
       : public_ip_(public_ip), next_port_(port_base) {}
@@ -57,10 +58,21 @@ class NatRewrite : public Operator {
     std::uint16_t next_port = 0;
     std::unordered_map<std::uint64_t, std::uint16_t> flow_ports;
     std::uint64_t translated = 0;
+    LINSYS_CHECKPOINT_FIELDS(public_ip, next_port, flow_ports, translated)
   };
 
   State ExportState() const {
     return State{public_ip_, next_port_, flow_ports_, translated_};
+  }
+
+  // Full NAT state round-trips through a runtime checkpoint: port
+  // allocations must survive failover or translated flows would be re-mapped
+  // to fresh ports mid-connection.
+  void SaveState(ckpt::Writer& w) const override {
+    ckpt::Traits<State>::Save(ExportState(), w);
+  }
+  void LoadState(ckpt::Reader& r) override {
+    ImportState(ckpt::Traits<State>::Load(r));
   }
 
   void ImportState(State state) {

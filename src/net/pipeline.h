@@ -23,6 +23,7 @@
 #ifndef LINSYS_SRC_NET_PIPELINE_H_
 #define LINSYS_SRC_NET_PIPELINE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -32,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/checkpoint.h"
 #include "src/net/batch.h"
 #include "src/obs/trace.h"
 #include "src/sfi/manager.h"
@@ -49,6 +51,30 @@ class Operator {
   virtual ~Operator() = default;
   virtual PacketBatch Process(PacketBatch batch) = 0;
   virtual std::string_view name() const = 0;
+};
+
+// Opt-in checkpoint surface for stateful operators (§5 applied to the live
+// runtime): an operator that also derives CkptStage serializes its flow
+// state through the ckpt:: traits and can be restored onto a freshly built
+// replica. Stateless operators simply don't implement it — a checkpoint
+// records their absence and a restore rebuilds them from the factory.
+class CkptStage {
+ public:
+  virtual ~CkptStage() = default;
+  virtual void SaveState(ckpt::Writer& w) const = 0;
+  virtual void LoadState(ckpt::Reader& r) = 0;
+};
+
+// One stage's slice of a runtime checkpoint. `bytes` is the operator's
+// CkptStage serialization (empty when the stage is stateless or was
+// unreachable); `quarantined` round-trips the degraded state so a restored
+// runtime does not resurrect a stage the supervisor gave up on.
+struct StageImage {
+  std::string name;
+  std::uint8_t present = 0;      // bytes hold a CkptStage serialization
+  std::uint8_t quarantined = 0;  // stage was quarantined at capture time
+  std::string bytes;
+  LINSYS_CHECKPOINT_FIELDS(name, present, quarantined, bytes)
 };
 
 // What a quarantined stage does to traffic. Chosen per stage: a firewall
@@ -88,6 +114,17 @@ struct StageHealth {
   // first good batch, a deterministic fault only grows it.
   std::size_t attempts_since_success = 0;
   util::Samples mttr_cycles;  // fault observation -> first good batch
+  // Quarantine probation. A quarantined stage counts dispatched batches
+  // down through `cooldown_left`; at zero the supervisor's ProbeQuarantined
+  // rebuilds the stage in a fresh domain and marks it probing. The first
+  // batch through decides: success un-quarantines, a fault re-quarantines
+  // with the cool-down doubled.
+  bool probing = false;            // next batch through is the probe
+  std::uint64_t cooldown = 0;      // current cool-down budget (batches)
+  std::uint64_t cooldown_left = 0; // batches until probe-eligible
+  std::uint64_t probes = 0;        // probe batches granted
+  std::uint64_t unquarantines = 0; // probes that brought the stage back
+  std::uint64_t requarantines = 0; // probes that failed (cool-down doubled)
 };
 
 // Direct-call pipeline (the NetBricks baseline).
@@ -144,6 +181,11 @@ class IsolatedPipeline {
     for (auto& sp : stages_) {
       Stage& stage = *sp;
       if (stage.health.quarantined) {
+        // Every degraded batch also ticks the probation cool-down: the
+        // clock is dispatch-driven, so an idle pipeline never probes.
+        if (stage.health.cooldown_left > 0) {
+          stage.health.cooldown_left--;
+        }
         switch (stage.health.policy) {
           case DegradePolicy::kPassthrough:
             stage.health.passthrough_batches++;
@@ -171,7 +213,32 @@ class IsolatedPipeline {
             stage.fault_since = util::CycleEnd();
           }
         }
+        if (stage.health.probing) {
+          // The probe batch faulted: back into quarantine, cool-down
+          // doubled, so a deterministic crasher probes ever more rarely.
+          stage.health.probing = false;
+          stage.health.requarantines++;
+          stage.health.cooldown =
+              std::min<std::uint64_t>(stage.health.cooldown * 2,
+                                      probation_cooldown_max_);
+          Quarantine(stage);
+          if (probe_observer_) {
+            probe_observer_(false);
+          }
+        }
         return util::Err(result.error());
+      }
+      if (stage.health.probing) {
+        // Probe survived: the stage is back for good (until it crash-loops
+        // again), and the cool-down resets to its configured initial value.
+        stage.health.probing = false;
+        stage.health.unquarantines++;
+        stage.health.cooldown = probation_cooldown_;
+        stage.health.attempts_since_success = 0;
+        LINSYS_TRACE_INSTANT("runtime.unquarantine");
+        if (probe_observer_) {
+          probe_observer_(true);
+        }
       }
       if (stage.fault_since != 0) {
         // First batch through after a fault: the incident is over.
@@ -252,6 +319,138 @@ class IsolatedPipeline {
     stages_[i]->health.policy = p;
   }
 
+  // Arms quarantine probation: after `cooldown_batches` degraded batches, a
+  // quarantined stage gets one probe batch through a freshly built domain;
+  // failure re-quarantines with the cool-down doubled (capped at
+  // `cooldown_max`). 0 disables probation (quarantine stays terminal).
+  void SetProbation(std::uint64_t cooldown_batches,
+                    std::uint64_t cooldown_max = 1 << 20) {
+    probation_cooldown_ = cooldown_batches;
+    probation_cooldown_max_ =
+        std::max<std::uint64_t>(cooldown_batches, cooldown_max);
+  }
+
+  // Observer for probe outcomes (true = un-quarantined, false =
+  // re-quarantined), called from Run() on the pipeline's calling thread.
+  // net::Runtime wires this to its registry counters.
+  void SetProbeObserver(std::function<void(bool)> observer) {
+    probe_observer_ = std::move(observer);
+  }
+
+  // Opens probation for every quarantined stage whose cool-down has
+  // elapsed: the retired domain is replaced by a freshly created one (Retire
+  // is terminal — probation is a new incarnation, not a resurrection), the
+  // operator is rebuilt from the factory, and the stage is released from
+  // quarantine in probing state so the next batch through decides its fate.
+  // Caller must serialize with Run() (the Runtime supervisor holds the
+  // worker mutex). Returns the number of probes opened.
+  std::size_t ProbeQuarantined() {
+    if (probation_cooldown_ == 0) {
+      return 0;
+    }
+    std::size_t opened = 0;
+    for (auto& sp : stages_) {
+      Stage& stage = *sp;
+      if (!stage.health.quarantined || stage.health.probing ||
+          stage.health.cooldown_left > 0) {
+        continue;
+      }
+      stage.health.probes++;
+      stage.domain = &mgr_->Create(stage.health.name + "#p" +
+                                   std::to_string(stage.health.probes));
+      stage.rref = stage.domain->Export(stage.factory());
+      Stage* raw = &stage;
+      stage.domain->SetRecovery([raw](sfi::Domain& self) {
+        raw->rref = self.Export(raw->factory());
+      });
+      stage.health.quarantined = false;
+      stage.health.probing = true;
+      stage.health.attempts_since_success = 0;
+      stage.fault_since = 0;
+      LINSYS_TRACE_INSTANT("runtime.probe_open");
+      ++opened;
+    }
+    return opened;
+  }
+
+  // Serializes every stage's state into a StageImage vector — the
+  // pipeline's slice of a runtime checkpoint. Quarantined stages are
+  // recorded as quarantined with no payload (the degraded state
+  // round-trips); stateless stages and stages whose domain is currently
+  // unreachable (Failed mid-recovery) are recorded absent and will be
+  // rebuilt from their factories on restore. Caller must serialize with
+  // Run() and recovery (the worker mutex).
+  std::vector<StageImage> CheckpointStages() {
+    std::vector<StageImage> images;
+    images.reserve(stages_.size());
+    for (auto& sp : stages_) {
+      Stage& stage = *sp;
+      StageImage img;
+      img.name = stage.health.name;
+      img.quarantined = stage.health.quarantined ? 1 : 0;
+      if (!stage.health.quarantined) {
+        // Serialize inside the domain: a panic in SaveState is contained at
+        // the rref boundary like any operator fault.
+        ckpt::Writer writer(ckpt::DedupMode::kLinearMark, ckpt::NextEpoch());
+        auto result = stage.rref.Call(
+            [&writer](std::unique_ptr<Operator>& op) {
+              auto* ckpt_op = dynamic_cast<CkptStage*>(op.get());
+              if (ckpt_op == nullptr) {
+                return false;
+              }
+              ckpt_op->SaveState(writer);
+              return true;
+            },
+            "ckpt.save");
+        if (result.ok() && result.value()) {
+          ckpt::Snapshot snap = writer.Finish();
+          img.present = 1;
+          img.bytes.assign(reinterpret_cast<const char*>(snap.bytes.data()),
+                           snap.bytes.size());
+        }
+      }
+      images.push_back(std::move(img));
+    }
+    return images;
+  }
+
+  // Restores stage state from a checkpoint image: every running, stateful,
+  // non-quarantined stage reloads its flow state from the image through its
+  // live rref (LoadState replaces the flow tables wholesale, so no rebuild
+  // is needed). Quarantined stages stay quarantined — restoring cannot
+  // resurrect a stage the supervisor retired — and Failed domains are left
+  // for the supervisor (they come back factory-fresh). Returns how many
+  // stages had state reloaded. Caller must serialize with Run() and
+  // recovery.
+  std::size_t RestoreStages(const std::vector<StageImage>& images) {
+    LINSYS_ASSERT(images.size() == stages_.size(),
+                  "checkpoint image does not match pipeline shape");
+    std::size_t restored = 0;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      Stage& stage = *stages_[i];
+      const StageImage& img = images[i];
+      if (img.present == 0 || stage.health.quarantined ||
+          stage.domain->state() != sfi::DomainState::kRunning) {
+        continue;
+      }
+      ckpt::Snapshot snap;
+      snap.bytes.assign(img.bytes.begin(), img.bytes.end());
+      ckpt::Reader reader(snap);
+      auto result = stage.rref.Call(
+          [&reader](std::unique_ptr<Operator>& op) {
+            auto* ckpt_op = dynamic_cast<CkptStage*>(op.get());
+            LINSYS_ASSERT(ckpt_op != nullptr,
+                          "present image for a stateless stage");
+            ckpt_op->LoadState(reader);
+          },
+          "ckpt.load");
+      if (result.ok()) {
+        ++restored;
+      }
+    }
+    return restored;
+  }
+
   StageHealth health(std::size_t i) const { return stages_[i]->health; }
 
   std::size_t length() const { return stages_.size(); }
@@ -268,6 +467,12 @@ class IsolatedPipeline {
 
   void Quarantine(Stage& stage) {
     stage.health.quarantined = true;
+    // Start (or restart) the probation clock; cooldown is the configured
+    // initial on first quarantine and the doubled value on re-quarantine.
+    if (stage.health.cooldown == 0) {
+      stage.health.cooldown = probation_cooldown_;
+    }
+    stage.health.cooldown_left = stage.health.cooldown;
     LINSYS_TRACE_INSTANT("runtime.quarantine");
     // Close the incident on the faulting flow's async track: the id comes
     // from the domain's fault capture, since quarantine runs on the
@@ -283,6 +488,9 @@ class IsolatedPipeline {
   // unique_ptr entries: recovery lambdas capture Stage*; addresses must
   // survive vector growth.
   std::vector<std::unique_ptr<Stage>> stages_;
+  std::uint64_t probation_cooldown_ = 0;  // 0 = probation disabled
+  std::uint64_t probation_cooldown_max_ = 1 << 20;
+  std::function<void(bool)> probe_observer_;
 };
 
 inline void IsolatedPipeline::AddStage(std::string stage_name,

@@ -329,6 +329,129 @@ class BasicRssDispatcher {
     return evicted;
   }
 
+  // Failover re-home: moves every queued flow of `victim` (except the
+  // `excluded` in-flight set) to the surviving workers and repoints the
+  // migration table so later dispatches follow — the steering half of
+  // net::Runtime::FailoverWorker. Flows whose hash home is another worker
+  // simply return to it (their migration entry is erased); flows homed at
+  // `victim` by hash round-robin across the survivors via new entries.
+  //
+  // Atomicity matches Steal: steer lock exclusive + clear writer gate, so no
+  // dispatch can route between the extraction and the re-enqueue — per-flow
+  // FIFO survives because a flow's queued items move wholesale, in order,
+  // and nothing new can land behind them mid-move. Slices are *pushed* into
+  // the survivors' queues under their channel locks (taken one at a time,
+  // never nested) rather than Sent: a full queue must not block under the
+  // steer lock, and the momentary overfill is bounded by the victim's queue.
+  //
+  // Returns the number of items re-homed, or nullopt on lock/gate
+  // contention (retry). Items refused by a closed survivor channel are
+  // counted in dropped_items() — the shutdown race stays loss-accounted.
+  template <typename ExcludedFn>
+  std::optional<std::size_t> RehomeWorker(std::size_t victim,
+                                          ExcludedFn&& excluded) {
+    LINSYS_ASSERT(stealing_,
+                  "RehomeWorker() on a dispatcher built without the "
+                  "migration table");
+    LINSYS_ASSERT(victim < queues_.size(), "worker index out of range");
+    LINSYS_ASSERT(queues_.size() > 1, "failover needs a surviving worker");
+    std::unique_lock<std::shared_mutex> steer(steer_mu_, std::try_to_lock);
+    if (!steer.owns_lock()) {
+      return std::nullopt;
+    }
+    WriterGate gate(this);
+    if (!gate.clear()) {
+      return std::nullopt;
+    }
+    // Extraction under the victim's channel lock: per source sub-batch, one
+    // slice per target worker (preserving the source's flow id for tracing),
+    // in queue order. Excluded (in-flight) flows stay queued at the victim —
+    // the victim itself still drains them, so they are never lost.
+    std::vector<std::pair<std::size_t, Batch>> slices;
+    std::unordered_map<std::uint64_t, std::size_t> flow_target;
+    std::size_t moved_items = 0;
+    std::size_t rr = 0;  // round-robin cursor over survivors
+    const bool open = queues_[victim]->WithQueueLocked(
+        [&](std::deque<lin::Own<Batch>>& q) {
+          if (q.empty()) {
+            return;
+          }
+          const std::unordered_set<std::uint64_t> off = excluded();
+          std::deque<lin::Own<Batch>> rest;
+          for (auto& own : q) {
+            Batch source = own.Take();
+            Batch keep;
+            std::vector<Batch> take(queues_.size());
+            if constexpr (requires { keep.set_flow_id(source.flow_id()); }) {
+              keep.set_flow_id(source.flow_id());
+              for (auto& t : take) {
+                t.set_flow_id(source.flow_id());
+              }
+            }
+            for (auto& item : source) {
+              const std::uint64_t key = ItemKey(item);
+              if (off.count(key) != 0) {
+                keep.Push(std::move(item));
+                continue;
+              }
+              auto [it, fresh] = flow_target.try_emplace(key, 0);
+              if (fresh) {
+                const std::size_t home = HashHome(key);
+                if (home != victim) {
+                  it->second = home;  // flow falls back to its hash home
+                } else {
+                  it->second = (victim + 1 + rr) % queues_.size();
+                  rr = (rr + 1) % (queues_.size() - 1);
+                }
+              }
+              take[it->second].Push(std::move(item));
+              ++moved_items;
+            }
+            for (std::size_t w = 0; w < take.size(); ++w) {
+              if (!take[w].empty()) {
+                slices.emplace_back(w, std::move(take[w]));
+              }
+            }
+            if (!keep.empty()) {
+              rest.push_back(lin::Own<Batch>::Make(std::move(keep)));
+            }
+          }
+          q.swap(rest);
+          // Repoint the table for every moved flow while the victim's lock
+          // still excludes its receive loop.
+          const std::uint64_t now =
+              dispatch_calls_.load(std::memory_order_relaxed);
+          for (const auto& [key, target] : flow_target) {
+            if (HashHome(key) == target) {
+              migrated_.erase(key);
+            } else {
+              migrated_[key] = Migration{target, now};
+            }
+          }
+          Republish();
+        });
+    if (!open) {
+      return 0;  // victim channel closed: shutdown owns the drain
+    }
+    // Re-enqueue phase, still under the steer lock + gate (no dispatch can
+    // interleave, so nothing lands behind these slices). Channel locks are
+    // taken strictly one at a time.
+    for (auto& [w, slice] : slices) {
+      const std::size_t items = slice.size();
+      Batch* slot = &slice;
+      const bool target_open = queues_[w]->WithQueueLocked(
+          [slot](std::deque<lin::Own<Batch>>& q) {
+            q.push_back(lin::Own<Batch>::Make(std::move(*slot)));
+          });
+      if (!target_open) {
+        refused_sub_batches_.fetch_add(1, std::memory_order_relaxed);
+        dropped_items_.fetch_add(items, std::memory_order_relaxed);
+        moved_items -= items;
+      }
+    }
+    return moved_items;
+  }
+
   // Victim selection: the worker (≠ self) with the deepest queue, if its
   // depth reaches `min_depth`. (net::Runtime weighs depth by each worker's
   // measured service time instead; this depth-only flavour remains for

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <string>
 
+#include "src/ckpt/obs.h"
 #include "src/util/cycles.h"
+#include "src/util/fault_injector.h"
 #include "src/util/panic.h"
 
 namespace net {
@@ -43,6 +45,19 @@ std::string RuntimeStats::Summary() const {
     s += " rx_batches=" + std::to_string(rx_batches);
     s += " rx_pauses=" + std::to_string(rx_pauses);
   }
+  if (ckpt_epochs > 0 || ckpt_epoch_failures > 0 || failovers > 0 ||
+      failover_failures > 0) {
+    s += " ckpt_epochs=" + std::to_string(ckpt_epochs);
+    s += " ckpt_failures=" + std::to_string(ckpt_epoch_failures);
+    s += " failovers=" + std::to_string(failovers);
+    s += " failover_failures=" + std::to_string(failover_failures);
+    s += " rehomed_items=" + std::to_string(failover_rehomed_items);
+    s += "\n  ckpt_pause_cycles: " + ckpt_pause_cycles.Summary();
+  }
+  if (unquarantines > 0 || requarantines > 0) {
+    s += " unquarantines=" + std::to_string(unquarantines);
+    s += " requarantines=" + std::to_string(requarantines);
+  }
   s += " | load: " + packets_per_worker.Summary();
   s += "\n  batch_cycles: " + batch_cycles.Summary();
   s += "\n  mempool: in_use=" + std::to_string(mempool_in_use);
@@ -58,6 +73,11 @@ std::string RuntimeStats::Summary() const {
     s += " qdrop_pkts=" + std::to_string(st.quarantine_drop_pkts);
     s += " passthrough=" + std::to_string(st.passthrough_batches);
     s += " failfast=" + std::to_string(st.failfast_batches);
+    if (st.probes > 0) {
+      s += " probes=" + std::to_string(st.probes);
+      s += " unquarantines=" + std::to_string(st.unquarantines);
+      s += " requarantines=" + std::to_string(st.requarantines);
+    }
     s += " | mttr_cycles: " + st.mttr_cycles.Summary();
   }
   return s;
@@ -65,9 +85,15 @@ std::string RuntimeStats::Summary() const {
 
 Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
     : config_(config),
-      rss_(config.workers, config.queue_depth, config.stealing.enabled) {
+      // Live checkpointing arms the dispatcher's migration table too:
+      // failover re-homes flows through it even when stealing is off.
+      rss_(config.workers, config.queue_depth,
+           config.stealing.enabled || config.ckpt.enabled) {
   LINSYS_ASSERT(config_.frame_len >= kPayloadOffset + kFlowSeqBytes,
                 "frame_len too small for the per-flow sequence stamp");
+  LINSYS_ASSERT(!config_.ckpt.enabled || config_.isolated,
+                "live checkpointing needs isolated pipelines (stage state is "
+                "captured through the per-stage domains)");
   // One shard per worker: worker w only ever touches cell w, so the packet
   // path is contention-free and Stats() can report per-worker values.
   const std::size_t shards = config_.workers;
@@ -103,6 +129,24 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
   telemetry_.rx_pauses = registry_.GetCounter("runtime.rx_pauses_total");
   telemetry_.steal_cycles =
       registry_.GetHistogram("runtime.steal_cycles", shards);
+  telemetry_.ckpt_epochs = registry_.GetCounter("runtime.ckpt_epochs_total");
+  telemetry_.ckpt_epoch_failures =
+      registry_.GetCounter("runtime.ckpt_epoch_failures_total");
+  telemetry_.failovers = registry_.GetCounter("runtime.failovers_total");
+  telemetry_.failover_failures =
+      registry_.GetCounter("runtime.failover_failures_total");
+  telemetry_.failover_rehomed_items =
+      registry_.GetCounter("runtime.failover_rehomed_items_total");
+  telemetry_.unquarantines =
+      registry_.GetCounter("runtime.unquarantines_total", shards);
+  telemetry_.requarantines =
+      registry_.GetCounter("runtime.requarantines_total", shards);
+  // Always-on (like batch_cycles): the pause a checkpoint epoch imposes on
+  // each worker is the headline robustness number, and epochs are rare.
+  telemetry_.ckpt_pause_cycles =
+      registry_.GetHistogram("runtime.ckpt_pause_cycles", shards);
+  telemetry_.failover_resync_cycles =
+      registry_.GetHistogram("runtime.failover_resync_cycles");
   // Imbalance is computed from live queue depths at scrape time — the same
   // signal the stealing loop's victim selection reads.
   registry_.RegisterGaugeFn("runtime.queue_imbalance", [this] {
@@ -141,6 +185,19 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
       } else {
         worker.direct.AddStage(stage.make(w));
       }
+    }
+    if (config_.isolated && config_.supervision.probation_cooldown_batches > 0) {
+      worker.isolated.SetProbation(config_.supervision.probation_cooldown_batches,
+                                   config_.supervision.probation_cooldown_max);
+      // Probe outcomes land in per-worker counter shards; the per-stage
+      // split comes from StageHealth in Stats().
+      worker.isolated.SetProbeObserver([this, w](bool ok) {
+        if (ok) {
+          telemetry_.unquarantines->Inc(w);
+        } else {
+          telemetry_.requarantines->Inc(w);
+        }
+      });
     }
   }
 }
@@ -211,8 +268,15 @@ void Runtime::WorkerMain(Worker& w) {
   if (obs::Tracer::ArmedFast()) {
     obs::Tracer::Global().SetThreadName("worker" + std::to_string(w.index));
   }
+  // Scope per-worker fault plans ("net.worker:<i>/<site>") to this thread.
+  util::FaultInjector::SetThreadTag("net.worker:" + std::to_string(w.index));
   auto& queue = rss_.queue(w.index);
   const bool stealing = config_.stealing.enabled;
+  // Control nudges (empty FlowBatches) and the pop-time in-flight publish
+  // are needed by stealing AND by checkpoint/failover: the checkpoint driver
+  // nudges idle workers to a batch boundary, and failover's re-home reads
+  // popped_flows as its exclusion set.
+  const bool control = stealing || config_.ckpt.enabled;
   // Runs under the channel lock at every dequeue: publishes the popped
   // sub-batch's flow keys as in flight *atomically with the pop*, so a
   // thief scanning this queue can never see those flows as neither queued
@@ -248,7 +312,7 @@ void Runtime::WorkerMain(Worker& w) {
     w.busy.store(false, std::memory_order_release);
     std::optional<lin::Own<FlowBatch>> handle;
     try {
-      handle = stealing ? queue.Recv(publish) : queue.Recv();
+      handle = control ? queue.Recv(publish) : queue.Recv();
     } catch (const util::PanicError&) {
       // An injected channel.recv fault fires before the dequeue, so the
       // message is still queued: count the fault and take it next iteration.
@@ -260,19 +324,27 @@ void Runtime::WorkerMain(Worker& w) {
       break;  // closed and drained
     }
     FlowBatch batch = handle->Take();
-    if (stealing && batch.empty()) {
-      // Supervisor steal nudge (real sub-batches are never empty: FanOut
-      // only enqueues non-empty per-worker groups). Not counted as a batch
-      // — the dispatch-path counters must stay byte-identical to a
-      // stealing-off run when the gate never opens.
-      if (!TrySteal(w)) {
-        // Nothing worth stealing: an idle beat is also the safe moment to
-        // expire this worker's stale migration entries (its queue and
-        // in-flight set are empty, so an evicted flow has no work here).
-        const std::size_t evicted = rss_.EvictStaleMigrations(
-            w.index, config_.stealing.migration_ttl_dispatches);
-        if (evicted > 0) {
-          telemetry_.migration_evictions->Add(w.index, evicted);
+    // Batch boundary: service an open checkpoint epoch before processing
+    // the popped batch (which then simply replays on top of the snapshot).
+    MaybeCaptureCheckpoint(w);
+    if (control && batch.empty()) {
+      // Supervisor steal nudge or checkpoint nudge (real sub-batches are
+      // never empty: FanOut only enqueues non-empty per-worker groups). Not
+      // counted as a batch — the dispatch-path counters must stay
+      // byte-identical to a stealing-off run when the gate never opens.
+      // Steals AND migration-table eviction stand down behind the
+      // checkpoint fence: the captured states and the table must stay
+      // mutually consistent for the epoch.
+      if (stealing && !ckpt_fence_.load(std::memory_order_acquire)) {
+        if (!TrySteal(w)) {
+          // Nothing worth stealing: an idle beat is also the safe moment to
+          // expire this worker's stale migration entries (its queue and
+          // in-flight set are empty, so an evicted flow has no work here).
+          const std::size_t evicted = rss_.EvictStaleMigrations(
+              w.index, config_.stealing.migration_ttl_dispatches);
+          if (evicted > 0) {
+            telemetry_.migration_evictions->Add(w.index, evicted);
+          }
         }
       }
       // popped_flows is already empty: popping the nudge ran publish on an
@@ -318,6 +390,9 @@ void Runtime::NudgeIdleThieves() {
 }
 
 bool Runtime::TrySteal(Worker& w) {
+  if (ckpt_fence_.load(std::memory_order_acquire)) {
+    return false;  // checkpoint epoch open: no flow may change homes
+  }
   const StealConfig& sc = config_.stealing;
   // Service-time-weighted victim selection: score each peer by estimated
   // backlog drain cycles (queue depth × that worker's per-sub-batch service
@@ -458,6 +533,7 @@ void Runtime::RxMain(FlowFeeder* feeder, std::uint64_t batches) {
   if (obs::Tracer::ArmedFast()) {
     obs::Tracer::Global().SetThreadName("rx");
   }
+  util::FaultInjector::SetThreadTag("net.rx");
   const PacedRxConfig& rx = config_.paced_rx;
   // High-water mark in sub-batches. Dispatch adds at most one sub-batch per
   // queue per burst, so queues never exceed mark+1 while rx is the sole
@@ -497,6 +573,9 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
   // (stage crossings, fault capture, exemplars) tags what it records with
   // the dispatch-assigned id, and the batch span joins the flow's track.
   obs::ScopedFlowId flow_scope(flows.flow_id());
+  // Remembered as the exemplar on this worker's next checkpoint-pause
+  // sample: the flow whose batch sat behind the capture.
+  w.last_flow_id = flows.flow_id();
   LINSYS_TRACE_ASYNC_SPAN("flow.batch", "flow", flows.flow_id());
   // Materialize frames from this worker's own pool, on this thread —
   // the whole buffer lifecycle (alloc, fault-unwind, drop) is shard-local.
@@ -615,6 +694,7 @@ void Runtime::SupervisorMain() {
   if (obs::Tracer::ArmedFast()) {
     obs::Tracer::Global().SetThreadName("supervisor");
   }
+  util::FaultInjector::SetThreadTag("net.supervisor");
   using Clock = std::chrono::steady_clock;
   const SupervisionConfig& sup = config_.supervision;
   const auto period = std::chrono::milliseconds(sup.watchdog_period_ms);
@@ -687,6 +767,16 @@ void Runtime::SupervisorMain() {
       last_beat[i] = beat;
     }
 
+    // Quarantine probation rides the supervisor cadence: a quarantined
+    // stage whose cool-down has elapsed gets a fresh domain and one probe
+    // batch; the probe's outcome (in Pipeline::Run) settles it.
+    if (config_.isolated && config_.supervision.probation_cooldown_batches > 0) {
+      for (auto& w : workers_) {
+        std::lock_guard<std::mutex> wlock(w->mu);
+        (void)w->isolated.ProbeQuarantined();
+      }
+    }
+
     // Steal nudges ride the same wake: stealing costs nothing while every
     // worker is busy or every queue is shallow, because nobody polls.
     if (config_.stealing.enabled) {
@@ -695,6 +785,211 @@ void Runtime::SupervisorMain() {
 
     lock.lock();
   }
+}
+
+// Worker-side half of a checkpoint epoch, called at every batch boundary
+// (right after a pop, before processing). One acquire load + compare on the
+// no-epoch fast path; when the driver has advanced ckpt_gen_, capture this
+// worker's stage state (the measured quiesce pause) and deposit it.
+void Runtime::MaybeCaptureCheckpoint(Worker& w) {
+  if (!config_.ckpt.enabled) {
+    return;
+  }
+  const std::uint64_t gen = ckpt_gen_.load(std::memory_order_acquire);
+  if (gen == w.ckpt_seen_gen) {
+    return;
+  }
+  // One capture per epoch even if the driver abandons it: the deposit
+  // carries the gen, so a stale image can never pollute a later epoch.
+  w.ckpt_seen_gen = gen;
+  const std::uint64_t t0 = util::CycleStart();
+  WorkerCkptImage img;
+  img.index = w.index;
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    img.stages = w.isolated.CheckpointStages();
+  }
+  const std::uint64_t pause = util::CycleEnd() - t0;
+  // Always-on: the pause is the checkpoint's whole cost story, and epochs
+  // are rare. The exemplar names the flow whose batch sat behind it.
+  telemetry_.ckpt_pause_cycles->RecordWithExemplar(w.index, pause,
+                                                   w.last_flow_id);
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_pending_.emplace_back(gen, std::move(img));
+  }
+  ckpt_cv_.notify_all();
+  LINSYS_TRACE_INSTANT_ARG("runtime.ckpt_capture", w.index);
+}
+
+bool Runtime::CheckpointLive() {
+  LINSYS_ASSERT(config_.ckpt.enabled,
+                "CheckpointLive needs RuntimeConfig::ckpt.enabled");
+  std::lock_guard<std::mutex> driver(ckpt_driver_mu_);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    telemetry_.ckpt_epoch_failures->Inc();
+    return false;
+  }
+  LINSYS_TRACE_SPAN("runtime.ckpt_epoch");
+  const std::uint64_t t0 = util::CycleStart();
+  // Fence first, then open the epoch: a worker that sees the new gen is
+  // guaranteed to also see the fence, so no steal or migration eviction can
+  // run between its capture and the epoch's close.
+  ckpt_fence_.store(true, std::memory_order_release);
+  const std::uint64_t gen =
+      ckpt_gen_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.ckpt.quiesce_timeout_ms);
+  std::vector<bool> seen(workers_.size(), false);
+  std::vector<WorkerCkptImage> images;
+  bool complete = false;
+  {
+    std::unique_lock<std::mutex> lock(ckpt_mu_);
+    while (true) {
+      for (auto it = ckpt_pending_.begin(); it != ckpt_pending_.end();) {
+        if (it->first == gen && !seen[it->second.index]) {
+          seen[it->second.index] = true;
+          images.push_back(std::move(it->second));
+          it = ckpt_pending_.erase(it);
+        } else if (it->first <= gen) {
+          // Straggler from an abandoned epoch (or a duplicate): discard.
+          it = ckpt_pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (images.size() == workers_.size()) {
+        complete = true;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      // Nudge workers that have not deposited and whose queue is empty:
+      // those are parked in a blocking Recv and will never reach a batch
+      // boundary on their own (an empty-queue Send cannot block; a busy
+      // worker reaches its boundary naturally). Re-checked every iteration
+      // — a queue that drains right after this scan gets the next nudge.
+      lock.unlock();
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        if (!seen[i] && rss_.queue(i).size() == 0) {
+          (void)rss_.queue(i).Send(lin::Own<FlowBatch>::Make(FlowBatch{}));
+        }
+      }
+      lock.lock();
+      ckpt_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+  ckpt_fence_.store(false, std::memory_order_release);
+  if (!complete) {
+    // Quiesce timed out (some worker never reached a boundary in time).
+    // Nothing is installed; deposits for this gen are swept by the next
+    // epoch's harvest.
+    telemetry_.ckpt_epoch_failures->Inc();
+    LINSYS_TRACE_INSTANT("runtime.ckpt_epoch_abandoned");
+    return false;
+  }
+  std::sort(images.begin(), images.end(),
+            [](const WorkerCkptImage& a, const WorkerCkptImage& b) {
+              return a.index < b.index;
+            });
+  RuntimeCkptImage image;
+  image.epoch = ckpt_epoch_seq_ + 1;
+  image.workers = std::move(images);
+  try {
+    if (!ckpt_state_) {
+      ckpt_state_ = std::make_unique<ckpt::ReplicatedState<RuntimeCkptImage>>(
+          std::move(image), config_.ckpt.replicas);
+    } else {
+      ckpt_state_->Apply(
+          [&image](RuntimeCkptImage& s) { s = std::move(image); });
+    }
+  } catch (const util::PanicError&) {
+    // An injected ckpt.replica_restore fault mid-replication. The primary
+    // may already hold the new image but a replica is stale — exactly the
+    // state Failover's promote-then-resync is defined over, so nothing to
+    // unwind; the epoch just doesn't count as installed.
+    telemetry_.ckpt_epoch_failures->Inc();
+    return false;
+  }
+  ++ckpt_epoch_seq_;
+  telemetry_.ckpt_epochs->Inc();
+  if (obs::MetricsArmed(obs::MetricGroup::kCkpt)) {
+    ckpt::CkptObs::Get().runtime_epoch_cycles->Record(util::CycleEnd() - t0);
+  }
+  return true;
+}
+
+bool Runtime::FailoverWorker(std::size_t victim) {
+  LINSYS_ASSERT(config_.ckpt.enabled,
+                "FailoverWorker needs RuntimeConfig::ckpt.enabled");
+  LINSYS_ASSERT(victim < workers_.size(), "victim out of range");
+  LINSYS_ASSERT(workers_.size() > 1, "failover needs a surviving worker");
+  std::lock_guard<std::mutex> driver(ckpt_driver_mu_);
+  if (!ckpt_state_) {
+    telemetry_.failover_failures->Inc();  // nothing to fail over to yet
+    return false;
+  }
+  LINSYS_TRACE_SPAN("runtime.failover");
+  const std::uint64_t t0 = util::CycleStart();
+  try {
+    // Promote replica 0 and resync the rest from it. The injectable
+    // ckpt.failover_resync point fires inside; a panic there is contained
+    // here — ReplicatedState holds valid snapshots on both sides of the
+    // swap, so the failover is simply refused and retryable.
+    ckpt_state_->Failover(0);
+  } catch (const util::PanicError&) {
+    telemetry_.failover_failures->Inc();
+    LINSYS_TRACE_INSTANT_ARG("runtime.failover_fault", victim);
+    return false;
+  }
+  // Re-home the victim's queued flows to the survivors. The exclusion set
+  // is the victim's in-flight registry (same shape as a thief's off-limits
+  // read, evaluated under the victim's channel lock): its current batch
+  // finishes on the victim, so excluding it loses nothing. Contention with
+  // a dispatch or steal just means retry; if every attempt loses the race,
+  // the items simply stay queued at the victim — delayed, never lost.
+  Worker& v = *workers_[victim];
+  std::size_t rehomed = 0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto moved = rss_.RehomeWorker(victim, [&v] {
+      std::unordered_set<std::uint64_t> off(v.popped_flows.begin(),
+                                            v.popped_flows.end());
+      std::lock_guard<std::mutex> lock(v.guard_mu);
+      off.insert(v.stolen_flows.begin(), v.stolen_flows.end());
+      return off;
+    });
+    if (moved.has_value()) {
+      rehomed = *moved;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  // Restore the victim's stage state from its slice of the promoted image
+  // (the "resync" half: the replica becomes the worker's live state).
+  for (const WorkerCkptImage& wi : ckpt_state_->primary().workers) {
+    if (wi.index == victim) {
+      std::lock_guard<std::mutex> lock(v.mu);
+      (void)v.isolated.RestoreStages(wi.stages);
+      break;
+    }
+  }
+  telemetry_.failovers->Inc();
+  if (rehomed > 0) {
+    telemetry_.failover_rehomed_items->Add(rehomed);
+  }
+  telemetry_.failover_resync_cycles->Record(util::CycleEnd() - t0);
+  LINSYS_TRACE_INSTANT_ARG("runtime.failover_done", victim);
+  return true;
+}
+
+RuntimeCkptImage Runtime::CheckpointImageCopy() {
+  std::lock_guard<std::mutex> driver(ckpt_driver_mu_);
+  if (!ckpt_state_) {
+    return RuntimeCkptImage{};
+  }
+  return ckpt_state_->primary();
 }
 
 RuntimeStats Runtime::Stats() const {
@@ -709,6 +1004,15 @@ RuntimeStats Runtime::Stats() const {
   s.rx_batches = telemetry_.rx_batches->Value();
   s.rx_pauses = telemetry_.rx_pauses->Value();
   s.steal_cycles = telemetry_.steal_cycles->Snapshot();
+  s.ckpt_epochs = telemetry_.ckpt_epochs->Value();
+  s.ckpt_epoch_failures = telemetry_.ckpt_epoch_failures->Value();
+  s.failovers = telemetry_.failovers->Value();
+  s.failover_failures = telemetry_.failover_failures->Value();
+  s.failover_rehomed_items = telemetry_.failover_rehomed_items->Value();
+  s.unquarantines = telemetry_.unquarantines->Value();
+  s.requarantines = telemetry_.requarantines->Value();
+  s.ckpt_pause_cycles = telemetry_.ckpt_pause_cycles->Snapshot();
+  s.failover_resync_cycles = telemetry_.failover_resync_cycles->Snapshot();
   // One consistent histogram snapshot for the whole stats call: buckets are
   // never torn (sum(buckets) == count) even while workers keep recording.
   s.batch_cycles = telemetry_.batch_cycles->Snapshot();
@@ -753,6 +1057,9 @@ RuntimeStats Runtime::Stats() const {
         st.quarantine_drop_pkts += h.quarantine_drop_pkts;
         st.passthrough_batches += h.passthrough_batches;
         st.failfast_batches += h.failfast_batches;
+        st.probes += h.probes;
+        st.unquarantines += h.unquarantines;
+        st.requarantines += h.requarantines;
         for (double v : h.mttr_cycles.values()) {
           st.mttr_cycles.Add(v);
         }

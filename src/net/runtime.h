@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/replicate.h"
 #include "src/net/batch.h"
 #include "src/net/headers.h"
 #include "src/net/mempool.h"
@@ -168,6 +169,13 @@ struct SupervisionConfig {
   // Supervisor wake cadence; also the watchdog resolution — a worker busy on
   // one batch across a full period without a heartbeat is flagged stuck.
   std::uint32_t watchdog_period_ms = 25;
+  // Quarantine probation: after this many degraded batches through a
+  // quarantined stage, the supervisor grants one probe batch via a freshly
+  // built domain — success un-quarantines, failure re-quarantines with the
+  // cool-down doubled (capped at probation_cooldown_max). 0 = quarantine
+  // stays terminal (the pre-probation behaviour).
+  std::uint64_t probation_cooldown_batches = 0;
+  std::uint64_t probation_cooldown_max = 1 << 20;
 };
 
 // Work-stealing knobs. Off by default: the hash-pinned fast path is then
@@ -220,6 +228,20 @@ struct PacedRxConfig {
   std::uint32_t pause_us = 20;   // sleep quantum while above the mark
 };
 
+// Live checkpointing & failover (Runtime::CheckpointLive/FailoverWorker).
+// Requires `isolated` pipelines; arming it also arms the dispatcher's
+// migration table (failover re-homes flows through it) even with stealing
+// off.
+struct CkptConfig {
+  bool enabled = false;
+  // Backup replicas behind the runtime snapshot (ckpt::ReplicatedState).
+  std::size_t replicas = 1;
+  // CheckpointLive gives every worker this long to reach a batch boundary
+  // and deposit its capture before the epoch is abandoned (counted in
+  // runtime.ckpt_epoch_failures_total; no state is installed).
+  std::uint32_t quiesce_timeout_ms = 1000;
+};
+
 struct RuntimeConfig {
   std::size_t workers = 1;
   std::size_t queue_depth = 64;       // per-worker channel bound (0 = none)
@@ -230,6 +252,24 @@ struct RuntimeConfig {
   SupervisionConfig supervision;
   StealConfig stealing;
   PacedRxConfig paced_rx;
+  CkptConfig ckpt;
+};
+
+// One worker's slice of a runtime checkpoint: its pipeline's stage images,
+// tagged with the worker index so failover can restore a single shard.
+struct WorkerCkptImage {
+  std::uint64_t index = 0;
+  std::vector<StageImage> stages;
+  LINSYS_CHECKPOINT_FIELDS(index, stages)
+};
+
+// The crash-consistent runtime snapshot CheckpointLive installs into a
+// ckpt::ReplicatedState: every worker's stage state, captured at a per-flow
+// batch boundary within one quiesce epoch.
+struct RuntimeCkptImage {
+  std::uint64_t epoch = 0;
+  std::vector<WorkerCkptImage> workers;
+  LINSYS_CHECKPOINT_FIELDS(epoch, workers)
 };
 
 // Snapshot of one worker's counters.
@@ -260,6 +300,10 @@ struct StageTelemetry {
   std::uint64_t quarantine_drop_pkts = 0;
   std::uint64_t passthrough_batches = 0;
   std::uint64_t failfast_batches = 0;
+  // Quarantine probation (SupervisionConfig::probation_cooldown_batches).
+  std::uint64_t probes = 0;          // probe batches granted
+  std::uint64_t unquarantines = 0;   // probes that brought a replica back
+  std::uint64_t requarantines = 0;   // probes that failed
   util::Samples mttr_cycles;  // pooled across replicas
 };
 
@@ -280,6 +324,16 @@ struct RuntimeStats {
   std::uint64_t rx_batches = 0;        // bursts dispatched by the rx thread
   std::uint64_t rx_pauses = 0;         // high-water pauses the rx thread took
   obs::HistogramSnapshot steal_cycles; // cost of each successful steal
+  // Live checkpointing & failover.
+  std::uint64_t ckpt_epochs = 0;          // snapshots installed
+  std::uint64_t ckpt_epoch_failures = 0;  // epochs abandoned (timeout/fault)
+  std::uint64_t failovers = 0;            // completed worker failovers
+  std::uint64_t failover_failures = 0;    // failovers refused by a fault
+  std::uint64_t failover_rehomed_items = 0;  // items moved off failed workers
+  std::uint64_t unquarantines = 0;        // probation probes that succeeded
+  std::uint64_t requarantines = 0;        // probation probes that failed
+  obs::HistogramSnapshot ckpt_pause_cycles;      // per-worker quiesce pause
+  obs::HistogramSnapshot failover_resync_cycles; // per FailoverWorker call
   util::Samples packets_per_worker;    // load distribution across shards
   // Pipeline latency per sub-batch, pooled over workers (consistent
   // histogram snapshot: sum(buckets) == count even while workers run).
@@ -363,6 +417,40 @@ class Runtime {
   // later Start() is a no-op.
   void Shutdown();
 
+  // --- Live checkpointing & failover (CkptConfig) ------------------------
+  //
+  // CheckpointLive opens a quiesce epoch: every worker, at its next per-flow
+  // batch boundary (between FlowBatches — never mid-batch), captures its
+  // stage state and deposits it; once all workers have deposited, the
+  // combined image is installed into the replicated runtime snapshot.
+  // Dispatch keeps accepting throughout — queues absorb each worker's
+  // capture pause (measured per worker in runtime.ckpt_pause_cycles, flow
+  // exemplars attached) — and steals/migration-table mutations are fenced
+  // for the duration of the epoch. Returns false (installing nothing, with
+  // runtime.ckpt_epoch_failures_total counting it) when the quiesce times
+  // out, a replica restore faults (injected ckpt.replica_restore), or the
+  // runtime is not accepting. Serialized with FailoverWorker; safe to call
+  // from any non-worker thread.
+  bool CheckpointLive();
+
+  // Fails worker `victim` over to the replicated snapshot: promotes a
+  // replica (ckpt::ReplicatedState::Failover — the injectable
+  // ckpt.failover_resync point fires inside), re-homes the victim's queued
+  // flows to the survivors via the migration table, and restores the
+  // victim's stage state from the promoted image. The victim thread keeps
+  // running — "failure" here is the state-loss event, and the restored
+  // replica state plus re-homed flows are the resync. Exactly-once holds
+  // across the event: every dispatched item is either processed by a
+  // survivor, still queued, or counted dropped. Returns false — counted in
+  // runtime.failover_failures_total, with no Runtime state mutated — when no
+  // snapshot exists yet or the resync faults (retryable). Requires
+  // ckpt.enabled and at least 2 workers.
+  bool FailoverWorker(std::size_t victim);
+
+  // Copy of the current primary snapshot (empty image before the first
+  // successful CheckpointLive) — test/diagnostic introspection.
+  RuntimeCkptImage CheckpointImageCopy();
+
   RuntimeStats Stats() const;
 
   // This runtime's metric registry — the same data Stats() folds, in
@@ -418,6 +506,13 @@ class Runtime {
     std::mutex guard_mu;
     std::vector<std::uint64_t> popped_flows;
     std::unordered_set<std::uint64_t> stolen_flows;
+    // Checkpoint-epoch cursor, touched only by the owning worker thread: the
+    // last ckpt_gen_ this worker captured for. A mismatch at a batch
+    // boundary triggers MaybeCaptureCheckpoint.
+    std::uint64_t ckpt_seen_gen = 0;
+    // Flow id of the most recent batch this worker processed — the exemplar
+    // attached to its checkpoint pause sample (which flow paid the pause).
+    std::uint64_t last_flow_id = 0;
     std::thread thread;
 
     Worker(std::size_t idx, const RuntimeConfig& cfg)
@@ -442,11 +537,20 @@ class Runtime {
     obs::Counter* migration_evictions = nullptr;
     obs::Counter* rx_batches = nullptr;
     obs::Counter* rx_pauses = nullptr;
+    obs::Counter* ckpt_epochs = nullptr;
+    obs::Counter* ckpt_epoch_failures = nullptr;
+    obs::Counter* failovers = nullptr;
+    obs::Counter* failover_failures = nullptr;
+    obs::Counter* failover_rehomed_items = nullptr;
+    obs::Counter* unquarantines = nullptr;
+    obs::Counter* requarantines = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* queue_hwm = nullptr;
     obs::Histogram* batch_cycles = nullptr;
     obs::Histogram* dispatch_cycles = nullptr;  // kNet-armed only
     obs::Histogram* steal_cycles = nullptr;
+    obs::Histogram* ckpt_pause_cycles = nullptr;      // per-worker shards
+    obs::Histogram* failover_resync_cycles = nullptr;
   };
 
   void WorkerMain(Worker& w);
@@ -468,6 +572,10 @@ class Runtime {
   // One supervisor recovery sweep over all workers; returns true while any
   // stage is still Failed (i.e. another pass is needed).
   bool RecoveryPass();
+  // Worker-side half of the checkpoint epoch: called at every batch
+  // boundary; when ckpt_gen_ has advanced past this worker's cursor, capture
+  // its stage state (the measured pause) and deposit it for the driver.
+  void MaybeCaptureCheckpoint(Worker& w);
 
   RuntimeConfig config_;
   BasicRssDispatcher<FlowBatch> rss_;
@@ -505,6 +613,28 @@ class Runtime {
   bool rx_active_ = false;
   std::atomic<bool> rx_stop_{false};
   std::thread rx_thread_;
+
+  // Live-checkpoint epoch state. ckpt_driver_mu_ serializes CheckpointLive
+  // with FailoverWorker (one driver at a time). The epoch protocol itself:
+  // the driver bumps ckpt_gen_ and raises ckpt_fence_; each worker compares
+  // ckpt_gen_ to its thread-local cursor at batch boundaries, captures, and
+  // deposits a (gen, image) pair into ckpt_pending_ under ckpt_mu_; the
+  // driver collects until all workers deposited for the current gen or the
+  // quiesce timeout passes. Deposits carry the gen so a straggler from an
+  // abandoned epoch can never pollute the next one. ckpt_fence_ makes
+  // TrySteal and migration eviction stand down during the epoch, so the
+  // captured per-worker states and the migration table are mutually
+  // consistent (no flow changes homes mid-epoch).
+  std::mutex ckpt_driver_mu_;
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  std::vector<std::pair<std::uint64_t, WorkerCkptImage>> ckpt_pending_;
+  std::atomic<std::uint64_t> ckpt_gen_{0};
+  std::atomic<bool> ckpt_fence_{false};
+  std::uint64_t ckpt_epoch_seq_ = 0;  // under ckpt_driver_mu_
+  // The replicated snapshot; created on the first successful epoch. Guarded
+  // by ckpt_driver_mu_.
+  std::unique_ptr<ckpt::ReplicatedState<RuntimeCkptImage>> ckpt_state_;
 };
 
 }  // namespace net

@@ -155,13 +155,15 @@ class Channel {
 
   // Work-stealing hook: runs `fn(queue)` with the queue under the channel
   // lock, giving the caller mutable access to every queued message at once
-  // (a thief inspects, partitions, and removes entries in place). Returns
-  // false without calling `fn` if the channel is closed — a draining queue
-  // belongs to its owner. Wakes blocked senders afterwards if `fn` shrank
-  // the queue.
+  // (a thief inspects, partitions, and removes entries in place; a failover
+  // rehome also *inserts* another worker's items). Returns false without
+  // calling `fn` if the channel is closed — a draining queue belongs to its
+  // owner. Wakes blocked senders afterwards if `fn` shrank the queue, and
+  // blocked receivers if it grew one.
   template <typename Fn>
   bool WithQueueLocked(Fn&& fn) {
     bool shrank = false;
+    bool grew = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (closed_) {
@@ -171,9 +173,13 @@ class Channel {
       fn(queue_);
       depth_.store(queue_.size(), std::memory_order_relaxed);
       shrank = queue_.size() < before;
+      grew = queue_.size() > before;
     }
     if (shrank) {
       not_full_.notify_all();
+    }
+    if (grew) {
+      not_empty_.notify_all();
     }
     return true;
   }

@@ -25,10 +25,28 @@ double ToUnitDouble(std::uint64_t bits) {
 
 }  // namespace
 
+namespace {
+
+// The calling thread's injection tag. A function-local static avoids the
+// TLS-init-order problems of a namespace-scope thread_local with a
+// non-trivial type.
+std::string& ThreadTagSlot() {
+  thread_local std::string tag;
+  return tag;
+}
+
+}  // namespace
+
 FaultInjector& FaultInjector::Global() {
   static FaultInjector instance;
   return instance;
 }
+
+void FaultInjector::SetThreadTag(std::string tag) {
+  ThreadTagSlot() = std::move(tag);
+}
+
+const std::string& FaultInjector::ThreadTag() { return ThreadTagSlot(); }
 
 void FaultInjector::Seed(std::uint64_t seed) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -40,6 +58,9 @@ FaultInjector::Site& FaultInjector::Arm(const std::string& site,
   Site& s = sites_[site];
   if (s.mode == InjectMode::kDisarmed) {
     armed_sites_.fetch_add(1, std::memory_order_relaxed);
+    if (IsTagged(site)) {
+      tagged_plans_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   s.mode = mode;
   s.kind = kind;
@@ -82,6 +103,9 @@ void FaultInjector::Disarm(const std::string& site) {
   if (it != sites_.end() && it->second.mode != InjectMode::kDisarmed) {
     it->second.mode = InjectMode::kDisarmed;
     armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+    if (IsTagged(site)) {
+      tagged_plans_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -89,46 +113,73 @@ void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   sites_.clear();
   armed_sites_.store(0, std::memory_order_relaxed);
+  tagged_plans_.store(0, std::memory_order_relaxed);
   seed_ = kDefaultSeed;
+}
+
+bool FaultInjector::EvaluateLocked(const std::string& name, PanicKind* kind) {
+  auto it = sites_.find(name);
+  if (it == sites_.end() || it->second.mode == InjectMode::kDisarmed) {
+    return false;
+  }
+  Site& s = it->second;
+  ++s.hits;
+  bool fire = false;
+  switch (s.mode) {
+    case InjectMode::kOneShot:
+      fire = s.oneshot_pending;
+      s.oneshot_pending = false;
+      if (fire) {
+        s.mode = InjectMode::kDisarmed;
+        armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+        if (IsTagged(name)) {
+          tagged_plans_.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+      break;
+    case InjectMode::kEveryNth:
+      fire = (s.hits % s.every_nth) == 0;
+      break;
+    case InjectMode::kProbability:
+      fire = ToUnitDouble(SplitMix(&s.rng_state)) < s.probability;
+      break;
+    case InjectMode::kDisarmed:
+      break;
+  }
+  if (!fire) {
+    return false;
+  }
+  ++s.fires;
+  *kind = s.kind;
+  return true;
 }
 
 void FaultInjector::Hit(std::string_view site) {
   PanicKind kind = PanicKind::kExplicit;
-  std::string message;
+  std::string fired_name;
   {
+    // Thread-scoped plans are evaluated first. The scoped key is only built
+    // when both halves of the fast-path check pass: some "<tag>/<site>" plan
+    // is armed (one relaxed load) AND this thread declared a tag — an
+    // untagged thread, or a storm with only plain plans, never pays the
+    // string concatenation or the extra lookup.
+    std::string tagged_name;
+    if (tagged_plans_.load(std::memory_order_relaxed) > 0) {
+      const std::string& tag = ThreadTag();
+      if (!tag.empty()) {
+        tagged_name = tag + "/" + std::string(site);
+      }
+    }
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = sites_.find(std::string(site));
-    if (it == sites_.end() || it->second.mode == InjectMode::kDisarmed) {
+    if (!tagged_name.empty() && EvaluateLocked(tagged_name, &kind)) {
+      fired_name = std::move(tagged_name);
+    } else if (!EvaluateLocked(std::string(site), &kind)) {
       return;
+    } else {
+      fired_name = std::string(site);
     }
-    Site& s = it->second;
-    ++s.hits;
-    bool fire = false;
-    switch (s.mode) {
-      case InjectMode::kOneShot:
-        fire = s.oneshot_pending;
-        s.oneshot_pending = false;
-        if (fire) {
-          s.mode = InjectMode::kDisarmed;
-          armed_sites_.fetch_sub(1, std::memory_order_relaxed);
-        }
-        break;
-      case InjectMode::kEveryNth:
-        fire = (s.hits % s.every_nth) == 0;
-        break;
-      case InjectMode::kProbability:
-        fire = ToUnitDouble(SplitMix(&s.rng_state)) < s.probability;
-        break;
-      case InjectMode::kDisarmed:
-        break;
-    }
-    if (!fire) {
-      return;
-    }
-    ++s.fires;
-    kind = s.kind;
-    message = "injected fault at " + std::string(site);
   }
+  std::string message = "injected fault at " + fired_name;
   // Firing is cold by definition (a panic is about to unwind): record it in
   // the global registry and, when tracing, as an instant named after the
   // site so the trace shows *which* fault point started an incident.
@@ -138,12 +189,12 @@ void FaultInjector::Hit(std::string_view site) {
   // harness armed them. The registry lookup is fine here — firing unwinds.
   if (obs::MetricsArmed(obs::MetricGroup::kFault)) {
     obs::Registry::Global()
-        .GetCounter("fault.fires." + std::string(site))
+        .GetCounter("fault.fires." + fired_name)
         ->Inc();
   }
   if (obs::Tracer::ArmedFast()) {
     obs::Tracer& tracer = obs::Tracer::Global();
-    tracer.Instant(tracer.Intern("fault:" + std::string(site)));
+    tracer.Instant(tracer.Intern("fault:" + fired_name));
     LINSYS_TRACE_ASYNC_INSTANT("flow.fault_fire", "flow",
                                obs::CurrentFlowId());
   }

@@ -16,9 +16,18 @@
 // of decisions per site is still seed-determined; only their assignment to
 // threads varies with scheduling.
 //
+// Thread-tag scoping: a thread may declare a tag (net::Runtime tags its
+// workers "net.worker:<i>", the rx thread "net.rx", the supervisor
+// "net.supervisor") and a plan armed under "<tag>/<site>" — e.g.
+// "net.worker:2/channel.recv" — fires only when that thread hits that site,
+// so chaos runs can target one shard. Tagged and untagged plans compose: a
+// hit evaluates the tagged plan first, then the plain site plan.
+//
 // Cost when disarmed: one relaxed atomic load per site hit (the macro
 // early-outs before any lock or lookup), cheap enough to leave compiled into
-// the packet path in all build modes.
+// the packet path in all build modes. The tag machinery adds nothing to a
+// run without tagged plans: Hit consults the thread tag only while the
+// count of armed "<tag>/<site>" plans (one relaxed load) is nonzero.
 #ifndef LINSYS_SRC_UTIL_FAULT_INJECTOR_H_
 #define LINSYS_SRC_UTIL_FAULT_INJECTOR_H_
 
@@ -63,6 +72,9 @@ class FaultInjector {
   // Reset(); Seed(s); Arm...(...).
   void Seed(std::uint64_t seed);
 
+  // Plan names are either a bare site ("channel.recv") or thread-scoped as
+  // "<tag>/<site>" ("net.worker:2/channel.recv") — the scoped form fires
+  // only on threads that declared the tag via SetThreadTag.
   void ArmOneShot(const std::string& site,
                   PanicKind kind = PanicKind::kExplicit);
   // n >= 1; n == 1 fires on every hit.
@@ -71,6 +83,26 @@ class FaultInjector {
   // p in [0, 1].
   void ArmProbability(const std::string& site, double p,
                       PanicKind kind = PanicKind::kExplicit);
+
+  // Declares the calling thread's injection tag (empty = untagged). The tag
+  // is process-wide state shared by every FaultInjector instance — it names
+  // the thread, not a registry. Survives until overwritten; long-lived
+  // runtime threads set it once at startup.
+  static void SetThreadTag(std::string tag);
+  static const std::string& ThreadTag();
+  // RAII helper for tests: tags on construction, restores on destruction.
+  class ScopedThreadTag {
+   public:
+    explicit ScopedThreadTag(std::string tag) : prev_(ThreadTag()) {
+      SetThreadTag(std::move(tag));
+    }
+    ~ScopedThreadTag() { SetThreadTag(std::move(prev_)); }
+    ScopedThreadTag(const ScopedThreadTag&) = delete;
+    ScopedThreadTag& operator=(const ScopedThreadTag&) = delete;
+
+   private:
+    std::string prev_;
+  };
 
   // Stops a site from firing; its stats survive until Reset().
   void Disarm(const std::string& site);
@@ -107,10 +139,20 @@ class FaultInjector {
 
   // Arms `site` with common bookkeeping; caller fills mode-specific fields.
   Site& Arm(const std::string& site, InjectMode mode, PanicKind kind);
+  // Evaluates one plan entry under mu_; true when it fired (kind/message
+  // filled in). The tagged variant of Hit calls this twice.
+  bool EvaluateLocked(const std::string& name, PanicKind* kind);
+  static bool IsTagged(const std::string& name) {
+    return name.find('/') != std::string::npos;
+  }
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Site> sites_;
   std::atomic<std::size_t> armed_sites_{0};
+  // Armed plans whose name is "<tag>/<site>". While zero, Hit never reads
+  // the thread tag or builds a scoped lookup key — the untagged fast path
+  // is unchanged by the feature existing.
+  std::atomic<std::size_t> tagged_plans_{0};
   std::uint64_t seed_ = kDefaultSeed;
 
   static constexpr std::uint64_t kDefaultSeed = 0x5eedfa017ba5e5ULL;

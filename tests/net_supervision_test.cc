@@ -323,5 +323,99 @@ TEST_F(SupervisionTest, SeededOperatorStormIsAbsorbedAcrossWorkers) {
   EXPECT_GT(FaultInjector::Global().StatsFor("op.null_filter").fires, 0u);
 }
 
+// Quarantine probation, success path: the stage crash-loops into quarantine
+// while the injected faults are armed; once the cool-down elapses the
+// supervisor grants a probe batch through a fresh domain, the (now healthy)
+// stage passes it, and the replica is back in service.
+TEST_F(SupervisionTest, ProbationUnquarantinesARecoveredStage) {
+  FaultInjector::Global().Seed(101);
+  FaultInjector::Global().ArmProbability("op.null_filter", 1.0);
+  FaultInjector::Global().ArmProbability("sfi.recover", 1.0);
+
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.supervision = FastSupervision(/*max_attempts=*/2);
+  cfg.supervision.probation_cooldown_batches = 3;
+  std::vector<StageSpec> spec;
+  spec.push_back(
+      {"probed", [](std::size_t) { return std::make_unique<NullFilter>(); },
+       DegradePolicy::kPassthrough});
+  Runtime rt(cfg, spec);
+  rt.Start();
+
+  FlowSampler sampler(32, 0.0, 67);
+  FlowFeeder feeder(&sampler);
+  const bool quarantined = DispatchUntil(rt, feeder, [](const RuntimeStats& s) {
+    return s.stages[0].quarantined_replicas == 1;
+  });
+  ASSERT_TRUE(quarantined);
+
+  // The faults clear (the outage ends); degraded batches burn the cool-down
+  // and the probe goes through the fresh domain cleanly.
+  FaultInjector::Global().Reset();
+  const bool unquarantined =
+      DispatchUntil(rt, feeder, [](const RuntimeStats& s) {
+        return s.unquarantines >= 1;
+      });
+  ASSERT_TRUE(unquarantined) << "probe never brought the stage back";
+
+  // Back in service: packets flow through the stage again (not passthrough).
+  const RuntimeStats mid = rt.Stats();
+  const bool serving = DispatchUntil(rt, feeder, [&mid](const RuntimeStats& s) {
+    return s.totals.packets > mid.totals.packets &&
+           s.stages[0].quarantined_replicas == 0;
+  });
+  rt.Shutdown();
+  EXPECT_TRUE(serving);
+
+  const RuntimeStats stats = rt.Stats();
+  EXPECT_GE(stats.stages[0].probes, 1u);
+  EXPECT_GE(stats.stages[0].unquarantines, 1u);
+  EXPECT_EQ(stats.stages[0].quarantined_replicas, 0u);
+  EXPECT_GE(stats.unquarantines, 1u);
+}
+
+// Probation, failure path: the outage persists, so the probe batch faults in
+// the fresh domain — the stage re-quarantines and the cool-down doubles
+// (bounded retries, no probe storm against a still-dead dependency).
+TEST_F(SupervisionTest, FailedProbeRequarantinesWithBackoff) {
+  FaultInjector::Global().Seed(103);
+  FaultInjector::Global().ArmProbability("op.null_filter", 1.0);
+  FaultInjector::Global().ArmProbability("sfi.recover", 1.0);
+
+  RuntimeConfig cfg;
+  cfg.workers = 1;
+  cfg.supervision = FastSupervision(/*max_attempts=*/2);
+  cfg.supervision.probation_cooldown_batches = 2;
+  std::vector<StageSpec> spec;
+  spec.push_back(
+      {"probed", [](std::size_t) { return std::make_unique<NullFilter>(); },
+       DegradePolicy::kPassthrough});
+  Runtime rt(cfg, spec);
+  rt.Start();
+
+  FlowSampler sampler(32, 0.0, 71);
+  FlowFeeder feeder(&sampler);
+  const bool requarantined =
+      DispatchUntil(rt, feeder, [](const RuntimeStats& s) {
+        return s.requarantines >= 2;
+      });
+  rt.Shutdown();
+  ASSERT_TRUE(requarantined) << "failed probes never re-quarantined";
+
+  const RuntimeStats stats = rt.Stats();
+  EXPECT_GE(stats.stages[0].probes, 2u);
+  EXPECT_GE(stats.stages[0].requarantines, 2u);
+  EXPECT_EQ(stats.stages[0].unquarantines, 0u);
+  EXPECT_EQ(stats.stages[0].quarantined_replicas, 1u)
+      << "stage must end back in quarantine while the outage persists";
+  // Doubling cool-down: with cooldown 2 -> 4 -> 8, the second re-quarantine
+  // needs strictly more degraded batches than the first. The probe count
+  // being small relative to total batches is the observable effect.
+  EXPECT_LT(stats.stages[0].probes * 2, stats.totals.batches +
+                                            stats.stages[0].passthrough_batches)
+      << "probe storm: cool-down doubling is not damping probes";
+}
+
 }  // namespace
 }  // namespace net

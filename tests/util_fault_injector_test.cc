@@ -145,5 +145,93 @@ TEST_F(FaultInjectorTest, RearmRestartsTheNthCounter) {
   EXPECT_TRUE(fired[3]);
 }
 
+// --- Per-thread tag scoping ("<tag>/<site>" plans) -------------------------
+
+TEST_F(FaultInjectorTest, TaggedPlanFiresOnlyOnMatchingThread) {
+  FaultInjector::Global().ArmEveryNth("net.worker:2/channel.recv", 1);
+
+  // Untagged thread: the scoped plan must not apply.
+  EXPECT_NO_THROW(LINSYS_FAULT_POINT("channel.recv"));
+
+  // Wrong tag: still no fire.
+  {
+    FaultInjector::ScopedThreadTag tag("net.worker:1");
+    EXPECT_NO_THROW(LINSYS_FAULT_POINT("channel.recv"));
+  }
+
+  // Matching tag: every hit fires.
+  {
+    FaultInjector::ScopedThreadTag tag("net.worker:2");
+    EXPECT_THROW(LINSYS_FAULT_POINT("channel.recv"), PanicError);
+  }
+  EXPECT_EQ(FaultInjector::Global().StatsFor("net.worker:2/channel.recv").fires,
+            1u);
+  // The plain (untagged) site never accumulated a plan or fires.
+  EXPECT_EQ(FaultInjector::Global().StatsFor("channel.recv").fires, 0u);
+}
+
+TEST_F(FaultInjectorTest, TaggedAndPlainPlansCompose) {
+  // Plain plan on every hit; tagged plan only for worker 0. A tagged thread
+  // evaluates its scoped plan first, then falls through to the plain site.
+  FaultInjector::Global().ArmEveryNth("site.both", 2);
+  FaultInjector::Global().ArmEveryNth("net.worker:0/site.both", 1);
+
+  {
+    FaultInjector::ScopedThreadTag tag("net.worker:0");
+    // Scoped every-1 wins on each hit before the plain every-2 can.
+    EXPECT_THROW(LINSYS_FAULT_POINT("site.both"), PanicError);
+    EXPECT_THROW(LINSYS_FAULT_POINT("site.both"), PanicError);
+  }
+  EXPECT_EQ(FaultInjector::Global().StatsFor("net.worker:0/site.both").fires,
+            2u);
+
+  // A differently-tagged thread still sees the plain plan.
+  {
+    FaultInjector::ScopedThreadTag tag("net.worker:1");
+    const std::vector<bool> fired = Drive("site.both", 2);
+    EXPECT_FALSE(fired[0]);
+    EXPECT_TRUE(fired[1]);
+  }
+}
+
+TEST_F(FaultInjectorTest, ScopedThreadTagRestoresPreviousTag) {
+  FaultInjector::SetThreadTag("outer");
+  {
+    FaultInjector::ScopedThreadTag tag("inner");
+    EXPECT_EQ(FaultInjector::ThreadTag(), "inner");
+  }
+  EXPECT_EQ(FaultInjector::ThreadTag(), "outer");
+  FaultInjector::SetThreadTag("");
+}
+
+// The no-match fast path: while no tagged plan exists anywhere, a tagged
+// thread's hit must not pay the scoped-key lookup — it behaves exactly like
+// an untagged hit against the plain plan table. Verified behaviourally (the
+// plain plan still fires identically) plus a large-N smoke run to keep the
+// path exercised under the cheap-by-construction claim.
+TEST_F(FaultInjectorTest, NoTaggedPlansKeepsTaggedThreadsOnPlainPath) {
+  FaultInjector::Global().ArmEveryNth("site.plain", 100);
+  FaultInjector::ScopedThreadTag tag("net.worker:7");
+  const std::vector<bool> fired = Drive("site.plain", 300);
+  std::size_t fires = 0;
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    if (fired[i]) {
+      ++fires;
+      EXPECT_EQ((i + 1) % 100, 0u) << "plain every-Nth cadence disturbed";
+    }
+  }
+  EXPECT_EQ(fires, 3u);
+  // And an unarmed site stays free on a tagged thread too.
+  EXPECT_NO_THROW(LINSYS_FAULT_POINT("site.unarmed"));
+  EXPECT_EQ(FaultInjector::Global().StatsFor("site.unarmed").hits, 0u);
+}
+
+TEST_F(FaultInjectorTest, ResetClearsTaggedPlans) {
+  FaultInjector::Global().ArmOneShot("w:1/site.t");
+  FaultInjector::Global().Reset();
+  FaultInjector::ScopedThreadTag tag("w:1");
+  EXPECT_NO_THROW(LINSYS_FAULT_POINT("site.t"));
+}
+
 }  // namespace
 }  // namespace util
