@@ -273,6 +273,11 @@ int main(int argc, char** argv) {
                       static_cast<double>(last_on.stats.migrated_flows));
   g_report->AddScalar("zipf_steal_cycles_p50",
                       last_on.stats.steal_cycles.Percentile(50.0));
+  // Client-visible SLO under the skewed steal workload: p99 of
+  // dispatch-to-delivery latency (the always-on runtime histogram), so a
+  // stealing change that helps throughput but hurts tail delivery shows up.
+  g_report->AddScalar("zipf_slo_p99_cycles",
+                      last_on.stats.delivery_latency_cycles.Percentile(99.0));
   // >1.0 = stealing finished the same skewed load faster (best of reps).
   g_report->AddScalar("zipf_steal_speedup", off_best / on_best);
   std::printf("steal speedup vs off (best of %d): %.3fx\n", kZipfReps,

@@ -25,6 +25,7 @@
 //   * healthy shards never notice any of it.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -160,10 +161,30 @@ int main(int argc, char** argv) {
   // artifact path (default fault_storm_delta.json). The whole storm is
   // traced: batches, faults, recoveries, and the quarantine land in one
   // chrome://tracing / Perfetto timeline, flow-correlated by async tracks.
-  const char* trace_path =
-      argc > 1 ? argv[1] : "fault_storm_trace.json";
-  const char* delta_path =
-      argc > 2 ? argv[2] : "fault_storm_delta.json";
+  //
+  // --ops PATH serves /metrics, /metrics/delta, /trace, /healthz on a unix
+  // socket while the process runs; --serve-ms N holds the storm open for N
+  // extra milliseconds of live traffic so an external scraper (CI's
+  // obs_scrape) can pull the endpoints mid-storm.
+  const char* trace_path = "fault_storm_trace.json";
+  const char* delta_path = "fault_storm_delta.json";
+  std::string ops_path;
+  int serve_ms = 0;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--ops" && i + 1 < argc) {
+      ops_path = argv[++i];
+    } else if (arg == "--serve-ms" && i + 1 < argc) {
+      serve_ms = std::atoi(argv[++i]);
+    } else if (positional == 0) {
+      trace_path = argv[i];
+      ++positional;
+    } else if (positional == 1) {
+      delta_path = argv[i];
+      ++positional;
+    }
+  }
   obs::ArmMetrics(true);
   obs::Tracer& tracer = obs::Tracer::Global();
   // Ring sized so a full storm's async spans survive without wraparound
@@ -195,6 +216,10 @@ int main(int argc, char** argv) {
   // Live checkpointing on: the storm ends with epochs under fire plus a
   // forced failover resync.
   cfg.ckpt.enabled = true;
+  if (!ops_path.empty()) {
+    cfg.ops.enabled = true;
+    cfg.ops.unix_path = ops_path;
+  }
 
   net::Runtime rt(cfg, BuildChain());
   rt.Start();
@@ -227,6 +252,26 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   phase_deltas.push_back(ScrapePhase(2, "quarantine", rt));
+
+  // Scrape window: hold the storm open — injectors still armed, live
+  // checkpoint epochs still firing — so an external obs_scrape can pull
+  // /metrics, /metrics/delta, /trace, and /healthz from a process that is
+  // genuinely mid-storm, not idling.
+  if (serve_ms > 0) {
+    std::printf("\nserving ops on %s for %d ms (storm still firing)\n",
+                ops_path.empty() ? "<no socket>" : ops_path.c_str(),
+                serve_ms);
+    const auto serve_deadline = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(serve_ms);
+    int tick = 0;
+    while (std::chrono::steady_clock::now() < serve_deadline) {
+      rt.Dispatch(feeder.Next(kBatch));
+      if (++tick % 200 == 0) {
+        (void)rt.CheckpointLive();
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
 
   // Checkpoint/failover storm: with the injectors still armed, drive live
   // checkpoint epochs against the degraded runtime (quarantined tap and

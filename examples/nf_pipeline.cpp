@@ -6,9 +6,12 @@
 // each in its own protection domain, with a flaky firewall that panics
 // periodically. The supervisor loop recovers failed stages transparently;
 // the run ends with throughput and isolation statistics.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/net/maglev.h"
@@ -20,6 +23,9 @@
 #include "src/net/operators/ttl.h"
 #include "src/net/pipeline.h"
 #include "src/net/pktgen.h"
+#include "src/obs/metrics.h"
+#include "src/obs/ops_server.h"
+#include "src/obs/trace.h"
 #include "src/sfi/manager.h"
 #include "src/util/cycles.h"
 #include "src/util/panic.h"
@@ -55,9 +61,47 @@ class FlakyFirewall : public net::Operator {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::size_t kBatch = 32;
   constexpr int kRounds = 5000;
+
+  // --ops PATH serves the live scrape endpoints on a unix socket while the
+  // pipeline runs; --serve-ms N keeps traffic flowing for N extra
+  // milliseconds so an external obs_scrape can watch the run live. The
+  // server here runs standalone over the process-global registry/tracer —
+  // no net::Runtime involved — which is the hook shape any long-running
+  // service in this codebase can reuse.
+  std::string ops_path;
+  int serve_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--ops" && i + 1 < argc) {
+      ops_path = argv[++i];
+    } else if (arg == "--serve-ms" && i + 1 < argc) {
+      serve_ms = std::atoi(argv[++i]);
+    }
+  }
+  std::unique_ptr<obs::OpsServer> ops;
+  if (!ops_path.empty()) {
+    obs::ArmMetrics(true);
+    obs::Tracer::Global().Arm(/*ring_capacity=*/1 << 14);
+    obs::OpsServerConfig ops_cfg;
+    ops_cfg.enabled = true;
+    ops_cfg.unix_path = ops_path;
+    ops_cfg.slo_metric = "sfi.crossing_cycles";  // the pipeline's hot path
+    obs::OpsServer::Hooks hooks;
+    hooks.registry = &obs::Registry::Global();
+    hooks.tracer = &obs::Tracer::Global();
+    hooks.healthz = [] { return std::string("{\"status\":\"ok\"}"); };
+    ops = std::make_unique<obs::OpsServer>(ops_cfg, hooks);
+    std::string error;
+    if (!ops->Start(&error)) {
+      std::fprintf(stderr, "ops server failed to start: %s\n", error.c_str());
+      ops.reset();
+    } else {
+      std::printf("serving ops on %s\n", ops_path.c_str());
+    }
+  }
 
   net::Mempool pool(4096, 2048);
   net::PktSourceConfig cfg;
@@ -104,6 +148,25 @@ int main() {
       // anything but one dropped batch.
       ++dropped_batches;
       recoveries += pipeline.RecoverFailedStages();
+    }
+  }
+  // Scrape window: keep the flaky pipeline running (faults, recoveries,
+  // crossings all still accumulating) so a live scraper sees moving
+  // counters, not a frozen end state.
+  if (serve_ms > 0) {
+    const auto serve_deadline = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(serve_ms);
+    while (std::chrono::steady_clock::now() < serve_deadline) {
+      net::PacketBatch batch(kBatch);
+      source.RxBurst(batch, kBatch);
+      auto result = pipeline.Run(std::move(batch));
+      if (result.ok()) {
+        delivered += result.value().size();
+      } else {
+        ++dropped_batches;
+        recoveries += pipeline.RecoverFailedStages();
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
   const std::uint64_t cycles = util::CycleEnd() - begin;

@@ -245,6 +245,13 @@ class BasicRssDispatcher {
           keep.set_flow_id(source.flow_id());
           take.set_flow_id(source.flow_id());
         }
+        // The dispatch-time SLO stamp migrates with the slice: a stolen
+        // batch's delivery latency is still measured from its original
+        // dispatch, so migration cost is inside the number, not hidden.
+        if constexpr (requires { keep.set_dispatch_tsc(source.dispatch_tsc()); }) {
+          keep.set_dispatch_tsc(source.dispatch_tsc());
+          take.set_dispatch_tsc(source.dispatch_tsc());
+        }
         for (auto& item : source) {
           if (chosen.count(ItemKey(item)) != 0) {
             take.Push(std::move(item));
@@ -386,6 +393,16 @@ class BasicRssDispatcher {
               keep.set_flow_id(source.flow_id());
               for (auto& t : take) {
                 t.set_flow_id(source.flow_id());
+              }
+            }
+            // Failover re-homes keep the original dispatch stamp too: the
+            // survivor's delivery sample includes the resync detour.
+            if constexpr (requires {
+                            keep.set_dispatch_tsc(source.dispatch_tsc());
+                          }) {
+              keep.set_dispatch_tsc(source.dispatch_tsc());
+              for (auto& t : take) {
+                t.set_dispatch_tsc(source.dispatch_tsc());
               }
             }
             for (auto& item : source) {
@@ -622,6 +639,15 @@ class BasicRssDispatcher {
     if constexpr (requires { per_worker[0].set_flow_id(batch.flow_id()); }) {
       for (auto& sub : per_worker) {
         sub.set_flow_id(batch.flow_id());
+      }
+    }
+    // Same for the dispatch-time SLO stamp: every sub-batch inherits the
+    // moment the whole batch entered the runtime.
+    if constexpr (requires {
+                    per_worker[0].set_dispatch_tsc(batch.dispatch_tsc());
+                  }) {
+      for (auto& sub : per_worker) {
+        sub.set_dispatch_tsc(batch.dispatch_tsc());
       }
     }
     std::size_t sent = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <string>
 
 #include "src/ckpt/obs.h"
@@ -60,6 +61,7 @@ std::string RuntimeStats::Summary() const {
   }
   s += " | load: " + packets_per_worker.Summary();
   s += "\n  batch_cycles: " + batch_cycles.Summary();
+  s += "\n  delivery_latency_cycles: " + delivery_latency_cycles.Summary();
   s += "\n  mempool: in_use=" + std::to_string(mempool_in_use);
   s += " hwm=" + std::to_string(mempool_in_use_hwm);
   s += " alloc_failures=" + std::to_string(mempool_alloc_failures);
@@ -116,6 +118,12 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
   telemetry_.queue_hwm = registry_.GetGauge("runtime.queue_depth_hwm", shards);
   telemetry_.batch_cycles =
       registry_.GetHistogram("runtime.batch_cycles", shards);
+  // Always-on SLO histogram: end-to-end dispatch→delivery latency per
+  // sub-batch, queue wait and migrations included. This is what the ops
+  // server windows into slo_p99/slo_p999 per /metrics/delta scrape, so it
+  // cannot be gated on arming — a live operator must always see it.
+  telemetry_.delivery_latency_cycles =
+      registry_.GetHistogram("runtime.delivery_latency_cycles", shards);
   telemetry_.steals = registry_.GetCounter("runtime.steals_total", shards);
   telemetry_.stolen_batches =
       registry_.GetCounter("runtime.stolen_sub_batches_total", shards);
@@ -216,6 +224,22 @@ void Runtime::Start() {
     worker->thread = std::thread([this, worker] { WorkerMain(*worker); });
   }
   accepting_.store(true, std::memory_order_release);
+  if (config_.ops.enabled) {
+    obs::OpsServer::Hooks hooks;
+    hooks.registry = &registry_;
+    hooks.global_registry = &obs::Registry::Global();
+    hooks.tracer = &obs::Tracer::Global();
+    hooks.healthz = [this] { return HealthzJson(); };
+    ops_server_ = std::make_unique<obs::OpsServer>(config_.ops, hooks);
+    std::string error;
+    if (!ops_server_->Start(&error)) {
+      // An unobservable runtime beats a dead one: the service keeps going,
+      // the operator sees why the socket is missing.
+      std::fprintf(stderr, "runtime: ops server failed to start: %s\n",
+                   error.c_str());
+      ops_server_.reset();
+    }
+  }
 }
 
 void Runtime::Shutdown() {
@@ -228,6 +252,14 @@ void Runtime::Shutdown() {
   shut_down_ = true;
   accepting_.store(false, std::memory_order_release);
   rx_stop_.store(true, std::memory_order_relaxed);
+  // The ops server goes first: it reads registry_ and per-worker state, so
+  // it must be joined before anything it scrapes is torn down. A scrape in
+  // flight finishes (Stop joins the serving thread); later connects are
+  // refused once the socket is closed/unlinked.
+  if (ops_server_) {
+    ops_server_->Stop();
+    ops_server_.reset();
+  }
   if (!started_) {
     return;  // never ran; nothing to join — but Start is now refused too
   }
@@ -254,6 +286,43 @@ void Runtime::Shutdown() {
   if (supervisor_.joinable()) {
     supervisor_.join();
   }
+}
+
+std::string Runtime::HealthzJson() {
+  const bool accepting = accepting_.load(std::memory_order_acquire);
+  std::size_t quarantined = 0;
+  std::size_t failed = 0;
+  if (config_.isolated) {
+    for (const auto& w : workers_) {
+      std::lock_guard<std::mutex> lock(w->mu);
+      failed += w->isolated.FailedStages();
+      for (std::size_t i = 0; i < w->isolated.length(); ++i) {
+        quarantined += w->isolated.health(i).quarantined ? 1 : 0;
+      }
+    }
+  }
+  // "ok" degrades to "degraded" while any stage replica is quarantined or
+  // awaiting recovery, and to "stopping" once Shutdown has begun — the
+  // three states a liveness prober actually branches on.
+  std::string out = "{\"status\":\"";
+  out += !accepting ? "stopping" : (quarantined + failed > 0 ? "degraded" : "ok");
+  out += "\",\"accepting\":";
+  out += accepting ? "true" : "false";
+  out += ",\"workers\":" + std::to_string(workers_.size());
+  out += ",\"quarantined_stage_replicas\":" + std::to_string(quarantined);
+  out += ",\"failed_stage_replicas\":" + std::to_string(failed);
+  out += ",\"ckpt\":{\"fence\":";
+  out += ckpt_fence_.load(std::memory_order_acquire) ? "true" : "false";
+  out += ",\"gen\":" +
+         std::to_string(ckpt_gen_.load(std::memory_order_acquire));
+  out += ",\"epochs\":" + std::to_string(telemetry_.ckpt_epochs->Value());
+  out += ",\"epoch_failures\":" +
+         std::to_string(telemetry_.ckpt_epoch_failures->Value());
+  out += ",\"failovers\":" + std::to_string(telemetry_.failovers->Value());
+  out += ",\"failover_failures\":" +
+         std::to_string(telemetry_.failover_failures->Value());
+  out += "}}";
+  return out;
 }
 
 void Runtime::NotifyFault() {
@@ -472,7 +541,10 @@ bool Runtime::TrySteal(Worker& w) {
   steal_cost_ewma_.store(
       prev == 0 ? steal_cycles : prev - prev / 8 + steal_cycles / 8,
       std::memory_order_relaxed);
-  telemetry_.steals->Inc(w.index);
+  // Counter exemplar: the interval scrape's steals_total delta points back
+  // at one concrete flow track that actually migrated.
+  telemetry_.steals->IncWithExemplar(w.index,
+                                     result.batches.front().flow_id());
   telemetry_.stolen_batches->Add(w.index, result.batches.size());
   telemetry_.stolen_items->Add(w.index, result.items);
   if (armed) {
@@ -575,7 +647,7 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
   obs::ScopedFlowId flow_scope(flows.flow_id());
   // Remembered as the exemplar on this worker's next checkpoint-pause
   // sample: the flow whose batch sat behind the capture.
-  w.last_flow_id = flows.flow_id();
+  w.last_flow_id.store(flows.flow_id(), std::memory_order_relaxed);
   LINSYS_TRACE_ASYNC_SPAN("flow.batch", "flow", flows.flow_id());
   // Materialize frames from this worker's own pool, on this thread —
   // the whole buffer lifecycle (alloc, fault-unwind, drop) is shard-local.
@@ -649,6 +721,14 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
     }
     telemetry_.packets->Add(w.index, out.size());
     telemetry_.batches->Inc(w.index);
+    // Delivery: the SLO clock that started in Dispatch stops here. Always
+    // on — queue wait, checkpoint pauses, and any steal/failover migration
+    // this batch lived through are all inside this number, which is exactly
+    // why it is the client-visible quantity.
+    if (flows.dispatch_tsc() != 0) {
+      telemetry_.delivery_latency_cycles->RecordWithExemplar(
+          w.index, util::CycleEnd() - flows.dispatch_tsc(), flows.flow_id());
+    }
   } else {
     try {
       const std::uint64_t t0 = util::CycleStart();
@@ -662,6 +742,11 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
           std::memory_order_relaxed);
       telemetry_.packets->Add(w.index, out.size());
       telemetry_.batches->Inc(w.index);
+      if (flows.dispatch_tsc() != 0) {
+        telemetry_.delivery_latency_cycles->RecordWithExemplar(
+            w.index, util::CycleEnd() - flows.dispatch_tsc(),
+            flows.flow_id());
+      }
     } catch (const util::PanicError&) {
       // The direct flavour has no containment: the batch died mid-stage
       // and there is no domain to recover, only telemetry to keep.
@@ -812,8 +897,8 @@ void Runtime::MaybeCaptureCheckpoint(Worker& w) {
   const std::uint64_t pause = util::CycleEnd() - t0;
   // Always-on: the pause is the checkpoint's whole cost story, and epochs
   // are rare. The exemplar names the flow whose batch sat behind it.
-  telemetry_.ckpt_pause_cycles->RecordWithExemplar(w.index, pause,
-                                                   w.last_flow_id);
+  telemetry_.ckpt_pause_cycles->RecordWithExemplar(
+      w.index, pause, w.last_flow_id.load(std::memory_order_relaxed));
   {
     std::lock_guard<std::mutex> lock(ckpt_mu_);
     ckpt_pending_.emplace_back(gen, std::move(img));
@@ -975,7 +1060,10 @@ bool Runtime::FailoverWorker(std::size_t victim) {
       break;
     }
   }
-  telemetry_.failovers->Inc();
+  // Exemplar: the victim's most recent flow — the flow a scraper should
+  // pull up to see what client work sat closest to the failover.
+  telemetry_.failovers->IncWithExemplar(
+      0, v.last_flow_id.load(std::memory_order_relaxed));
   if (rehomed > 0) {
     telemetry_.failover_rehomed_items->Add(rehomed);
   }
@@ -1016,6 +1104,7 @@ RuntimeStats Runtime::Stats() const {
   // One consistent histogram snapshot for the whole stats call: buckets are
   // never torn (sum(buckets) == count) even while workers keep recording.
   s.batch_cycles = telemetry_.batch_cycles->Snapshot();
+  s.delivery_latency_cycles = telemetry_.delivery_latency_cycles->Snapshot();
   s.stages.resize(stage_names_.size());
   for (std::size_t i = 0; i < stage_names_.size(); ++i) {
     s.stages[i].name = stage_names_[i];

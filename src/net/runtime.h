@@ -63,6 +63,7 @@
 #include "src/net/pktgen.h"
 #include "src/net/rss.h"
 #include "src/obs/metrics.h"
+#include "src/obs/ops_server.h"
 #include "src/obs/trace.h"
 #include "src/sfi/manager.h"
 #include "src/util/cycles.h"
@@ -109,9 +110,17 @@ class FlowBatch {
   std::uint64_t flow_id() const { return flow_id_; }
   void set_flow_id(std::uint64_t id) { flow_id_ = id; }
 
+  // Dispatch-time cycle stamp (0 = unstamped), carried through fan-out,
+  // steal slices, and failover re-homing exactly like flow_id, so the
+  // delivery-side read measures true end-to-end latency — including queue
+  // wait and any migration the batch survived — not just pipeline time.
+  std::uint64_t dispatch_tsc() const { return dispatch_tsc_; }
+  void set_dispatch_tsc(std::uint64_t tsc) { dispatch_tsc_ = tsc; }
+
  private:
   std::vector<FlowWork> work_;
   std::uint64_t flow_id_ = 0;
+  std::uint64_t dispatch_tsc_ = 0;
 };
 
 // Sequence numbers ride in the first 8 payload bytes (host order).
@@ -253,6 +262,11 @@ struct RuntimeConfig {
   StealConfig stealing;
   PacedRxConfig paced_rx;
   CkptConfig ckpt;
+  // Live ops endpoint (obs::OpsServer): started with the runtime when
+  // enabled, serving /metrics, /metrics/delta, /trace, /healthz from this
+  // runtime's registry while it runs. Off by default — then no thread, no
+  // socket, and no new dispatch-path work beyond the batch cycle stamp.
+  obs::OpsServerConfig ops;
 };
 
 // One worker's slice of a runtime checkpoint: its pipeline's stage images,
@@ -338,6 +352,10 @@ struct RuntimeStats {
   // Pipeline latency per sub-batch, pooled over workers (consistent
   // histogram snapshot: sum(buckets) == count even while workers run).
   obs::HistogramSnapshot batch_cycles;
+  // End-to-end delivery latency per sub-batch: dispatch-time stamp to
+  // delivery, queue wait and any steal/failover migration included. This is
+  // the client-visible SLO quantity the ops server windows per delta scrape.
+  obs::HistogramSnapshot delivery_latency_cycles;
   // Mempool occupancy across all worker pools at scrape time.
   std::uint64_t mempool_in_use = 0;
   std::uint64_t mempool_in_use_hwm = 0;  // max over workers
@@ -375,6 +393,11 @@ class Runtime {
     // and net metrics are off: one relaxed RMW per *batch*.
     const std::uint64_t flow_id = obs::NextFlowId();
     batch.set_flow_id(flow_id);
+    // SLO clock starts now: the stamp rides the batch (and its sub-batches,
+    // steal slices, and failover re-homes) to delivery, where the always-on
+    // runtime.delivery_latency_cycles histogram reads it. Cost here is one
+    // cycle read + one plain store per dispatched *batch*.
+    batch.set_dispatch_tsc(util::CycleStart());
     LINSYS_TRACE_ASYNC_SPAN("flow.dispatch", "flow", flow_id);
     const bool armed = obs::MetricsArmed(obs::MetricGroup::kNet);
     const std::uint64_t t0 = armed ? util::CycleStart() : 0;
@@ -456,6 +479,10 @@ class Runtime {
   // This runtime's metric registry — the same data Stats() folds, in
   // exporter form. Safe to call from any thread while workers run.
   obs::Registry& registry() { return registry_; }
+
+  // The live ops endpoint (nullptr unless RuntimeConfig::ops.enabled and
+  // Start() managed to bind it). Valid until Shutdown returns.
+  obs::OpsServer* ops_server() { return ops_server_.get(); }
   std::string ScrapePrometheus() const { return registry_.Scrape().ToPrometheus(); }
   std::string ScrapeJson() const { return registry_.Scrape().ToJson(); }
 
@@ -511,8 +538,10 @@ class Runtime {
     // boundary triggers MaybeCaptureCheckpoint.
     std::uint64_t ckpt_seen_gen = 0;
     // Flow id of the most recent batch this worker processed — the exemplar
-    // attached to its checkpoint pause sample (which flow paid the pause).
-    std::uint64_t last_flow_id = 0;
+    // attached to its checkpoint pause sample (which flow paid the pause)
+    // and to the failover counter (the failover driver reads it from its own
+    // thread, hence the relaxed atomic: an estimator, not an invariant).
+    std::atomic<std::uint64_t> last_flow_id{0};
     std::thread thread;
 
     Worker(std::size_t idx, const RuntimeConfig& cfg)
@@ -547,6 +576,7 @@ class Runtime {
     obs::Gauge* queue_depth = nullptr;
     obs::Gauge* queue_hwm = nullptr;
     obs::Histogram* batch_cycles = nullptr;
+    obs::Histogram* delivery_latency_cycles = nullptr;  // always-on (SLO)
     obs::Histogram* dispatch_cycles = nullptr;  // kNet-armed only
     obs::Histogram* steal_cycles = nullptr;
     obs::Histogram* ckpt_pause_cycles = nullptr;      // per-worker shards
@@ -576,6 +606,10 @@ class Runtime {
   // boundary; when ckpt_gen_ has advanced past this worker's cursor, capture
   // its stage state (the measured pause) and deposit it for the driver.
   void MaybeCaptureCheckpoint(Worker& w);
+  // /healthz body for the ops server: lifecycle, quarantine census, and
+  // checkpoint fence/epoch state. Runs on the server thread while workers
+  // are live (per-stage health is read under each worker's mutex).
+  std::string HealthzJson();
 
   RuntimeConfig config_;
   BasicRssDispatcher<FlowBatch> rss_;
@@ -592,6 +626,10 @@ class Runtime {
   std::vector<std::string> stage_names_;
   std::vector<DegradePolicy> stage_policies_;
   std::thread supervisor_;
+  // Live ops endpoint, started after the workers in Start() and stopped
+  // first in Shutdown() (it reads registry_ and worker state, so it must
+  // never outlive them). Guarded by lifecycle_mu_ for create/destroy.
+  std::unique_ptr<obs::OpsServer> ops_server_;
 
   // Lifecycle: Start/Shutdown may be called from any threads in any order;
   // lifecycle_mu_ serializes the transitions, accepting_ gates Dispatch

@@ -279,6 +279,9 @@ Snapshot Registry::ScrapeLocked() const {
       s.shards.push_back(e.metric->ShardValue(i));
       s.value += s.shards.back();
     }
+    const auto [ex_value, ex_id] = e.metric->Exemplar();
+    s.exemplar_value = ex_value;
+    s.exemplar_trace_id = ex_id;
     snap.counters.push_back(std::move(s));
   }
   for (const auto& e : gauges_) {
@@ -339,6 +342,12 @@ DeltaSnapshot Registry::SnapshotDelta() {
     cd.rate = d.interval_seconds > 0.0
                   ? static_cast<double>(cd.delta) / d.interval_seconds
                   : 0.0;
+    // Exemplars surface only for counters that moved this interval — a
+    // stale exemplar on a flat counter would point at an old flow.
+    if (cd.delta > 0) {
+      cd.exemplar_value = c.exemplar_value;
+      cd.exemplar_trace_id = c.exemplar_trace_id;
+    }
     d.counters.push_back(std::move(cd));
   }
 
@@ -415,14 +424,17 @@ const HistogramSnapshot::BucketExemplar* ExemplarFor(
   return nullptr;
 }
 
-// The shared {count,sum,mean,p50,p95,p99[,exemplars]} histogram body used by
-// both the cumulative and the delta JSON exporters.
+// The shared {count,sum,mean,p50,p95,p99,p999[,exemplars]} histogram body
+// used by both the cumulative and the delta JSON exporters. p999 is the SLO
+// tail quantile: on a delta it reads as "worst client-visible latency this
+// window", which is what the ops server's /metrics/delta keys on.
 void AppendHistogramJson(std::string& out, const HistogramSnapshot& h) {
   out += "{\"count\":" + std::to_string(h.count) +
          ",\"sum\":" + std::to_string(h.sum) + ",\"mean\":" + Num(h.Mean()) +
          ",\"p50\":" + Num(h.Percentile(50)) +
          ",\"p95\":" + Num(h.Percentile(95)) +
-         ",\"p99\":" + Num(h.Percentile(99));
+         ",\"p99\":" + Num(h.Percentile(99)) +
+         ",\"p999\":" + Num(h.Percentile(99.9));
   if (!h.exemplars.empty()) {
     out += ",\"exemplars\":[";
     for (std::size_t i = 0; i < h.exemplars.size(); ++i) {
@@ -447,7 +459,14 @@ std::string Snapshot::ToPrometheus() const {
   for (const auto& c : counters) {
     const std::string n = PromName(c.name);
     out += "# TYPE " + n + " counter\n";
-    out += n + " " + std::to_string(c.value) + "\n";
+    out += n + " " + std::to_string(c.value);
+    // Counter exemplar, same OpenMetrics-style rendering as the histogram
+    // bucket exemplars: the most recent tagged increment and its flow.
+    if (c.exemplar_trace_id != 0) {
+      out += " # {trace_id=\"" + Hex(c.exemplar_trace_id) + "\"} " +
+             std::to_string(c.exemplar_value);
+    }
+    out += "\n";
     if (c.shards.size() > 1) {
       for (std::size_t i = 0; i < c.shards.size(); ++i) {
         out += n + "{shard=\"" + std::to_string(i) + "\"} " +
@@ -526,7 +545,13 @@ std::string DeltaSnapshot::ToJson() const {
     }
     AppendJsonKey(out, counters[i].name);
     out += "{\"delta\":" + std::to_string(counters[i].delta) +
-           ",\"rate\":" + Num(counters[i].rate) + "}";
+           ",\"rate\":" + Num(counters[i].rate);
+    if (counters[i].exemplar_trace_id != 0) {
+      out += ",\"exemplar\":{\"value\":" +
+             std::to_string(counters[i].exemplar_value) + ",\"trace_id\":\"" +
+             Hex(counters[i].exemplar_trace_id) + "\"}";
+    }
+    out += "}";
   }
   out += "},\"gauges\":{";
   for (std::size_t i = 0; i < gauges.size(); ++i) {

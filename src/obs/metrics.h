@@ -35,6 +35,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace obs {
@@ -96,9 +97,31 @@ class Counter {
   void Add(std::uint64_t n) { Add(ThisThreadShard(shard_count_), n); }
   void Inc() { Add(std::uint64_t{1}); }
 
+  // Add plus exemplar: when `trace_id` != 0, stamps the counter's exemplar
+  // cell with (n, trace_id) — the same last-writer-wins discipline as the
+  // histogram bucket exemplars, two extra relaxed stores. A scrape can then
+  // link "steals happened this interval" to one concrete flow's trace track.
+  void AddWithExemplar(std::size_t shard, std::uint64_t n,
+                       std::uint64_t trace_id) {
+    Add(shard, n);
+    if (trace_id != 0) {
+      exemplar_.value.store(n, std::memory_order_relaxed);
+      exemplar_.trace_id.store(trace_id, std::memory_order_relaxed);
+    }
+  }
+  void IncWithExemplar(std::size_t shard, std::uint64_t trace_id) {
+    AddWithExemplar(shard, 1, trace_id);
+  }
+
   std::uint64_t Value() const;
   std::uint64_t ShardValue(std::size_t shard) const {
     return shards_[shard % shard_count_].v.load(std::memory_order_acquire);
+  }
+  // Most recent exemplar-tagged increment: {n, trace_id}; trace_id == 0
+  // means no exemplar has ever been recorded.
+  std::pair<std::uint64_t, std::uint64_t> Exemplar() const {
+    return {exemplar_.value.load(std::memory_order_relaxed),
+            exemplar_.trace_id.load(std::memory_order_relaxed)};
   }
   std::size_t shards() const { return shard_count_; }
 
@@ -106,8 +129,13 @@ class Counter {
   struct alignas(64) Cell {
     std::atomic<std::uint64_t> v{0};
   };
+  struct ExemplarCell {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> trace_id{0};
+  };
   std::size_t shard_count_;
   std::unique_ptr<Cell[]> shards_;
+  ExemplarCell exemplar_;
 };
 
 // Last-value gauge with per-shard cells. Additive reads (Sum — e.g. mempool
@@ -253,6 +281,9 @@ struct Snapshot {
     std::string name;
     std::uint64_t value = 0;
     std::vector<std::uint64_t> shards;
+    // Most recent AddWithExemplar increment; trace_id == 0 means none.
+    std::uint64_t exemplar_value = 0;
+    std::uint64_t exemplar_trace_id = 0;
   };
   struct GaugeSample {
     std::string name;
@@ -270,11 +301,12 @@ struct Snapshot {
   std::vector<HistogramSample> histograms;
 
   // Prometheus text exposition (names sanitized: '.' -> '_'; histograms as
-  // cumulative <name>_bucket{le=...} series plus _sum/_count; bucket
-  // exemplars appended OpenMetrics-style: `... 5 # {trace_id="0x2a"} 117`).
+  // cumulative <name>_bucket{le=...} series plus _sum/_count; bucket and
+  // counter exemplars appended OpenMetrics-style:
+  // `... 5 # {trace_id="0x2a"} 117`).
   std::string ToPrometheus() const;
   // Machine-readable JSON: {"counters":{...},"gauges":{...},
-  // "histograms":{name:{count,sum,mean,p50,p95,p99,exemplars:[...]}}}.
+  // "histograms":{name:{count,sum,mean,p50,p95,p99,p999,exemplars:[...]}}}.
   std::string ToJson() const;
 };
 
@@ -288,6 +320,10 @@ struct DeltaSnapshot {
     std::string name;
     std::uint64_t delta = 0;  // increase over the interval
     double rate = 0.0;        // delta / interval_seconds
+    // Current exemplar cell, surfaced only when the counter moved this
+    // interval; trace_id == 0 means none.
+    std::uint64_t exemplar_value = 0;
+    std::uint64_t exemplar_trace_id = 0;
   };
   struct HistogramDelta {
     std::string name;
@@ -301,8 +337,9 @@ struct DeltaSnapshot {
   std::vector<Snapshot::GaugeSample> gauges;  // gauges are levels: current
   std::vector<HistogramDelta> histograms;
 
-  // {"interval_seconds":...,"counters":{name:{delta,rate}},"gauges":{...},
-  //  "histograms":{name:{count,sum,mean,p50,p95,p99,exemplars:[...]}}}.
+  // {"interval_seconds":...,"counters":{name:{delta,rate[,exemplar]}},
+  //  "gauges":{...},
+  //  "histograms":{name:{count,sum,mean,p50,p95,p99,p999,exemplars:[...]}}}.
   std::string ToJson() const;
 };
 

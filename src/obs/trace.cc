@@ -99,45 +99,53 @@ const char* Tracer::Intern(std::string_view s) {
   return interned_.back()->c_str();
 }
 
+// All armed appends funnel through here. The busy flag is the writer half of
+// a Dekker handshake with DrainChromeJson: busy is raised seq_cst *before*
+// re-reading the armed flag seq_cst, while the drain stores armed=false
+// seq_cst *before* reading busy. In the seq_cst total order one side always
+// observes the other — either this append sees the disarm and bails without
+// touching the ring, or the drain sees busy==1 and spins until the slot
+// write below has retired (release store / acquire-or-stronger load pairing
+// publishes the plain writes to events[] and next).
+void Tracer::Append(const TraceEvent& ev) {
+  Ring* ring = RingForThisThread();
+  ring->busy.store(1, std::memory_order_seq_cst);
+  if (!internal::g_trace_armed.load(std::memory_order_seq_cst)) {
+    ring->busy.store(0, std::memory_order_release);
+    return;
+  }
+  ring->events[ring->next & (ring->events.size() - 1)] = ev;
+  ring->next++;
+  ring->busy.store(0, std::memory_order_release);
+}
+
 void Tracer::Span(const char* name, std::uint64_t ts_begin,
                   std::uint64_t dur) {
   if (!ArmedFast()) {
     return;
   }
-  Ring* ring = RingForThisThread();
-  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
-  ev = TraceEvent{ts_begin, dur, name, nullptr, 0, 0, 'X', false};
-  ring->next++;
+  Append(TraceEvent{ts_begin, dur, name, nullptr, 0, 0, 'X', false});
 }
 
 void Tracer::Instant(const char* name) {
   if (!ArmedFast()) {
     return;
   }
-  Ring* ring = RingForThisThread();
-  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
-  ev = TraceEvent{util::CycleEnd(), 0, name, nullptr, 0, 0, 'i', false};
-  ring->next++;
+  Append(TraceEvent{util::CycleEnd(), 0, name, nullptr, 0, 0, 'i', false});
 }
 
 void Tracer::InstantArg(const char* name, std::uint64_t arg) {
   if (!ArmedFast()) {
     return;
   }
-  Ring* ring = RingForThisThread();
-  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
-  ev = TraceEvent{util::CycleEnd(), 0, name, nullptr, 0, arg, 'i', true};
-  ring->next++;
+  Append(TraceEvent{util::CycleEnd(), 0, name, nullptr, 0, arg, 'i', true});
 }
 
 void Tracer::AsyncBegin(const char* name, const char* cat, std::uint64_t id) {
   if (!ArmedFast()) {
     return;
   }
-  Ring* ring = RingForThisThread();
-  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
-  ev = TraceEvent{util::CycleEnd(), 0, name, cat, id, 0, 'b', false};
-  ring->next++;
+  Append(TraceEvent{util::CycleEnd(), 0, name, cat, id, 0, 'b', false});
 }
 
 void Tracer::AsyncInstant(const char* name, const char* cat,
@@ -145,20 +153,14 @@ void Tracer::AsyncInstant(const char* name, const char* cat,
   if (!ArmedFast()) {
     return;
   }
-  Ring* ring = RingForThisThread();
-  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
-  ev = TraceEvent{util::CycleEnd(), 0, name, cat, id, 0, 'n', false};
-  ring->next++;
+  Append(TraceEvent{util::CycleEnd(), 0, name, cat, id, 0, 'n', false});
 }
 
 void Tracer::AsyncEnd(const char* name, const char* cat, std::uint64_t id) {
   if (!ArmedFast()) {
     return;
   }
-  Ring* ring = RingForThisThread();
-  TraceEvent& ev = ring->events[ring->next & (ring->events.size() - 1)];
-  ev = TraceEvent{util::CycleEnd(), 0, name, cat, id, 0, 'e', false};
-  ring->next++;
+  Append(TraceEvent{util::CycleEnd(), 0, name, cat, id, 0, 'e', false});
 }
 
 std::size_t Tracer::buffered_events() const {
@@ -276,6 +278,30 @@ std::string Tracer::ExportChromeJson() const {
     out += "}";
   }
   out += "]}";
+  return out;
+}
+
+std::string Tracer::DrainChromeJson() {
+  // Disarm (seq_cst — the drain half of the Append handshake), then wait
+  // for every ring's in-flight append to retire before reading the rings.
+  const bool was_armed =
+      internal::g_trace_armed.exchange(false, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      while (ring->busy.load(std::memory_order_seq_cst) != 0) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  // Writers that raced past ArmedFast() now see armed==false under their
+  // busy flag and skip, so the export below reads a stable snapshot even
+  // though the instrumented threads were never joined. A ring registered
+  // between the spin above and the export is necessarily still empty.
+  std::string out = ExportChromeJson();
+  if (was_armed) {
+    internal::g_trace_armed.store(true, std::memory_order_seq_cst);
+  }
   return out;
 }
 

@@ -21,7 +21,11 @@
 // Threading: Record runs concurrently from any number of threads. Arm /
 // Disarm are safe any time; Reset and ExportChromeJson require writers to be
 // quiesced (e.g. after Runtime::Shutdown joined the workers) — the expected
-// harness shape is arm, run, shut down, export.
+// harness shape is arm, run, shut down, export. DrainChromeJson is the live
+// alternative used by the ops server: it briefly disarms, waits for every
+// in-flight append to retire via a per-ring busy flag, exports, and rearms —
+// safe while workers keep running (appends that land during the drain window
+// see the disarmed flag and skip, counted as any disarmed-period event is).
 #ifndef LINSYS_SRC_OBS_TRACE_H_
 #define LINSYS_SRC_OBS_TRACE_H_
 
@@ -138,15 +142,26 @@ class Tracer {
   std::string ExportChromeJson() const;
   bool WriteChromeJson(const std::string& path) const;
 
+  // Live export: quiesces writers without joining them (disarm, spin until
+  // every ring's in-flight append retires, export, rearm if it was armed).
+  // Safe to call from any thread while instrumented threads keep running;
+  // events attempted during the drain window are skipped, not torn.
+  std::string DrainChromeJson();
+
  private:
   struct Ring {
     std::vector<TraceEvent> events;  // capacity is a power of two
     std::uint64_t next = 0;          // total appended to this ring
+    // Raised (seq_cst) around every armed append; DrainChromeJson disarms
+    // and then waits for busy == 0 before it reads events/next, so a live
+    // drain never races a half-written slot (Dekker with the armed flag).
+    std::atomic<std::uint32_t> busy{0};
     std::uint32_t tid = 0;
     std::string name;
   };
 
   Ring* RingForThisThread();
+  void Append(const TraceEvent& ev);
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Ring>> rings_;
