@@ -162,10 +162,12 @@ int main(int argc, char** argv) {
   // traced: batches, faults, recoveries, and the quarantine land in one
   // chrome://tracing / Perfetto timeline, flow-correlated by async tracks.
   //
-  // --ops PATH serves /metrics, /metrics/delta, /trace, /healthz on a unix
-  // socket while the process runs; --serve-ms N holds the storm open for N
-  // extra milliseconds of live traffic so an external scraper (CI's
-  // obs_scrape) can pull the endpoints mid-storm.
+  // --ops PATH serves /metrics, /metrics/delta, /trace, /profile, /healthz
+  // on a unix socket while the process runs; --serve-ms N holds the storm
+  // open for N extra milliseconds of live traffic so an external scraper
+  // (CI's obs_scrape) can pull the endpoints mid-storm — including a
+  // /profile?ms=N sampling window whose folded stacks show where the storm
+  // spends its CPU (execute vs recover vs ckpt-capture).
   const char* trace_path = "fault_storm_trace.json";
   const char* delta_path = "fault_storm_delta.json";
   std::string ops_path;
@@ -255,8 +257,8 @@ int main(int argc, char** argv) {
 
   // Scrape window: hold the storm open — injectors still armed, live
   // checkpoint epochs still firing — so an external obs_scrape can pull
-  // /metrics, /metrics/delta, /trace, and /healthz from a process that is
-  // genuinely mid-storm, not idling.
+  // /metrics, /metrics/delta, /trace, /profile, and /healthz from a process
+  // that is genuinely mid-storm, not idling.
   if (serve_ms > 0) {
     std::printf("\nserving ops on %s for %d ms (storm still firing)\n",
                 ops_path.empty() ? "<no socket>" : ops_path.c_str(),

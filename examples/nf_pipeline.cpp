@@ -25,6 +25,7 @@
 #include "src/net/pktgen.h"
 #include "src/obs/metrics.h"
 #include "src/obs/ops_server.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/sfi/manager.h"
 #include "src/util/cycles.h"
@@ -65,12 +66,14 @@ int main(int argc, char** argv) {
   constexpr std::size_t kBatch = 32;
   constexpr int kRounds = 5000;
 
-  // --ops PATH serves the live scrape endpoints on a unix socket while the
-  // pipeline runs; --serve-ms N keeps traffic flowing for N extra
-  // milliseconds so an external obs_scrape can watch the run live. The
-  // server here runs standalone over the process-global registry/tracer —
-  // no net::Runtime involved — which is the hook shape any long-running
-  // service in this codebase can reuse.
+  // --ops PATH serves the live scrape endpoints (/metrics, /metrics/delta,
+  // /trace, /profile, /healthz) on a unix socket while the pipeline runs;
+  // --serve-ms N keeps traffic flowing for N extra milliseconds so an
+  // external obs_scrape can watch the run live — /profile?ms=N returns
+  // folded stacks naming the pipeline stage each sampled tick landed in.
+  // The server here runs standalone over the process-global
+  // registry/tracer/profiler — no net::Runtime involved — which is the
+  // hook shape any long-running service in this codebase can reuse.
   std::string ops_path;
   int serve_ms = 0;
   for (int i = 1; i < argc; ++i) {
@@ -92,6 +95,7 @@ int main(int argc, char** argv) {
     obs::OpsServer::Hooks hooks;
     hooks.registry = &obs::Registry::Global();
     hooks.tracer = &obs::Tracer::Global();
+    hooks.profiler = &obs::Profiler::Global();
     hooks.healthz = [] { return std::string("{\"status\":\"ok\"}"); };
     ops = std::make_unique<obs::OpsServer>(ops_cfg, hooks);
     std::string error;
@@ -102,6 +106,11 @@ int main(int argc, char** argv) {
       std::printf("serving ops on %s\n", ops_path.c_str());
     }
   }
+
+  // The driving thread is the only on-CPU thread here; registering it lets
+  // a /profile window attribute its ticks to the pipeline stages (via the
+  // stage scope inside IsolatedPipeline::Run).
+  obs::Profiler::Global().RegisterThisThread("pipeline");
 
   net::Mempool pool(4096, 2048);
   net::PktSourceConfig cfg;
@@ -139,6 +148,7 @@ int main(int argc, char** argv) {
   for (int round = 0; round < kRounds; ++round) {
     net::PacketBatch batch(kBatch);
     source.RxBurst(batch, kBatch);
+    obs::ScopedProfilerPhase prof(obs::ProfilerPhase::kExecute);
     auto result = pipeline.Run(std::move(batch));
     if (result.ok()) {
       delivered += result.value().size();
@@ -159,6 +169,7 @@ int main(int argc, char** argv) {
     while (std::chrono::steady_clock::now() < serve_deadline) {
       net::PacketBatch batch(kBatch);
       source.RxBurst(batch, kBatch);
+      obs::ScopedProfilerPhase prof(obs::ProfilerPhase::kExecute);
       auto result = pipeline.Run(std::move(batch));
       if (result.ok()) {
         delivered += result.value().size();

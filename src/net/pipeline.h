@@ -35,6 +35,7 @@
 
 #include "src/ckpt/checkpoint.h"
 #include "src/net/batch.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/sfi/manager.h"
 #include "src/sfi/rref.h"
@@ -200,6 +201,11 @@ class IsolatedPipeline {
             return util::Err(sfi::CallError::kQuarantined);
         }
       }
+      // Refine the profiler's execute phase with the stage name: samples
+      // landing inside this call fold as worker;execute;<stage>. The name
+      // lives in StageHealth (stable std::string) so the const char* the
+      // signal handler reads stays valid for the pipeline's lifetime.
+      obs::ScopedProfilerStage prof_stage(stage.health.name.c_str());
       auto result = stage.rref.Call(
           [b = std::move(batch)](std::unique_ptr<Operator>& op) mutable {
             return op->Process(std::move(b));

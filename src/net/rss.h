@@ -252,6 +252,15 @@ class BasicRssDispatcher {
           keep.set_dispatch_tsc(source.dispatch_tsc());
           take.set_dispatch_tsc(source.dispatch_tsc());
         }
+        // Accumulated decomposition stamps migrate too: a slice stolen
+        // twice keeps the transit cycles of both legs, and a fence stall
+        // survives a later migration.
+        if constexpr (requires { keep.set_steal_cycles(source.steal_cycles()); }) {
+          keep.set_steal_cycles(source.steal_cycles());
+          take.set_steal_cycles(source.steal_cycles());
+          keep.set_fence_cycles(source.fence_cycles());
+          take.set_fence_cycles(source.fence_cycles());
+        }
         for (auto& item : source) {
           if (chosen.count(ItemKey(item)) != 0) {
             take.Push(std::move(item));
@@ -403,6 +412,16 @@ class BasicRssDispatcher {
               keep.set_dispatch_tsc(source.dispatch_tsc());
               for (auto& t : take) {
                 t.set_dispatch_tsc(source.dispatch_tsc());
+              }
+            }
+            if constexpr (requires {
+                            keep.set_steal_cycles(source.steal_cycles());
+                          }) {
+              keep.set_steal_cycles(source.steal_cycles());
+              keep.set_fence_cycles(source.fence_cycles());
+              for (auto& t : take) {
+                t.set_steal_cycles(source.steal_cycles());
+                t.set_fence_cycles(source.fence_cycles());
               }
             }
             for (auto& item : source) {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/ckpt/obs.h"
+#include "src/obs/profiler.h"
 #include "src/util/cycles.h"
 #include "src/util/fault_injector.h"
 #include "src/util/panic.h"
@@ -62,6 +63,12 @@ std::string RuntimeStats::Summary() const {
   s += " | load: " + packets_per_worker.Summary();
   s += "\n  batch_cycles: " + batch_cycles.Summary();
   s += "\n  delivery_latency_cycles: " + delivery_latency_cycles.Summary();
+  if (latency_queue_cycles.count > 0) {
+    s += "\n  latency_queue_cycles: " + latency_queue_cycles.Summary();
+    s += "\n  latency_service_cycles: " + latency_service_cycles.Summary();
+    s += "\n  latency_steal_cycles: " + latency_steal_cycles.Summary();
+    s += "\n  latency_fence_cycles: " + latency_fence_cycles.Summary();
+  }
   s += "\n  mempool: in_use=" + std::to_string(mempool_in_use);
   s += " hwm=" + std::to_string(mempool_in_use_hwm);
   s += " alloc_failures=" + std::to_string(mempool_alloc_failures);
@@ -124,6 +131,19 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
   // cannot be gated on arming — a live operator must always see it.
   telemetry_.delivery_latency_cycles =
       registry_.GetHistogram("runtime.delivery_latency_cycles", shards);
+  // Always-on decomposition of the SLO histogram. Every delivered sub-batch
+  // records all four components (zeros included) so the counts match the
+  // delivery histogram and the per-batch identity queue + service + steal +
+  // fence == delivery holds exactly on the sums (RecordDeliverySplit clamps
+  // to enforce it). The /metrics/delta SLO header breaks these out.
+  telemetry_.latency_queue_cycles =
+      registry_.GetHistogram("runtime.latency_queue_cycles", shards);
+  telemetry_.latency_service_cycles =
+      registry_.GetHistogram("runtime.latency_service_cycles", shards);
+  telemetry_.latency_steal_cycles =
+      registry_.GetHistogram("runtime.latency_steal_cycles", shards);
+  telemetry_.latency_fence_cycles =
+      registry_.GetHistogram("runtime.latency_fence_cycles", shards);
   telemetry_.steals = registry_.GetCounter("runtime.steals_total", shards);
   telemetry_.stolen_batches =
       registry_.GetCounter("runtime.stolen_sub_batches_total", shards);
@@ -229,6 +249,7 @@ void Runtime::Start() {
     hooks.registry = &registry_;
     hooks.global_registry = &obs::Registry::Global();
     hooks.tracer = &obs::Tracer::Global();
+    hooks.profiler = &obs::Profiler::Global();
     hooks.healthz = [this] { return HealthzJson(); };
     ops_server_ = std::make_unique<obs::OpsServer>(config_.ops, hooks);
     std::string error;
@@ -337,6 +358,11 @@ void Runtime::WorkerMain(Worker& w) {
   if (obs::Tracer::ArmedFast()) {
     obs::Tracer::Global().SetThreadName("worker" + std::to_string(w.index));
   }
+  // Sampling-profiler identity: a /profile window attributes this thread's
+  // CPU ticks to the phase scopes below. Unregistered again before exit —
+  // a CPU-time timer must never outlive its thread.
+  obs::Profiler::Global().RegisterThisThread("worker" +
+                                             std::to_string(w.index));
   // Scope per-worker fault plans ("net.worker:<i>/<site>") to this thread.
   util::FaultInjector::SetThreadTag("net.worker:" + std::to_string(w.index));
   auto& queue = rss_.queue(w.index);
@@ -381,6 +407,10 @@ void Runtime::WorkerMain(Worker& w) {
     w.busy.store(false, std::memory_order_release);
     std::optional<lin::Own<FlowBatch>> handle;
     try {
+      // Profile attribution: CPU burned taking the queue (lock, publish,
+      // dequeue) is "pop"; a blocked Recv accrues no CPU time, so parked
+      // waits do not pollute the pop bucket.
+      obs::ScopedProfilerPhase pop_phase(obs::ProfilerPhase::kPop);
       handle = control ? queue.Recv(publish) : queue.Recv();
     } catch (const util::PanicError&) {
       // An injected channel.recv fault fires before the dequeue, so the
@@ -393,9 +423,15 @@ void Runtime::WorkerMain(Worker& w) {
       break;  // closed and drained
     }
     FlowBatch batch = handle->Take();
+    // The queue→service split point: everything before this stamp is queue
+    // wait (or steal transit), everything after is service — except the
+    // fence pause charged just below.
+    batch.set_pop_tsc(util::CycleStart());
     // Batch boundary: service an open checkpoint epoch before processing
     // the popped batch (which then simply replays on top of the snapshot).
-    MaybeCaptureCheckpoint(w);
+    // The measured capture pause stalled *this* batch's delivery, so it is
+    // charged to its fence component rather than smeared into service.
+    batch.add_fence_cycles(MaybeCaptureCheckpoint(w));
     if (control && batch.empty()) {
       // Supervisor steal nudge or checkpoint nudge (real sub-batches are
       // never empty: FanOut only enqueues non-empty per-worker groups). Not
@@ -426,6 +462,7 @@ void Runtime::WorkerMain(Worker& w) {
   }
   w.busy.store(false, std::memory_order_release);
   telemetry_.queue_depth->Set(w.index, 0);
+  obs::Profiler::Global().UnregisterThisThread();
 }
 
 // Supervisor-side steal trigger: for every idle worker (empty queue, not
@@ -462,6 +499,9 @@ bool Runtime::TrySteal(Worker& w) {
   if (ckpt_fence_.load(std::memory_order_acquire)) {
     return false;  // checkpoint epoch open: no flow may change homes
   }
+  // Profile attribution: victim scoring, the steal itself, and the table
+  // updates are "steal"; ProcessFlows below nests back into "execute".
+  obs::ScopedProfilerPhase steal_phase(obs::ProfilerPhase::kSteal);
   const StealConfig& sc = config_.stealing;
   // Service-time-weighted victim selection: score each peer by estimated
   // backlog drain cycles (queue depth × that worker's per-sub-batch service
@@ -558,6 +598,12 @@ bool Runtime::TrySteal(Worker& w) {
     // The slice keeps its source sub-batch's flow id, so the steal shows up
     // on the original dispatch's async track.
     LINSYS_TRACE_ASYNC_INSTANT("flow.steal", "flow", slice.flow_id());
+    // Latency decomposition: the migration transit this slice survived goes
+    // to its steal component (additive — a re-stolen slice keeps both
+    // legs), and its queue time ends now: processing directly *is* the new
+    // home's pop.
+    slice.add_steal_cycles(steal_cycles);
+    slice.set_pop_tsc(util::CycleEnd());
     w.busy.store(true, std::memory_order_release);
     ProcessFlows(w, std::move(slice));
     w.heartbeat.fetch_add(1, std::memory_order_release);
@@ -605,6 +651,7 @@ void Runtime::RxMain(FlowFeeder* feeder, std::uint64_t batches) {
   if (obs::Tracer::ArmedFast()) {
     obs::Tracer::Global().SetThreadName("rx");
   }
+  obs::Profiler::Global().RegisterThisThread("rx");
   util::FaultInjector::SetThreadTag("net.rx");
   const PacedRxConfig& rx = config_.paced_rx;
   // High-water mark in sub-batches. Dispatch adds at most one sub-batch per
@@ -627,8 +674,14 @@ void Runtime::RxMain(FlowFeeder* feeder, std::uint64_t batches) {
     if (rx_stop_.load(std::memory_order_relaxed)) {
       break;
     }
-    if (!Dispatch(feeder->Next(rx.burst))) {
-      break;  // runtime stopped accepting (shutdown)
+    {
+      // Profile attribution: rx's burst build + steer is execute work with
+      // a stable pseudo-stage name; its pacing sleeps stay idle.
+      obs::ScopedProfilerPhase rx_phase(obs::ProfilerPhase::kExecute);
+      obs::ScopedProfilerStage rx_stage("rx.dispatch");
+      if (!Dispatch(feeder->Next(rx.burst))) {
+        break;  // runtime stopped accepting (shutdown)
+      }
     }
     telemetry_.rx_batches->Inc();
   }
@@ -637,6 +690,42 @@ void Runtime::RxMain(FlowFeeder* feeder, std::uint64_t batches) {
     rx_active_ = false;
   }
   rx_cv_.notify_all();
+  obs::Profiler::Global().UnregisterThisThread();
+}
+
+// Delivery-side terminus of the SLO clock: records the always-on
+// dispatch→delivery histogram plus its four-way additive decomposition.
+// The split is exact by construction — clamps defend against a missing pop
+// stamp or cross-core TSC skew, and after them
+//   queue + service + steal + fence == delivery
+// holds per batch on the nose (the histograms' exact `sum` fields therefore
+// decompose perfectly; quantiles inherit only bucketization error).
+void Runtime::RecordDelivery(Worker& w, const FlowBatch& flows) {
+  if (flows.dispatch_tsc() == 0) {
+    return;  // unstamped (test-built batch): nothing to attribute
+  }
+  const std::uint64_t end = util::CycleEnd();
+  const std::uint64_t dispatch = flows.dispatch_tsc();
+  const std::uint64_t delivery = end > dispatch ? end - dispatch : 0;
+  telemetry_.delivery_latency_cycles->RecordWithExemplar(w.index, delivery,
+                                                         flows.flow_id());
+  std::uint64_t pop = flows.pop_tsc();
+  if (pop < dispatch) {
+    pop = dispatch;  // also covers pop == 0 (batch delivered without Take)
+  }
+  if (pop > end) {
+    pop = end;
+  }
+  std::uint64_t queue = pop - dispatch;
+  std::uint64_t service = end - pop;
+  std::uint64_t steal = std::min(flows.steal_cycles(), queue);
+  queue -= steal;
+  std::uint64_t fence = std::min(flows.fence_cycles(), service);
+  service -= fence;
+  telemetry_.latency_queue_cycles->Record(w.index, queue);
+  telemetry_.latency_service_cycles->Record(w.index, service);
+  telemetry_.latency_steal_cycles->Record(w.index, steal);
+  telemetry_.latency_fence_cycles->Record(w.index, fence);
 }
 
 void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
@@ -645,6 +734,11 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
   // (stage crossings, fault capture, exemplars) tags what it records with
   // the dispatch-assigned id, and the batch span joins the flow's track.
   obs::ScopedFlowId flow_scope(flows.flow_id());
+  // Profile attribution: the batch's whole dynamic extent is "execute"
+  // (per-stage refinement happens inside Pipeline::Run), tagged with the
+  // flow id so profile exemplars correlate with trace tracks.
+  obs::ScopedProfilerPhase exec_phase(obs::ProfilerPhase::kExecute);
+  obs::Profiler::SetFlow(flows.flow_id());
   // Remembered as the exemplar on this worker's next checkpoint-pause
   // sample: the flow whose batch sat behind the capture.
   w.last_flow_id.store(flows.flow_id(), std::memory_order_relaxed);
@@ -725,10 +819,7 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
     // on — queue wait, checkpoint pauses, and any steal/failover migration
     // this batch lived through are all inside this number, which is exactly
     // why it is the client-visible quantity.
-    if (flows.dispatch_tsc() != 0) {
-      telemetry_.delivery_latency_cycles->RecordWithExemplar(
-          w.index, util::CycleEnd() - flows.dispatch_tsc(), flows.flow_id());
-    }
+    RecordDelivery(w, flows);
   } else {
     try {
       const std::uint64_t t0 = util::CycleStart();
@@ -742,11 +833,7 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
           std::memory_order_relaxed);
       telemetry_.packets->Add(w.index, out.size());
       telemetry_.batches->Inc(w.index);
-      if (flows.dispatch_tsc() != 0) {
-        telemetry_.delivery_latency_cycles->RecordWithExemplar(
-            w.index, util::CycleEnd() - flows.dispatch_tsc(),
-            flows.flow_id());
-      }
+      RecordDelivery(w, flows);
     } catch (const util::PanicError&) {
       // The direct flavour has no containment: the batch died mid-stage
       // and there is no domain to recover, only telemetry to keep.
@@ -758,6 +845,7 @@ void Runtime::ProcessFlows(Worker& w, FlowBatch flows) {
 
 bool Runtime::RecoveryPass() {
   LINSYS_TRACE_SPAN("runtime.recovery_pass");
+  obs::ScopedProfilerPhase recover_phase(obs::ProfilerPhase::kRecover);
   bool still_failed = false;
   for (auto& w : workers_) {
     // The worker's pipeline mutex serializes recovery against Run, so
@@ -779,6 +867,7 @@ void Runtime::SupervisorMain() {
   if (obs::Tracer::ArmedFast()) {
     obs::Tracer::Global().SetThreadName("supervisor");
   }
+  obs::Profiler::Global().RegisterThisThread("supervisor");
   util::FaultInjector::SetThreadTag("net.supervisor");
   using Clock = std::chrono::steady_clock;
   const SupervisionConfig& sup = config_.supervision;
@@ -870,23 +959,26 @@ void Runtime::SupervisorMain() {
 
     lock.lock();
   }
+  obs::Profiler::Global().UnregisterThisThread();
 }
 
 // Worker-side half of a checkpoint epoch, called at every batch boundary
 // (right after a pop, before processing). One acquire load + compare on the
 // no-epoch fast path; when the driver has advanced ckpt_gen_, capture this
-// worker's stage state (the measured quiesce pause) and deposit it.
-void Runtime::MaybeCaptureCheckpoint(Worker& w) {
+// worker's stage state (the measured quiesce pause) and deposit it. The
+// caller charges the returned pause to the batch the capture delayed.
+std::uint64_t Runtime::MaybeCaptureCheckpoint(Worker& w) {
   if (!config_.ckpt.enabled) {
-    return;
+    return 0;
   }
   const std::uint64_t gen = ckpt_gen_.load(std::memory_order_acquire);
   if (gen == w.ckpt_seen_gen) {
-    return;
+    return 0;
   }
   // One capture per epoch even if the driver abandons it: the deposit
   // carries the gen, so a stale image can never pollute a later epoch.
   w.ckpt_seen_gen = gen;
+  obs::ScopedProfilerPhase ckpt_phase(obs::ProfilerPhase::kCkptCapture);
   const std::uint64_t t0 = util::CycleStart();
   WorkerCkptImage img;
   img.index = w.index;
@@ -905,6 +997,7 @@ void Runtime::MaybeCaptureCheckpoint(Worker& w) {
   }
   ckpt_cv_.notify_all();
   LINSYS_TRACE_INSTANT_ARG("runtime.ckpt_capture", w.index);
+  return pause;
 }
 
 bool Runtime::CheckpointLive() {
@@ -1105,6 +1198,10 @@ RuntimeStats Runtime::Stats() const {
   // never torn (sum(buckets) == count) even while workers keep recording.
   s.batch_cycles = telemetry_.batch_cycles->Snapshot();
   s.delivery_latency_cycles = telemetry_.delivery_latency_cycles->Snapshot();
+  s.latency_queue_cycles = telemetry_.latency_queue_cycles->Snapshot();
+  s.latency_service_cycles = telemetry_.latency_service_cycles->Snapshot();
+  s.latency_steal_cycles = telemetry_.latency_steal_cycles->Snapshot();
+  s.latency_fence_cycles = telemetry_.latency_fence_cycles->Snapshot();
   s.stages.resize(stage_names_.size());
   for (std::size_t i = 0; i < stage_names_.size(); ++i) {
     s.stages[i].name = stage_names_[i];

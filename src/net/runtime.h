@@ -117,10 +117,33 @@ class FlowBatch {
   std::uint64_t dispatch_tsc() const { return dispatch_tsc_; }
   void set_dispatch_tsc(std::uint64_t tsc) { dispatch_tsc_ = tsc; }
 
+  // Pop-time cycle stamp (0 = unstamped): when the batch's final home took
+  // it off a queue — handle->Take() on the owning worker, or steal
+  // completion for a stolen slice. Splits delivery latency into its queue
+  // (dispatch→pop) and service (pop→delivery) halves.
+  std::uint64_t pop_tsc() const { return pop_tsc_; }
+  void set_pop_tsc(std::uint64_t tsc) { pop_tsc_ = tsc; }
+
+  // Accumulated cycles this batch spent in steal transit (victim-queue scan
+  // + migration-table update + slice split) before its new home popped it.
+  // Additive: a twice-migrated slice carries both legs.
+  std::uint64_t steal_cycles() const { return steal_cycles_; }
+  void set_steal_cycles(std::uint64_t c) { steal_cycles_ = c; }
+  void add_steal_cycles(std::uint64_t c) { steal_cycles_ += c; }
+
+  // Accumulated cycles the batch stalled behind a raised checkpoint fence
+  // (the capture pause taken between its pop and its processing).
+  std::uint64_t fence_cycles() const { return fence_cycles_; }
+  void set_fence_cycles(std::uint64_t c) { fence_cycles_ = c; }
+  void add_fence_cycles(std::uint64_t c) { fence_cycles_ += c; }
+
  private:
   std::vector<FlowWork> work_;
   std::uint64_t flow_id_ = 0;
   std::uint64_t dispatch_tsc_ = 0;
+  std::uint64_t pop_tsc_ = 0;
+  std::uint64_t steal_cycles_ = 0;
+  std::uint64_t fence_cycles_ = 0;
 };
 
 // Sequence numbers ride in the first 8 payload bytes (host order).
@@ -356,6 +379,15 @@ struct RuntimeStats {
   // delivery, queue wait and any steal/failover migration included. This is
   // the client-visible SLO quantity the ops server windows per delta scrape.
   obs::HistogramSnapshot delivery_latency_cycles;
+  // Additive decomposition of delivery latency, recorded per delivered
+  // sub-batch (all four every time, zeros included, so the counts match and
+  // queue + service + steal + fence == delivery exactly on the sums):
+  // queue = dispatch→pop wait, service = pop→delivery minus fence, steal =
+  // migration transit, fence = checkpoint-capture stall.
+  obs::HistogramSnapshot latency_queue_cycles;
+  obs::HistogramSnapshot latency_service_cycles;
+  obs::HistogramSnapshot latency_steal_cycles;
+  obs::HistogramSnapshot latency_fence_cycles;
   // Mempool occupancy across all worker pools at scrape time.
   std::uint64_t mempool_in_use = 0;
   std::uint64_t mempool_in_use_hwm = 0;  // max over workers
@@ -577,6 +609,11 @@ class Runtime {
     obs::Gauge* queue_hwm = nullptr;
     obs::Histogram* batch_cycles = nullptr;
     obs::Histogram* delivery_latency_cycles = nullptr;  // always-on (SLO)
+    // Always-on decomposition of the SLO histogram (see RuntimeStats).
+    obs::Histogram* latency_queue_cycles = nullptr;
+    obs::Histogram* latency_service_cycles = nullptr;
+    obs::Histogram* latency_steal_cycles = nullptr;
+    obs::Histogram* latency_fence_cycles = nullptr;
     obs::Histogram* dispatch_cycles = nullptr;  // kNet-armed only
     obs::Histogram* steal_cycles = nullptr;
     obs::Histogram* ckpt_pause_cycles = nullptr;      // per-worker shards
@@ -585,6 +622,10 @@ class Runtime {
 
   void WorkerMain(Worker& w);
   void ProcessFlows(Worker& w, FlowBatch flows);
+  // Records delivery_latency_cycles plus its exact additive decomposition
+  // (queue/service/steal/fence) for a delivered batch. No-op when the batch
+  // carries no dispatch stamp.
+  void RecordDelivery(Worker& w, const FlowBatch& flows);
   // Attempts one steal for idle worker `w`; processes the stolen slices
   // in order before returning. True if anything was stolen and processed.
   // Victim choice is service-time-weighted (depth × the victim's service
@@ -605,7 +646,9 @@ class Runtime {
   // Worker-side half of the checkpoint epoch: called at every batch
   // boundary; when ckpt_gen_ has advanced past this worker's cursor, capture
   // its stage state (the measured pause) and deposit it for the driver.
-  void MaybeCaptureCheckpoint(Worker& w);
+  // Returns the pause in cycles (0 when no capture ran) so the caller can
+  // charge the stall to the batch it delayed (latency_fence_cycles).
+  std::uint64_t MaybeCaptureCheckpoint(Worker& w);
   // /healthz body for the ops server: lifecycle, quarantine census, and
   // checkpoint fence/epoch state. Runs on the server thread while workers
   // are live (per-stage health is read under each worker's mutex).

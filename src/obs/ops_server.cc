@@ -8,8 +8,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#include "src/obs/profiler.h"
 
 namespace obs {
 
@@ -59,6 +64,32 @@ std::string Num3(double v) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.3f", v);
   return buf;
+}
+
+// Pulls `key=value` out of a raw query string ("a=1&b=2"); returns `fallback`
+// when the key is absent or the value fails to parse as a non-negative
+// integer. Tolerant by design — this parses what a debugging human types.
+std::uint64_t QueryUint(const std::string& query, const std::string& key,
+                        std::uint64_t fallback) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < end &&
+        query.compare(pos, eq - pos, key) == 0) {
+      const std::string value = query.substr(eq + 1, end - eq - 1);
+      if (!value.empty() &&
+          value.find_first_not_of("0123456789") == std::string::npos) {
+        return std::strtoull(value.c_str(), nullptr, 10);
+      }
+      return fallback;
+    }
+    pos = end + 1;
+  }
+  return fallback;
 }
 
 }  // namespace
@@ -252,19 +283,23 @@ void OpsServer::HandleConnection(int fd) {
     WriteResponse(fd, 400, "text/plain", "malformed target\n");
     return;
   }
-  const std::size_t query = target.find('?');
-  if (query != std::string::npos) {
-    target.resize(query);
+  // Split target into path + query: /profile?ms=200 parameterizes the
+  // handler; paths that ignore queries (e.g. /healthz?probe=1) still match.
+  std::string query;
+  const std::size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    query = target.substr(qpos + 1);
+    target.resize(qpos);
   }
 
   std::string body;
   std::string content_type = "text/plain";
-  const int status = Dispatch(target, &body, &content_type);
+  const int status = Dispatch(target, query, &body, &content_type);
   WriteResponse(fd, status, content_type, body);
 }
 
-int OpsServer::Dispatch(const std::string& path, std::string* body,
-                        std::string* content_type) {
+int OpsServer::Dispatch(const std::string& path, const std::string& query,
+                        std::string* body, std::string* content_type) {
   if (path == "/metrics") {
     *content_type = "text/plain; version=0.0.4";
     *body = hooks_.registry->Scrape().ToPrometheus();
@@ -286,6 +321,37 @@ int OpsServer::Dispatch(const std::string& path, std::string* body,
     }
     *content_type = "application/json";
     *body = hooks_.tracer->DrainChromeJson();
+    return 200;
+  }
+  if (path == "/profile") {
+    if (hooks_.profiler == nullptr) {
+      *body = "no profiler attached\n";
+      return 404;
+    }
+    // Window length and sample period are clamped, not rejected: the client
+    // is a human with curl, and a typo should cost them a short window, not
+    // a 400. The serving thread sleeps through the window — the server is
+    // serial by design, so concurrent scrapes queue on the listen backlog
+    // exactly like a slow /trace drain.
+    std::uint64_t ms = QueryUint(query, "ms", 500);
+    if (ms < 10) {
+      ms = 10;
+    }
+    if (ms > 10000) {
+      ms = 10000;
+    }
+    std::uint64_t us = QueryUint(query, "us", 250);
+    if (us > 1000000) {
+      us = 1000000;
+    }
+    std::string error;
+    if (!hooks_.profiler->StartWindow(static_cast<std::uint32_t>(us),
+                                      &error)) {
+      *body = "profiler window failed: " + error + "\n";
+      return 400;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    *body = hooks_.profiler->StopWindowFolded();
     return 200;
   }
   if (path == "/healthz") {
@@ -318,6 +384,56 @@ std::string OpsServer::MetricsDeltaBody() {
            ",\"slo_p999_cycles\":" + Num3(slo->Percentile(99.9));
   } else {
     out += ",\"samples\":0";
+  }
+  // Delivery-latency decomposition: the four additive components the runtime
+  // records per batch (queue+service+steal+fence == delivery, exactly, by
+  // construction). Quantiles are per-component, so p50s sum to roughly the
+  // delivery p50 (bucketization error only); means sum exactly. A scraper
+  // reads this header and knows *where* the p99 went without a second poll.
+  static const struct {
+    const char* key;
+    const char* metric;
+  } kComponents[] = {
+      {"queue", "runtime.latency_queue_cycles"},
+      {"service", "runtime.latency_service_cycles"},
+      {"steal", "runtime.latency_steal_cycles"},
+      {"fence", "runtime.latency_fence_cycles"},
+  };
+  std::string components;
+  for (const auto& c : kComponents) {
+    for (const auto& h : d.histograms) {
+      if (h.name != c.metric) {
+        continue;
+      }
+      if (!components.empty()) {
+        components += ",";
+      }
+      components += std::string("\"") + c.key + "\":{\"samples\":" +
+                    std::to_string(h.delta.count) +
+                    ",\"mean_cycles\":" + Num3(h.delta.Mean()) +
+                    ",\"p50_cycles\":" + Num3(h.delta.Percentile(50)) +
+                    ",\"p99_cycles\":" + Num3(h.delta.Percentile(99)) + "}";
+      break;
+    }
+  }
+  if (!components.empty()) {
+    out += ",\"components\":{" + components + "}";
+  }
+  // Gauge levels (steal debt, inflight, ring depth...) ride in the header
+  // too: they are the "what is the system doing right now" complement to the
+  // interval quantiles, and a delta-only scraper would otherwise miss them.
+  if (!d.gauges.empty()) {
+    out += ",\"gauges\":{";
+    bool first = true;
+    for (const auto& g : d.gauges) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\"" + g.name + "\":{\"sum\":" + std::to_string(g.sum) +
+             ",\"max\":" + std::to_string(g.max) + "}";
+    }
+    out += "}";
   }
   out += "},\"delta\":" + d.ToJson() + "}";
   return out;

@@ -19,6 +19,11 @@
 //                   experience since I last asked".
 //   /trace          Live chrome://tracing JSON drain of the tracer rings
 //                   (Tracer::DrainChromeJson — workers keep running).
+//   /profile        Opens a sampling-profiler window (?ms=N window length,
+//                   ?us=P sample period), blocks the serving thread for the
+//                   window, and returns folded-stack text
+//                   (thread;phase[;stage] count) ready for flamegraph.pl.
+//                   Workers keep running; only the scrape connection waits.
 //   /healthz        Runtime lifecycle JSON from the owner's health callback.
 //
 // Transport is a unix domain socket by default (no port management, file
@@ -48,6 +53,8 @@
 
 namespace obs {
 
+class Profiler;
+
 struct OpsServerConfig {
   bool enabled = false;
   // Unix-domain socket path; unlinked and re-bound on Start, unlinked again
@@ -71,6 +78,7 @@ class OpsServer {
     Registry* registry = nullptr;         // primary scrape source (required)
     Registry* global_registry = nullptr;  // merged into /metrics if distinct
     Tracer* tracer = nullptr;             // /trace source (optional)
+    Profiler* profiler = nullptr;         // /profile source (optional)
     std::function<std::string()> healthz;  // /healthz JSON body (optional)
   };
 
@@ -103,10 +111,10 @@ class OpsServer {
  private:
   void Serve();
   void HandleConnection(int fd);
-  // Builds the response body + content type for `path`; returns the HTTP
-  // status code.
-  int Dispatch(const std::string& path, std::string* body,
-               std::string* content_type);
+  // Builds the response body + content type for `path` (`query` is the raw
+  // text after '?', empty when absent); returns the HTTP status code.
+  int Dispatch(const std::string& path, const std::string& query,
+               std::string* body, std::string* content_type);
   std::string MetricsDeltaBody();
 
   OpsServerConfig config_;

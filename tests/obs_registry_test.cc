@@ -4,6 +4,7 @@
 // never a torn histogram (sum of buckets == count in every snapshot).
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -369,6 +370,93 @@ TEST(Metrics, ThisThreadShardStableWithinThread) {
   const std::size_t b = obs::ThisThreadShard(8);
   EXPECT_EQ(a, b);
   EXPECT_LT(a, 8u);
+}
+
+// --- log-linear edge bins ---------------------------------------------------
+// The decomposition SLO header leans on Percentile() at the extremes: p99.9
+// of a skewed interval often lands exactly on a bucket edge, outliers clamp
+// into the overflow bucket, and a quiet interval snapshots with zero samples.
+// Pin the behaviour at each edge.
+
+TEST(Histogram, PercentileOnBucketBoundaryStaysInsideBucket) {
+  // 999 samples in one bucket, 1 sample in a much higher bucket: the p99.9
+  // rank falls exactly on the seam between the two populations. The
+  // interpolated answer must come from one of the two occupied buckets —
+  // never from the empty space between them.
+  obs::Histogram h(1);
+  const std::uint64_t low = 100;
+  const std::size_t hi_idx = obs::Histogram::BucketIndex(1 << 20);
+  const std::uint64_t hi_lo = obs::Histogram::BucketLowerBound(hi_idx);
+  for (int i = 0; i < 999; ++i) {
+    h.Record(0, low);
+  }
+  h.Record(0, hi_lo);  // exactly on its bucket's lower boundary
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count, 1000u);
+
+  const double p999 = snap.Percentile(99.9);
+  const std::size_t low_idx = obs::Histogram::BucketIndex(low);
+  const double low_lo =
+      static_cast<double>(obs::Histogram::BucketLowerBound(low_idx));
+  const double low_hi =
+      static_cast<double>(obs::Histogram::BucketUpperBound(low_idx));
+  const double hi_hi =
+      static_cast<double>(obs::Histogram::BucketUpperBound(hi_idx));
+  const bool in_low = p999 >= low_lo && p999 <= low_hi;
+  const bool in_hi = p999 >= static_cast<double>(hi_lo) && p999 <= hi_hi;
+  EXPECT_TRUE(in_low || in_hi) << "p99.9=" << p999;
+  // One rank further must be in (or above the start of) the high bucket.
+  EXPECT_GE(snap.Percentile(100.0), static_cast<double>(hi_lo));
+  // And the boundary value itself must be counted in its own bucket: the
+  // index of hi_lo is hi_idx, not hi_idx - 1.
+  EXPECT_EQ(obs::Histogram::BucketIndex(hi_lo), hi_idx);
+}
+
+TEST(Histogram, OverflowBucketQuantilesAreFiniteAndOrdered) {
+  // Everything near 2^64 clamps into the last bucket; quantiles there must
+  // stay finite, ordered, and inside the bucket's [lower, saturated-upper]
+  // range rather than overflowing the double math.
+  obs::Histogram h(1);
+  const std::uint64_t huge = ~std::uint64_t{0} - 1;
+  for (int i = 0; i < 8; ++i) {
+    h.Record(0, huge);
+  }
+  h.Record(0, ~std::uint64_t{0});
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count, 9u);
+
+  const std::size_t last = obs::Histogram::BucketIndex(~std::uint64_t{0});
+  ASSERT_LT(last, obs::Histogram::kBuckets);
+  const double lo = static_cast<double>(obs::Histogram::BucketLowerBound(last));
+  const double hi = static_cast<double>(obs::Histogram::BucketUpperBound(last));
+  for (double p : {50.0, 99.0, 99.9, 100.0}) {
+    const double q = snap.Percentile(p);
+    EXPECT_TRUE(std::isfinite(q)) << "p" << p;
+    EXPECT_GE(q, lo) << "p" << p;
+    EXPECT_LE(q, hi) << "p" << p;
+  }
+  EXPECT_LE(snap.Percentile(50.0), snap.Percentile(99.9));
+  // The upper bound of the overflow bucket saturates instead of wrapping.
+  EXPECT_GE(obs::Histogram::BucketUpperBound(last),
+            obs::Histogram::BucketLowerBound(last));
+}
+
+TEST(Histogram, ZeroSampleSnapshotIsInert) {
+  // A quiet delta interval produces exactly this snapshot; every consumer
+  // (SLO header, Summary, Mean) must get zeros, not NaNs or divide faults.
+  obs::Histogram h(2);
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.Percentile(50.0), 0.0);
+  EXPECT_EQ(snap.Percentile(99.9), 0.0);
+  EXPECT_EQ(snap.Mean(), 0.0);
+  EXPECT_EQ(snap.Summary(), "(no samples)");
+  std::uint64_t total = 0;
+  for (std::uint64_t b : snap.buckets) {
+    total += b;
+  }
+  EXPECT_EQ(total, 0u);
 }
 
 }  // namespace

@@ -21,7 +21,9 @@
 // line (metric, samples, p50/p99/p999) is summarised to stderr.
 //
 // Exit codes: 0 ok; 1 usage; 2 connect/send failure; 3 HTTP status != 200;
-// 4 malformed JSON body; 5 --require substring missing.
+// 4 malformed JSON body; 5 --require substring missing; 6 --out path
+// unwritable (the scrape itself succeeded — distinct so CI can tell a dead
+// server from a bad artifact directory).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -225,11 +227,19 @@ int main(int argc, char** argv) {
   }
 
   if (!out_file.empty()) {
+    // Exit 6, not 2: by this point the scrape succeeded, so a failure here
+    // is a local filesystem problem, not a server problem.
     std::ofstream out(out_file, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "obs_scrape: cannot open %s for writing\n",
+                   out_file.c_str());
+      return 6;
+    }
     out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
     if (!out) {
       std::fprintf(stderr, "obs_scrape: cannot write %s\n", out_file.c_str());
-      return 2;
+      return 6;
     }
   } else if (!quiet) {
     std::fwrite(body.data(), 1, body.size(), stdout);

@@ -13,10 +13,17 @@
 //     the flow-correlation acceptance gate for fault_storm exports.
 //   trace_lint --any <file.json> [...]   plain JSON well-formedness only —
 //     used for BENCH_<name>.json files, whose schema is bench-specific.
+//   trace_lint --folded <prof.folded> [...]  folded-stack profile check
+//     (the /profile endpoint's output): every non-comment line must be
+//     `frame(;frame)* <count>` with a positive integer count and non-empty
+//     frames; `#`-prefixed comment lines are allowed anywhere; at least one
+//     sample line is required. Prints a per-root-frame census.
 //
 // JSON parsing comes from tools/json_mini.h (self-contained, no third-party
 // deps); exits non-zero on the first malformed file so CI fails loudly.
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -237,7 +244,92 @@ bool LintTraceEvents(const JsonValue& root, const std::string& path,
   return true;
 }
 
-bool LintFile(const std::string& path, bool any_json, bool flow_check) {
+// Folded-stack lint: text lines, not JSON, so this never reaches the JSON
+// parser. Grammar per line (flamegraph.pl's input format):
+//   line    := comment | sample
+//   comment := '#' <anything>
+//   sample  := frame (';' frame)* ' ' count
+// with non-empty frames and a positive integer count. The census groups by
+// root frame (the thread name in /profile output) so CI logs show at a
+// glance which threads the window caught.
+bool LintFolded(const std::string& text, const std::string& path) {
+  std::map<std::string, std::size_t> root_census;  // root frame -> ticks
+  std::size_t sample_lines = 0;
+  std::size_t comment_lines = 0;
+  std::uint64_t total_ticks = 0;
+  std::size_t line_no = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      ++comment_lines;
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size()) {
+      std::fprintf(stderr, "%s:%zu: not `stack count`: %s\n", path.c_str(),
+                   line_no, line.c_str());
+      return false;
+    }
+    const std::string stack = line.substr(0, sp);
+    const std::string count_str = line.substr(sp + 1);
+    if (count_str.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr, "%s:%zu: count is not an integer: %s\n",
+                   path.c_str(), line_no, count_str.c_str());
+      return false;
+    }
+    const std::uint64_t count = std::strtoull(count_str.c_str(), nullptr, 10);
+    if (count == 0) {
+      std::fprintf(stderr, "%s:%zu: zero-count sample line\n", path.c_str(),
+                   line_no);
+      return false;
+    }
+    // Frames: split on ';', none may be empty (an empty frame renders as a
+    // blank flamegraph cell and usually means a formatting bug upstream).
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t semi = stack.find(';', start);
+      const std::string frame = stack.substr(
+          start, semi == std::string::npos ? std::string::npos : semi - start);
+      if (frame.empty()) {
+        std::fprintf(stderr, "%s:%zu: empty frame in stack: %s\n",
+                     path.c_str(), line_no, stack.c_str());
+        return false;
+      }
+      if (start == 0) {
+        root_census[frame] += count;
+      }
+      if (semi == std::string::npos) {
+        break;
+      }
+      start = semi + 1;
+    }
+    ++sample_lines;
+    total_ticks += count;
+  }
+  if (sample_lines == 0) {
+    std::fprintf(stderr, "%s: no sample lines (%zu comment lines)\n",
+                 path.c_str(), comment_lines);
+    return false;
+  }
+  std::printf("%s: OK — %zu stacks, %llu ticks, %zu comments\n", path.c_str(),
+              sample_lines, static_cast<unsigned long long>(total_ticks),
+              comment_lines);
+  for (const auto& [root, ticks] : root_census) {
+    std::printf("  %-32s %zu\n", root.c_str(), ticks);
+  }
+  return true;
+}
+
+bool LintFile(const std::string& path, bool any_json, bool flow_check,
+              bool folded) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "%s: cannot open\n", path.c_str());
@@ -249,6 +341,9 @@ bool LintFile(const std::string& path, bool any_json, bool flow_check) {
   if (text.empty()) {
     std::fprintf(stderr, "%s: empty file\n", path.c_str());
     return false;
+  }
+  if (folded) {
+    return LintFolded(text, path);
   }
 
   std::string error;
@@ -272,20 +367,25 @@ bool LintFile(const std::string& path, bool any_json, bool flow_check) {
 int main(int argc, char** argv) {
   bool any_json = false;
   bool flow_check = false;
+  bool folded = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--any") == 0) {
       any_json = true;
     } else if (std::strcmp(argv[i], "--flow-check") == 0) {
       flow_check = true;
+    } else if (std::strcmp(argv[i], "--folded") == 0) {
+      folded = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: trace_lint [--any] [--flow-check] file.json [...]\n"
+          "usage: trace_lint [--any|--folded] [--flow-check] file [...]\n"
           "  default     : validate chrome://tracing trace-event files\n"
           "                (incl. async 'b'/'e' pairing per cat+id track)\n"
           "  --flow-check: additionally require an async track spanning\n"
           "                >=2 threads with a recovery span\n"
-          "  --any       : only check JSON well-formedness (BENCH_*.json)\n");
+          "  --any       : only check JSON well-formedness (BENCH_*.json)\n"
+          "  --folded    : validate folded-stack profiles (/profile output:\n"
+          "                `frame(;frame)* count` lines, '#' comments)\n");
       return 0;
     } else {
       paths.push_back(argv[i]);
@@ -297,7 +397,7 @@ int main(int argc, char** argv) {
   }
   bool ok = true;
   for (const std::string& path : paths) {
-    ok = LintFile(path, any_json, flow_check) && ok;
+    ok = LintFile(path, any_json, flow_check, folded) && ok;
   }
   return ok ? 0 : 1;
 }
