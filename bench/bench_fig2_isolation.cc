@@ -23,6 +23,7 @@
 #include "src/net/operators/null_filter.h"
 #include "src/net/pipeline.h"
 #include "src/net/pktgen.h"
+#include "src/net/schedule.h"
 #include "src/obs/metrics.h"
 #include "src/sfi/manager.h"
 #include "src/sfi/obs.h"
@@ -156,6 +157,47 @@ int main() {
         });
     std::printf("%10zu %14.0f %14.0f %16.1f\n", stages, direct, isolated,
                 (isolated - direct) / static_cast<double>(stages));
+  }
+
+  // === Fused-chain phase ===
+  //
+  // The schedule IR's answer to Figure 2: fusing the whole 5-stage chain
+  // into one protection domain collapses 5 crossings per batch to 1, so the
+  // fused chain should cost roughly direct + one crossing — the overhead
+  // stops scaling with pipeline length and the "isolation tax" becomes a
+  // constant regardless of how many co-trusted stages the chain holds.
+  std::printf("\n=== fused chain: Fuse(0, %zu) — one domain, one crossing "
+              "(batch = 32) ===\n",
+              kPipelineLength - 1);
+  {
+    PipelinePair pipes(kPipelineLength);
+    pipes.isolated->ApplySchedule(net::ResolveSchedule(
+        net::PipelineSchedule().Fuse(0, kPipelineLength - 1),
+        kPipelineLength));
+    const double direct = MeasureCyclesPerBatch(
+        pool, 32,
+        [&](net::PacketBatch b) { return pipes.direct.Run(std::move(b)); });
+    const double fused = MeasureCyclesPerBatch(
+        pool, 32, [&](net::PacketBatch b) {
+          auto result = pipes.isolated->Run(std::move(b));
+          return std::move(result).value();
+        });
+    PipelinePair interp(kPipelineLength);
+    const double interpreted = MeasureCyclesPerBatch(
+        pool, 32, [&](net::PacketBatch b) {
+          auto result = interp.isolated->Run(std::move(b));
+          return std::move(result).value();
+        });
+    std::printf("%14s %14s %14s %18s\n", "direct(cyc)", "interp(cyc)",
+                "fused(cyc)", "fused ovh/batch");
+    std::printf("%14.0f %14.0f %14.0f %18.1f\n", direct, interpreted, fused,
+                fused - direct);
+    std::printf("interpreted pays %zu crossings/batch, fused pays 1: "
+                "fused overhead should sit near overhead/call above\n",
+                kPipelineLength);
+    report.AddScalar("fused_chain_cycles_per_batch", fused);
+    report.AddScalar("interpreted_chain_cycles_per_batch", interpreted);
+    report.AddScalar("fused_overhead_per_batch", fused - direct);
   }
 
   // === Armed-metrics phase ===

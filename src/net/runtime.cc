@@ -54,6 +54,9 @@ std::string RuntimeStats::Summary() const {
     s += " failovers=" + std::to_string(failovers);
     s += " failover_failures=" + std::to_string(failover_failures);
     s += " rehomed_items=" + std::to_string(failover_rehomed_items);
+    if (ckpt_restore_mismatches > 0) {
+      s += " restore_mismatches=" + std::to_string(ckpt_restore_mismatches);
+    }
     s += "\n  ckpt_pause_cycles: " + ckpt_pause_cycles.Summary();
   }
   if (unquarantines > 0 || requarantines > 0) {
@@ -165,6 +168,8 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
       registry_.GetCounter("runtime.failover_failures_total");
   telemetry_.failover_rehomed_items =
       registry_.GetCounter("runtime.failover_rehomed_items_total");
+  telemetry_.ckpt_restore_mismatches =
+      registry_.GetCounter("runtime.ckpt_restore_mismatches_total");
   telemetry_.unquarantines =
       registry_.GetCounter("runtime.unquarantines_total", shards);
   telemetry_.requarantines =
@@ -200,6 +205,15 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
     stage_names_.push_back(stage.name);
     stage_policies_.push_back(stage.degrade);
   }
+  // Resolve the schedule once against the spec; every worker replica gets
+  // the same fusion-group shape. StageSpec::isolate marks are hard cuts.
+  std::vector<bool> isolate_marks;
+  isolate_marks.reserve(spec.size());
+  for (const StageSpec& stage : spec) {
+    isolate_marks.push_back(stage.isolate);
+  }
+  const std::vector<std::vector<std::size_t>> partition =
+      ResolveSchedule(config_.schedule, spec.size(), isolate_marks);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     workers_.push_back(std::make_unique<Worker>(w, config_));
     Worker& worker = *workers_.back();
@@ -213,6 +227,9 @@ Runtime::Runtime(RuntimeConfig config, std::vector<StageSpec> spec)
       } else {
         worker.direct.AddStage(stage.make(w));
       }
+    }
+    if (config_.isolated && config_.schedule.fused()) {
+      worker.isolated.ApplySchedule(partition);
     }
     if (config_.isolated && config_.supervision.probation_cooldown_batches > 0) {
       worker.isolated.SetProbation(config_.supervision.probation_cooldown_batches,
@@ -1149,7 +1166,16 @@ bool Runtime::FailoverWorker(std::size_t victim) {
   for (const WorkerCkptImage& wi : ckpt_state_->primary().workers) {
     if (wi.index == victim) {
       std::lock_guard<std::mutex> lock(v.mu);
+      const std::uint64_t mismatches_before = v.isolated.restore_mismatches();
       (void)v.isolated.RestoreStages(wi.stages);
+      // Name-keyed restore refuses (and counts) images whose stage the
+      // pipeline does not have — surface that as a runtime counter so a
+      // schedule/shape drift between checkpoint and restore is visible.
+      const std::uint64_t refused =
+          v.isolated.restore_mismatches() - mismatches_before;
+      if (refused > 0) {
+        telemetry_.ckpt_restore_mismatches->Add(refused);
+      }
       break;
     }
   }
@@ -1190,6 +1216,7 @@ RuntimeStats Runtime::Stats() const {
   s.failovers = telemetry_.failovers->Value();
   s.failover_failures = telemetry_.failover_failures->Value();
   s.failover_rehomed_items = telemetry_.failover_rehomed_items->Value();
+  s.ckpt_restore_mismatches = telemetry_.ckpt_restore_mismatches->Value();
   s.unquarantines = telemetry_.unquarantines->Value();
   s.requarantines = telemetry_.requarantines->Value();
   s.ckpt_pause_cycles = telemetry_.ckpt_pause_cycles->Snapshot();

@@ -62,6 +62,7 @@
 #include "src/net/pipeline.h"
 #include "src/net/pktgen.h"
 #include "src/net/rss.h"
+#include "src/net/schedule.h"
 #include "src/obs/metrics.h"
 #include "src/obs/ops_server.h"
 #include "src/obs/trace.h"
@@ -185,6 +186,11 @@ struct StageSpec {
   std::string name;
   std::function<std::unique_ptr<Operator>(std::size_t worker)> make;
   DegradePolicy degrade = DegradePolicy::kDrop;
+  // Untrusted mark: this stage must keep its own protection domain — the
+  // schedule (manual Fuse or Auto) never fuses it with a neighbour.
+  // Typically a stateful/ckpt boundary, or an operator the caller does not
+  // trust to share a fault domain.
+  bool isolate = false;
 };
 
 // Supervisor policy knobs. The defaults favour fast recovery with a bounded
@@ -281,6 +287,12 @@ struct RuntimeConfig {
   std::size_t buf_size = 2048;
   std::uint16_t frame_len = 64;
   bool isolated = true;               // IsolatedPipeline vs direct Pipeline
+  // How the stage chain maps onto protection domains (src/net/schedule.h).
+  // Default: interpreted, one domain per stage. Resolved once against the
+  // spec (honouring StageSpec::isolate marks) and applied to every worker's
+  // replica before traffic. Ignored for direct (non-isolated) pipelines,
+  // which are always fully fused by construction.
+  PipelineSchedule schedule;
   SupervisionConfig supervision;
   StealConfig stealing;
   PacedRxConfig paced_rx;
@@ -367,6 +379,9 @@ struct RuntimeStats {
   std::uint64_t failovers = 0;            // completed worker failovers
   std::uint64_t failover_failures = 0;    // failovers refused by a fault
   std::uint64_t failover_rehomed_items = 0;  // items moved off failed workers
+  // Stage images a restore refused because they named a stage the pipeline
+  // does not have (checkpoint taken under a different pipeline shape).
+  std::uint64_t ckpt_restore_mismatches = 0;
   std::uint64_t unquarantines = 0;        // probation probes that succeeded
   std::uint64_t requarantines = 0;        // probation probes that failed
   obs::HistogramSnapshot ckpt_pause_cycles;      // per-worker quiesce pause
@@ -603,6 +618,7 @@ class Runtime {
     obs::Counter* failovers = nullptr;
     obs::Counter* failover_failures = nullptr;
     obs::Counter* failover_rehomed_items = nullptr;
+    obs::Counter* ckpt_restore_mismatches = nullptr;
     obs::Counter* unquarantines = nullptr;
     obs::Counter* requarantines = nullptr;
     obs::Gauge* queue_depth = nullptr;
